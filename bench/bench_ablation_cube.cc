@@ -1,0 +1,132 @@
+/// Ablation: the sampling-cube initialization design choices.
+///
+///  (1) Dry-run shortcut: Tabula's one-scan + lattice roll-up vs the
+///      literal 2^n-GroupBy pipeline (PartSamCube) at equal semantics.
+///  (2) Cost-model path choice (Inequation 1): auto vs always-join vs
+///      always-GroupBy in the real run.
+///  (3) Representative-sample selection: initialization overhead and
+///      memory saved, with the similarity-join candidate cap swept.
+///  (4) Global-sample sizing (Serfling ε): smaller global samples
+///      spawn more iceberg cells — the Section III-B1 trade-off.
+
+#include "baselines/sample_cube.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/tabula.h"
+
+int main() {
+  using namespace tabula;
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  TaxiGeneratorOptions gen;
+  gen.num_rows = std::min<size_t>(config.rows, 30000);
+  gen.seed = config.seed;
+  auto table = TaxiGenerator(gen).Generate();
+  auto attrs = Attributes(5);
+  auto loss = MakeHistogramLoss("fare_amount");
+  const double theta = 0.25;  // $0.25: enough iceberg cells to matter
+
+  std::printf("Cube-initialization ablations (rows=%zu, histogram loss, "
+              "theta=$%.2f)\n",
+              table->num_rows(), theta);
+
+  // (1) Dry-run shortcut.
+  PrintHeader("Ablation 1: dry-run shortcut vs literal 2^n GroupBys");
+  PrintCsvHeader("ablation,variant,init_ms,memory_bytes");
+  {
+    TabulaOptions opts;
+    opts.cubed_attributes = attrs;
+    opts.loss = loss.get();
+    opts.threshold = theta;
+    Stopwatch t1;
+    auto tabula = Tabula::Initialize(*table, opts);
+    double tabula_ms = t1.ElapsedMillis();
+    TABULA_CHECK(tabula.ok());
+    MaterializedSampleCube part(*table, attrs, loss.get(), theta,
+                                MaterializedSampleCube::Mode::kPartial);
+    Stopwatch t2;
+    TABULA_CHECK(part.Prepare().ok());
+    double part_ms = t2.ElapsedMillis();
+    std::printf("%-28s %10.0f ms   %12s\n", "Tabula (dry-run shortcut)",
+                tabula_ms,
+                HumanBytes(tabula.value()->init_stats().TotalBytes()).c_str());
+    std::printf("%-28s %10.0f ms   %12s   (%.1fx slower)\n",
+                "literal init query", part_ms,
+                HumanBytes(part.MemoryBytes()).c_str(), part_ms / tabula_ms);
+    char row[160];
+    std::snprintf(row, sizeof(row), "dryrun,tabula,%.1f,%llu", tabula_ms,
+                  static_cast<unsigned long long>(
+                      tabula.value()->init_stats().TotalBytes()));
+    PrintCsvRow(row);
+    std::snprintf(row, sizeof(row), "dryrun,literal,%.1f,%llu", part_ms,
+                  static_cast<unsigned long long>(part.MemoryBytes()));
+    PrintCsvRow(row);
+  }
+
+  // (2) Cost-model path policy.
+  PrintHeader("Ablation 2: real-run path policy (Inequation 1)");
+  PrintCsvHeader("ablation,policy,real_run_ms");
+  for (auto [policy, name] :
+       {std::pair{RealRunPathPolicy::kAuto, "auto (cost model)"},
+        std::pair{RealRunPathPolicy::kAlwaysJoin, "always equi-join"},
+        std::pair{RealRunPathPolicy::kAlwaysGroupBy, "always GroupBy"}}) {
+    TabulaOptions opts;
+    opts.cubed_attributes = attrs;
+    opts.loss = loss.get();
+    opts.threshold = theta;
+    opts.path_policy = policy;
+    auto tabula = Tabula::Initialize(*table, opts);
+    TABULA_CHECK(tabula.ok());
+    double ms = tabula.value()->init_stats().real_run_millis;
+    std::printf("%-28s %10.0f ms\n", name, ms);
+    char row[96];
+    std::snprintf(row, sizeof(row), "path,%s,%.1f", name, ms);
+    PrintCsvRow(row);
+  }
+
+  // (3) Selection candidate cap.
+  PrintHeader("Ablation 3: representative-selection similarity-join cap");
+  PrintCsvHeader("ablation,cap,selection_ms,representatives,sample_bytes");
+  for (size_t cap : {size_t{8}, size_t{32}, size_t{64}, size_t{256}}) {
+    TabulaOptions opts;
+    opts.cubed_attributes = attrs;
+    opts.loss = loss.get();
+    opts.threshold = theta;
+    opts.selection.graph.max_candidates_per_vertex = cap;
+    auto tabula = Tabula::Initialize(*table, opts);
+    TABULA_CHECK(tabula.ok());
+    const auto& s = tabula.value()->init_stats();
+    std::printf("cap=%-4zu selection=%7.0f ms  reps=%5zu  sample_table=%s\n",
+                cap, s.selection_millis, s.representative_samples,
+                HumanBytes(s.sample_table_bytes).c_str());
+    char row[128];
+    std::snprintf(row, sizeof(row), "selection,%zu,%.1f,%zu,%llu", cap,
+                  s.selection_millis, s.representative_samples,
+                  static_cast<unsigned long long>(s.sample_table_bytes));
+    PrintCsvRow(row);
+  }
+
+  // (4) Global-sample sizing.
+  PrintHeader("Ablation 4: Serfling global-sample sizing");
+  PrintCsvHeader("ablation,epsilon,global_tuples,iceberg_cells,init_ms");
+  for (double eps : {0.15, 0.10, 0.05, 0.025}) {
+    TabulaOptions opts;
+    opts.cubed_attributes = attrs;
+    opts.loss = loss.get();
+    opts.threshold = theta;
+    opts.serfling_epsilon = eps;
+    auto tabula = Tabula::Initialize(*table, opts);
+    TABULA_CHECK(tabula.ok());
+    const auto& s = tabula.value()->init_stats();
+    std::printf("eps=%-6.3f global=%5zu tuples  iceberg=%6zu  init=%7.0f ms\n",
+                eps, s.global_sample_tuples, s.iceberg_cells,
+                s.total_millis);
+    char row[128];
+    std::snprintf(row, sizeof(row), "serfling,%.3f,%zu,%zu,%.1f", eps,
+                  s.global_sample_tuples, s.iceberg_cells, s.total_millis);
+    PrintCsvRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// Ablation: incremental maintenance (Tabula::Refresh) vs full
+/// re-initialization — the extension beyond the paper (DESIGN.md §4).
+///
+/// Sweeps the append fraction and compares (a) Refresh() with kept
+/// maintenance state, (b) Refresh() with lazily rebuilt state, and
+/// (c) a full Initialize() from scratch, all restoring the identical
+/// deterministic guarantee.
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/tabula.h"
+
+namespace {
+
+using namespace tabula;
+
+std::unique_ptr<Table> FreshTable(size_t rows, uint64_t seed) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = rows;
+  gen.seed = seed;
+  return TaxiGenerator(gen).Generate();
+}
+
+void AppendFrom(Table* target, const Table& source, size_t n) {
+  for (RowId r = 0; r < n && r < source.num_rows(); ++r) {
+    Status st = target->AppendRowFrom(source, r);
+    TABULA_CHECK(st.ok());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  size_t base_rows = std::min<size_t>(config.rows, 40000);
+  auto extra = FreshTable(base_rows, config.seed + 1);
+  auto attrs = Attributes(5);
+  MeanLoss loss("fare_amount");
+
+  std::printf("Incremental-maintenance ablation (base=%zu rows, mean loss "
+              "theta=5%%)\n",
+              base_rows);
+  PrintHeader("Refresh vs re-initialize, by append fraction");
+  std::printf("%-10s %18s %18s %18s\n", "append", "refresh_kept_ms",
+              "refresh_lazy_ms", "reinitialize_ms");
+  PrintCsvHeader("ablation,append_fraction,refresh_kept_ms,refresh_lazy_ms,"
+                 "reinit_ms,new_iceberg,resampled");
+
+  for (double fraction : {0.01, 0.05, 0.25, 1.0}) {
+    size_t append_rows = static_cast<size_t>(base_rows * fraction);
+
+    double kept_ms = 0.0, lazy_ms = 0.0, reinit_ms = 0.0;
+    Tabula::RefreshStats kept_stats;
+
+    // (a) kept maintenance state.
+    {
+      auto table = FreshTable(base_rows, config.seed);
+      TabulaOptions opts;
+      opts.cubed_attributes = attrs;
+      opts.loss = &loss;
+      opts.threshold = 0.05;
+      opts.keep_maintenance_state = true;
+      auto tabula = Tabula::Initialize(*table, opts);
+      TABULA_CHECK(tabula.ok());
+      AppendFrom(table.get(), *extra, append_rows);
+      Stopwatch t;
+      TABULA_CHECK(tabula.value()->Refresh(&kept_stats).ok());
+      kept_ms = t.ElapsedMillis();
+    }
+    // (b) lazy state rebuild.
+    {
+      auto table = FreshTable(base_rows, config.seed);
+      TabulaOptions opts;
+      opts.cubed_attributes = attrs;
+      opts.loss = &loss;
+      opts.threshold = 0.05;
+      opts.keep_maintenance_state = false;
+      auto tabula = Tabula::Initialize(*table, opts);
+      TABULA_CHECK(tabula.ok());
+      AppendFrom(table.get(), *extra, append_rows);
+      Stopwatch t;
+      Tabula::RefreshStats stats;
+      TABULA_CHECK(tabula.value()->Refresh(&stats).ok());
+      lazy_ms = t.ElapsedMillis();
+    }
+    // (c) full re-initialization on the grown table.
+    {
+      auto table = FreshTable(base_rows, config.seed);
+      AppendFrom(table.get(), *extra, append_rows);
+      TabulaOptions opts;
+      opts.cubed_attributes = attrs;
+      opts.loss = &loss;
+      opts.threshold = 0.05;
+      Stopwatch t;
+      auto tabula = Tabula::Initialize(*table, opts);
+      TABULA_CHECK(tabula.ok());
+      reinit_ms = t.ElapsedMillis();
+    }
+
+    std::printf("%-10.0f%% %17.0f %18.0f %18.0f   (new iceberg %zu, "
+                "resampled %zu)\n",
+                fraction * 100, kept_ms, lazy_ms, reinit_ms,
+                kept_stats.new_iceberg_cells, kept_stats.resampled_cells);
+    char row[192];
+    std::snprintf(row, sizeof(row), "refresh,%.2f,%.1f,%.1f,%.1f,%zu,%zu",
+                  fraction, kept_ms, lazy_ms, reinit_ms,
+                  kept_stats.new_iceberg_cells, kept_stats.resampled_cells);
+    PrintCsvRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// Ablation: the greedy SAMPLING(*, θ) engine (Algorithm 1).
+///
+/// Uses google-benchmark to quantify the design choices DESIGN.md calls
+/// out:
+///  * lazy-forward (POIsam's CELF-style heap) vs exhaustive rounds;
+///  * the candidate-pool cap;
+///  * 1-D (histogram) vs 2-D (heat map) evaluator cost.
+/// The guarantee is identical in all configurations — only speed and
+/// sample size move.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "sampling/greedy_sampler.h"
+
+namespace tabula {
+namespace bench {
+namespace {
+
+const Table& BenchTable() {
+  static BenchConfig config = [] {
+    BenchConfig c = BenchConfig::FromEnv();
+    c.rows = std::min<size_t>(c.rows, 20000);  // micro-bench scale
+    return c;
+  }();
+  return TaxiTable(config);
+}
+
+void BM_GreedyHeatmap_LazyForward(benchmark::State& state) {
+  const Table& table = BenchTable();
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  GreedySamplerOptions opts;
+  opts.lazy_forward = state.range(0) != 0;
+  opts.max_candidates = 1024;
+  GreedySampler sampler(loss.get(), 0.5 * kNormalizedUnitsPerKm, opts);
+  DatasetView raw(&table);
+  size_t evals = 0;
+  size_t sample_size = 0;
+  for (auto _ : state) {
+    GreedySamplerStats stats;
+    auto sample = sampler.Sample(raw, &stats);
+    TABULA_CHECK(sample.ok());
+    evals += stats.loss_evaluations;
+    sample_size = sample->size();
+    benchmark::DoNotOptimize(sample.value());
+  }
+  state.counters["loss_evals"] =
+      static_cast<double>(evals) / state.iterations();
+  state.counters["sample_size"] = static_cast<double>(sample_size);
+}
+BENCHMARK(BM_GreedyHeatmap_LazyForward)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyHeatmap_CandidateCap(benchmark::State& state) {
+  const Table& table = BenchTable();
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  GreedySamplerOptions opts;
+  opts.max_candidates = static_cast<size_t>(state.range(0));
+  GreedySampler sampler(loss.get(), 0.5 * kNormalizedUnitsPerKm, opts);
+  DatasetView raw(&table);
+  size_t sample_size = 0;
+  for (auto _ : state) {
+    auto sample = sampler.Sample(raw);
+    TABULA_CHECK(sample.ok());
+    sample_size = sample->size();
+    benchmark::DoNotOptimize(sample.value());
+  }
+  state.counters["sample_size"] = static_cast<double>(sample_size);
+}
+BENCHMARK(BM_GreedyHeatmap_CandidateCap)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyHistogram1D(benchmark::State& state) {
+  const Table& table = BenchTable();
+  auto loss = MakeHistogramLoss("fare_amount");
+  GreedySampler sampler(loss.get(), 0.5);
+  DatasetView raw(&table);
+  for (auto _ : state) {
+    auto sample = sampler.Sample(raw);
+    TABULA_CHECK(sample.ok());
+    benchmark::DoNotOptimize(sample.value());
+  }
+}
+BENCHMARK(BM_GreedyHistogram1D)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyMeanLoss(benchmark::State& state) {
+  const Table& table = BenchTable();
+  MeanLoss loss("fare_amount");
+  GreedySampler sampler(&loss, 0.025);
+  DatasetView raw(&table);
+  for (auto _ : state) {
+    auto sample = sampler.Sample(raw);
+    TABULA_CHECK(sample.ok());
+    benchmark::DoNotOptimize(sample.value());
+  }
+}
+BENCHMARK(BM_GreedyMeanLoss)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tabula
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+#ifndef TABULA_BENCH_BENCH_APPROACHES_H_
+#define TABULA_BENCH_BENCH_APPROACHES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/approach.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "viz/dashboard.h"
+
+namespace tabula {
+namespace bench {
+
+/// One measured row of a Figure 11–14 style comparison.
+struct ApproachRow {
+  std::string name;
+  double prepare_millis = 0.0;
+  double avg_data_system_millis = 0.0;
+  double avg_viz_millis = 0.0;
+  double min_loss = 0.0;
+  double avg_loss = 0.0;
+  double max_loss = 0.0;
+  size_t violations = 0;
+  double avg_answer_tuples = 0.0;
+  uint64_t memory_bytes = 0;
+};
+
+/// Prepares `approach`, replays the workload through the dashboard
+/// harness, and aggregates the paper's metrics.
+inline Result<ApproachRow> MeasureApproach(
+    Approach* approach, const Table& table,
+    const std::vector<WorkloadQuery>& workload,
+    const DashboardOptions& dashboard, double theta) {
+  ApproachRow row;
+  row.name = approach->name();
+  Stopwatch prep;
+  TABULA_RETURN_NOT_OK(approach->Prepare());
+  row.prepare_millis = prep.ElapsedMillis();
+  TABULA_ASSIGN_OR_RETURN(DashboardReport report,
+                          RunDashboard(approach, table, workload, dashboard));
+  row.avg_data_system_millis = report.AvgDataSystemMillis();
+  row.avg_viz_millis = report.AvgVizMillis();
+  row.min_loss = report.MinActualLoss();
+  row.avg_loss = report.AvgActualLoss();
+  row.max_loss = report.MaxActualLoss();
+  row.violations = report.LossViolations(theta);
+  row.avg_answer_tuples = report.AvgAnswerTuples();
+  row.memory_bytes = approach->MemoryBytes();
+  return row;
+}
+
+/// Prints the rows as a paper-style table plus CSV.
+inline void PrintApproachRows(const std::string& figure,
+                              const std::string& theta_label,
+                              const std::vector<ApproachRow>& rows) {
+  std::printf("\n-- theta = %s --\n", theta_label.c_str());
+  std::printf("%-16s %12s %12s %10s %10s %10s %6s %10s\n", "approach",
+              "ds_ms", "viz_ms", "min_loss", "avg_loss", "max_loss", "viol",
+              "tuples");
+  for (const auto& r : rows) {
+    std::printf("%-16s %12.3f %12.3f %10.4g %10.4g %10.4g %6zu %10.0f\n",
+                r.name.c_str(), r.avg_data_system_millis, r.avg_viz_millis,
+                r.min_loss, r.avg_loss, r.max_loss, r.violations,
+                r.avg_answer_tuples);
+    char csv[256];
+    std::snprintf(csv, sizeof(csv),
+                  "%s,%s,%s,%.3f,%.3f,%.5g,%.5g,%.5g,%zu,%.0f",
+                  figure.c_str(), theta_label.c_str(), r.name.c_str(),
+                  r.avg_data_system_millis, r.avg_viz_millis, r.min_loss,
+                  r.avg_loss, r.max_loss, r.violations,
+                  r.avg_answer_tuples);
+    PrintCsvRow(csv);
+  }
+}
+
+}  // namespace bench
+}  // namespace tabula
+
+#endif  // TABULA_BENCH_BENCH_APPROACHES_H_

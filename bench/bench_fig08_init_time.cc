@@ -1,0 +1,106 @@
+/// Reproduces Figure 8: Tabula initialization time, split into the dry
+/// run, real run, and sample selection (SamS) stages.
+///
+///  (a) geospatial heat-map-aware loss, θ ∈ {0.25, 0.5, 1, 2} km
+///  (b) statistical mean loss,          θ ∈ {2.5, 5, 10, 20} %
+///  (c) linear regression loss,         θ ∈ {1, 2, 4, 8} °
+///  (d) histogram loss, θ = $0.5, cubed attributes ∈ {4, 5, 6, 7}
+///
+/// Paper shapes to check: dry-run time flat in θ; total grows as θ
+/// shrinks; the heat-map dry run is the most expensive of the three and
+/// the mean loss the cheapest; with more attributes everything grows but
+/// the dry run grows the slowest.
+
+#include "bench_common.h"
+#include "core/tabula.h"
+
+namespace tabula {
+namespace bench {
+namespace {
+
+void RunSweep(const Table& table, const std::string& figure,
+              const LossFunction& loss,
+              const std::vector<double>& thresholds,
+              const std::vector<std::string>& threshold_labels,
+              size_t num_attrs) {
+  PrintHeader("Figure 8" + figure + ": initialization time, " + loss.name() +
+              ", " + std::to_string(num_attrs) + " attributes");
+  std::printf("%-12s %12s %12s %12s %12s %10s %10s\n", "theta",
+              "dry_run_ms", "real_run_ms", "selection_ms", "total_ms",
+              "cells", "iceberg");
+  PrintCsvHeader("figure,loss,theta,dry_ms,real_ms,selection_ms,total_ms,"
+                 "cells,iceberg_cells");
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    TabulaOptions opts;
+    opts.cubed_attributes = Attributes(num_attrs);
+    opts.loss = &loss;
+    opts.threshold = thresholds[i];
+    auto tabula = Tabula::Initialize(table, opts);
+    if (!tabula.ok()) {
+      std::printf("ERROR %s\n", tabula.status().ToString().c_str());
+      continue;
+    }
+    const auto& s = tabula.value()->init_stats();
+    std::printf("%-12s %12.0f %12.0f %12.0f %12.0f %10zu %10zu\n",
+                threshold_labels[i].c_str(), s.dry_run_millis,
+                s.real_run_millis, s.selection_millis, s.total_millis,
+                s.total_cells, s.iceberg_cells);
+    char row[256];
+    std::snprintf(row, sizeof(row), "8%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%zu,%zu",
+                  figure.c_str(), loss.name().c_str(),
+                  threshold_labels[i].c_str(), s.dry_run_millis,
+                  s.real_run_millis, s.selection_millis, s.total_millis,
+                  s.total_cells, s.iceberg_cells);
+    PrintCsvRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tabula
+
+int main() {
+  using namespace tabula;
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  const Table& table = TaxiTable(config);
+  std::printf("Figure 8 reproduction: Tabula initialization time\n");
+  std::printf("rows=%zu (paper: 700M on a 5-node cluster)\n",
+              table.num_rows());
+
+  // (a) geospatial heat-map-aware loss.
+  {
+    auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+    std::vector<double> thetas;
+    std::vector<std::string> labels;
+    for (double km : HeatmapThresholdsKm()) {
+      thetas.push_back(km * kNormalizedUnitsPerKm);
+      labels.push_back(std::to_string(km) + "km");
+    }
+    RunSweep(table, "a", *loss, thetas, labels, 5);
+  }
+  // (b) statistical mean loss.
+  {
+    MeanLoss loss("fare_amount");
+    std::vector<double> thetas = MeanThresholds();
+    std::vector<std::string> labels{"2.5%", "5%", "10%", "20%"};
+    RunSweep(table, "b", loss, thetas, labels, 5);
+  }
+  // (c) linear regression loss (tip vs fare, as in Figure 1).
+  {
+    RegressionLoss loss("fare_amount", "tip_amount");
+    std::vector<double> thetas = RegressionThresholdsDeg();
+    std::vector<std::string> labels{"1deg", "2deg", "4deg", "8deg"};
+    RunSweep(table, "c", loss, thetas, labels, 5);
+  }
+  // (d) histogram loss, θ = $0.5, 4..7 attributes.
+  {
+    auto loss = MakeHistogramLoss("fare_amount");
+    for (size_t attrs = 4; attrs <= 7; ++attrs) {
+      RunSweep(table, "d", *loss, {0.5}, {"$0.5/" + std::to_string(attrs)},
+               attrs);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// Reproduces Figure 9: memory footprint of Tabula's three physical
+/// components — global sample, cube table, sample table — plus Tabula*
+/// (no sample selection), across the loss functions' threshold sweeps
+/// and the 4..7-attribute sweep.
+///
+/// Paper shapes to check: memory grows as θ shrinks; the sample table
+/// dominates the cube table by ≥100×; Tabula* is tens of times larger
+/// than Tabula; the global sample is flat (it depends only on the
+/// dataset cardinality).
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/tabula.h"
+
+namespace tabula {
+namespace bench {
+namespace {
+
+void RunSweep(const Table& table, const std::string& figure,
+              const LossFunction& loss,
+              const std::vector<double>& thresholds,
+              const std::vector<std::string>& threshold_labels,
+              size_t num_attrs) {
+  PrintHeader("Figure 9" + figure + ": memory footprint, " + loss.name() +
+              ", " + std::to_string(num_attrs) + " attributes");
+  std::printf("%-12s %14s %14s %14s %14s %14s\n", "theta", "global",
+              "cube_table", "sample_table", "tabula_total", "tabula_star");
+  PrintCsvHeader(
+      "figure,loss,theta,global_bytes,cube_table_bytes,sample_table_bytes,"
+      "tabula_bytes,tabula_star_bytes");
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    TabulaOptions opts;
+    opts.cubed_attributes = Attributes(num_attrs);
+    opts.loss = &loss;
+    opts.threshold = thresholds[i];
+
+    auto tabula = Tabula::Initialize(table, opts);
+    TabulaOptions star_opts = opts;
+    star_opts.enable_sample_selection = false;
+    auto star = Tabula::Initialize(table, star_opts);
+    if (!tabula.ok() || !star.ok()) {
+      std::printf("ERROR %s\n", tabula.status().ToString().c_str());
+      continue;
+    }
+    const auto& s = tabula.value()->init_stats();
+    const auto& ss = star.value()->init_stats();
+    std::printf("%-12s %14s %14s %14s %14s %14s\n",
+                threshold_labels[i].c_str(),
+                HumanBytes(s.global_sample_bytes).c_str(),
+                HumanBytes(s.cube_table_bytes).c_str(),
+                HumanBytes(s.sample_table_bytes).c_str(),
+                HumanBytes(s.TotalBytes()).c_str(),
+                HumanBytes(ss.TotalBytes()).c_str());
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "9%s,%s,%s,%llu,%llu,%llu,%llu,%llu", figure.c_str(),
+                  loss.name().c_str(), threshold_labels[i].c_str(),
+                  static_cast<unsigned long long>(s.global_sample_bytes),
+                  static_cast<unsigned long long>(s.cube_table_bytes),
+                  static_cast<unsigned long long>(s.sample_table_bytes),
+                  static_cast<unsigned long long>(s.TotalBytes()),
+                  static_cast<unsigned long long>(ss.TotalBytes()));
+    PrintCsvRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tabula
+
+int main() {
+  using namespace tabula;
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  const Table& table = TaxiTable(config);
+  std::printf("Figure 9 reproduction: memory footprint (log-scale plot in "
+              "the paper)\nrows=%zu, table=%s\n",
+              table.num_rows(), HumanBytes(table.MemoryBytes()).c_str());
+
+  {
+    auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+    std::vector<double> thetas;
+    std::vector<std::string> labels;
+    for (double km : HeatmapThresholdsKm()) {
+      thetas.push_back(km * kNormalizedUnitsPerKm);
+      labels.push_back(std::to_string(km) + "km");
+    }
+    RunSweep(table, "a", *loss, thetas, labels, 5);
+  }
+  {
+    MeanLoss loss("fare_amount");
+    RunSweep(table, "b", loss, MeanThresholds(), {"2.5%", "5%", "10%", "20%"},
+             5);
+  }
+  {
+    RegressionLoss loss("fare_amount", "tip_amount");
+    RunSweep(table, "c", loss, RegressionThresholdsDeg(),
+             {"1deg", "2deg", "4deg", "8deg"}, 5);
+  }
+  {
+    auto loss = MakeHistogramLoss("fare_amount");
+    for (size_t attrs = 4; attrs <= 7; ++attrs) {
+      RunSweep(table, "d", *loss, {0.5}, {"$0.5/" + std::to_string(attrs)},
+               attrs);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// Reproduces Figure 12: impact of the number of cubed/query attributes
+/// (4..7) on per-query data-system time (a) and actual loss (b), with
+/// the histogram-aware loss at θ = $0.5 — plus the SnappyData-style AQP
+/// baseline, which supports this loss's AVG-style analysis.
+///
+/// Paper shapes to check: Tabula's data-system time grows only slightly
+/// with attributes (larger cube/sample tables); SamFirst is constant;
+/// SamFly/POIsam constant (always a full scan); actual loss is
+/// essentially independent of the attribute count.
+
+#include "baselines/poisam.h"
+#include "baselines/sample_first.h"
+#include "baselines/sample_on_the_fly.h"
+#include "baselines/snappy_like.h"
+#include "baselines/tabula_approach.h"
+#include "bench_approaches.h"
+
+int main() {
+  using namespace tabula;
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  const Table& table = TaxiTable(config);
+  auto loss = MakeHistogramLoss("fare_amount");
+  const double theta = 0.5;  // $0.5
+
+  std::printf("Figure 12 reproduction: 4..7 attributes, histogram loss "
+              "theta=$0.5\nrows=%zu, %zu queries\n",
+              table.num_rows(), config.queries);
+  PrintCsvHeader(
+      "figure,attrs,approach,ds_ms,viz_ms,min_loss,avg_loss,max_loss,"
+      "violations,tuples");
+
+  DashboardOptions dashboard;
+  dashboard.task = VisualTask::kHistogram;
+  dashboard.target_column = "fare_amount";
+  dashboard.loss = loss.get();
+
+  for (size_t attrs_n = 4; attrs_n <= 7; ++attrs_n) {
+    auto attrs = Attributes(attrs_n);
+    WorkloadOptions wopts;
+    wopts.num_queries = config.queries;
+    auto workload = GenerateWorkload(table, attrs, wopts);
+    if (!workload.ok()) {
+      std::printf("workload ERROR %s\n",
+                  workload.status().ToString().c_str());
+      return 1;
+    }
+
+    std::vector<ApproachRow> rows;
+    auto add = [&](Approach* approach) {
+      auto row =
+          MeasureApproach(approach, table, *workload, dashboard, theta);
+      if (row.ok()) {
+        rows.push_back(std::move(row).value());
+      } else {
+        std::printf("%s ERROR %s\n", approach->name().c_str(),
+                    row.status().ToString().c_str());
+      }
+    };
+
+    SampleFirst sf100(table, Budget100MB(table), "SamFirst-100MB");
+    SampleFirst sf1g(table, Budget1GB(table), "SamFirst-1GB");
+    SampleOnTheFly fly(table, loss.get(), theta);
+    PoiSam poisam(table, loss.get(), theta);
+    SnappyLike snappy100(table, "fare_amount", attrs, Budget100MB(table),
+                         0.05, "SnappyData-100MB");
+    SnappyLike snappy1g(table, "fare_amount", attrs, Budget1GB(table), 0.05,
+                        "SnappyData-1GB");
+    TabulaOptions topts;
+    topts.cubed_attributes = attrs;
+    topts.loss = loss.get();
+    topts.threshold = theta;
+    TabulaApproach tabula(table, topts);
+    TabulaApproach star(table, topts, /*enable_selection=*/false);
+
+    add(&sf100);
+    add(&sf1g);
+    add(&fly);
+    add(&poisam);
+    add(&snappy100);
+    add(&snappy1g);
+    add(&tabula);
+    add(&star);
+    PrintApproachRows("12", std::to_string(attrs_n) + "attrs", rows);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Reproduces Figure 13: linear regression loss (angle difference of the
+/// tip-vs-fare regression lines, unit: degrees) — per-query data-system
+/// time (a) and actual loss (b), sweeping θ ∈ {1, 2, 4, 8}°.
+///
+/// Paper shapes to check: like Figure 11 — Tabula flat and far below
+/// SamFly/POIsam; no θ violations for SamFly/Tabula/Tabula*; POIsam may
+/// violate occasionally.
+
+#include "baselines/poisam.h"
+#include "baselines/sample_first.h"
+#include "baselines/sample_on_the_fly.h"
+#include "baselines/tabula_approach.h"
+#include "bench_approaches.h"
+#include "loss/regression_loss.h"
+
+int main() {
+  using namespace tabula;
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  const Table& table = TaxiTable(config);
+  auto attrs = Attributes(5);
+  RegressionLoss loss("fare_amount", "tip_amount");
+
+  WorkloadOptions wopts;
+  wopts.num_queries = config.queries;
+  auto workload = GenerateWorkload(table, attrs, wopts);
+  if (!workload.ok()) {
+    std::printf("workload ERROR %s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 13 reproduction: linear regression loss (degrees)\n");
+  std::printf("rows=%zu, %zu queries, %zu attributes\n", table.num_rows(),
+              workload->size(), attrs.size());
+  PrintCsvHeader(
+      "figure,theta,approach,ds_ms,viz_ms,min_loss,avg_loss,max_loss,"
+      "violations,tuples");
+
+  DashboardOptions dashboard;
+  dashboard.task = VisualTask::kRegression;
+  dashboard.x_column = "fare_amount";
+  dashboard.y_column = "tip_amount";
+  dashboard.loss = &loss;
+
+  for (double theta : RegressionThresholdsDeg()) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0fdeg", theta);
+
+    std::vector<ApproachRow> rows;
+    auto add = [&](Approach* approach) {
+      auto row =
+          MeasureApproach(approach, table, *workload, dashboard, theta);
+      if (row.ok()) {
+        rows.push_back(std::move(row).value());
+      } else {
+        std::printf("%s ERROR %s\n", approach->name().c_str(),
+                    row.status().ToString().c_str());
+      }
+    };
+
+    SampleFirst sf100(table, Budget100MB(table), "SamFirst-100MB");
+    SampleFirst sf1g(table, Budget1GB(table), "SamFirst-1GB");
+    SampleOnTheFly fly(table, &loss, theta);
+    PoiSam poisam(table, &loss, theta);
+    TabulaOptions topts;
+    topts.cubed_attributes = attrs;
+    topts.loss = &loss;
+    topts.threshold = theta;
+    TabulaApproach tabula(table, topts);
+    TabulaApproach star(table, topts, /*enable_selection=*/false);
+
+    add(&sf100);
+    add(&sf1g);
+    add(&fly);
+    add(&poisam);
+    add(&tabula);
+    add(&star);
+    PrintApproachRows("13", label, rows);
+  }
+  return 0;
+}

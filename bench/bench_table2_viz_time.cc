@@ -1,0 +1,168 @@
+/// Reproduces Table II: sample visualization time per approach for the
+/// geospatial heat map, statistical mean, and regression analyses, each
+/// at its smallest accuracy loss threshold — plus the "No sampling" row
+/// (analysis on the raw query result).
+///
+/// Paper shapes to check: Tabula has the highest visualization time
+/// among sampled approaches (non-iceberg queries return the ~1000-tuple
+/// global sample, vs ~100-tuple on-the-fly samples) yet stays within
+/// hundreds of milliseconds; no-sampling is ~3 orders of magnitude
+/// slower. POIsam has no mean/regression entries (its loss is
+/// visualization-aware), mirroring the paper's "-" cells.
+
+#include "baselines/poisam.h"
+#include "baselines/sample_first.h"
+#include "baselines/sample_on_the_fly.h"
+#include "baselines/tabula_approach.h"
+#include "bench_approaches.h"
+#include "loss/regression_loss.h"
+
+namespace tabula {
+namespace bench {
+namespace {
+
+struct Cell {
+  bool present = false;
+  double viz_millis = 0.0;
+};
+
+Cell Measure(Approach* approach, const Table& table,
+             const std::vector<WorkloadQuery>& workload,
+             const DashboardOptions& dashboard, double theta) {
+  auto row = MeasureApproach(approach, table, workload, dashboard, theta);
+  if (!row.ok()) {
+    std::printf("%s ERROR %s\n", approach->name().c_str(),
+                row.status().ToString().c_str());
+    return {};
+  }
+  return {true, row->avg_viz_millis};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tabula
+
+int main() {
+  using namespace tabula;
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  const Table& table = TaxiTable(config);
+  auto attrs = Attributes(5);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = config.queries;
+  auto workload = GenerateWorkload(table, attrs, wopts);
+  if (!workload.ok()) {
+    std::printf("workload ERROR %s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Table II reproduction: sample visualization time\n");
+  std::printf("rows=%zu, %zu queries, smallest thresholds per loss\n",
+              table.num_rows(), workload->size());
+
+  auto heat_loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  MeanLoss mean_loss("fare_amount");
+  RegressionLoss reg_loss("fare_amount", "tip_amount");
+  const double heat_theta = 0.25 * kNormalizedUnitsPerKm;
+  const double mean_theta = 0.025;
+  const double reg_theta = 1.0;
+
+  struct TaskSpec {
+    const char* column_name;
+    const LossFunction* loss;
+    double theta;
+    DashboardOptions dashboard;
+  };
+  TaskSpec heat{"heatmap", heat_loss.get(), heat_theta, {}};
+  heat.dashboard.task = VisualTask::kHeatmap;
+  heat.dashboard.x_column = "pickup_x";
+  heat.dashboard.y_column = "pickup_y";
+  TaskSpec mean{"mean", &mean_loss, mean_theta, {}};
+  mean.dashboard.task = VisualTask::kMean;
+  mean.dashboard.target_column = "fare_amount";
+  TaskSpec reg{"regression", &reg_loss, reg_theta, {}};
+  reg.dashboard.task = VisualTask::kRegression;
+  reg.dashboard.x_column = "fare_amount";
+  reg.dashboard.y_column = "tip_amount";
+
+  // row name -> three cells.
+  std::vector<std::pair<std::string, std::vector<Cell>>> matrix;
+  auto run_tasks = [&](const std::string& name, auto make_approach,
+                       bool poisam_like) {
+    std::vector<Cell> cells;
+    for (TaskSpec* spec : {&heat, &mean, &reg}) {
+      // POIsam only supports visualization-aware losses (paper: "-").
+      if (poisam_like && spec->dashboard.task != VisualTask::kHeatmap) {
+        cells.push_back({});
+        continue;
+      }
+      auto approach = make_approach(*spec);
+      cells.push_back(
+          Measure(approach.get(), table, *workload, spec->dashboard,
+                  spec->theta));
+    }
+    matrix.emplace_back(name, std::move(cells));
+  };
+
+  run_tasks("SamFirst-100MB",
+            [&](const TaskSpec&) {
+              return std::make_unique<SampleFirst>(
+                  table, Budget100MB(table), "SamFirst-100MB");
+            },
+            false);
+  run_tasks("SamFirst-1GB",
+            [&](const TaskSpec&) {
+              return std::make_unique<SampleFirst>(table, Budget1GB(table),
+                                                   "SamFirst-1GB");
+            },
+            false);
+  run_tasks("SamFly",
+            [&](const TaskSpec& spec) {
+              return std::make_unique<SampleOnTheFly>(table, spec.loss,
+                                                      spec.theta);
+            },
+            false);
+  run_tasks("POIsam",
+            [&](const TaskSpec& spec) {
+              return std::make_unique<PoiSam>(table, spec.loss, spec.theta);
+            },
+            true);
+  run_tasks("Tabula",
+            [&](const TaskSpec& spec) {
+              TabulaOptions topts;
+              topts.cubed_attributes = attrs;
+              topts.loss = spec.loss;
+              topts.threshold = spec.theta;
+              return std::make_unique<TabulaApproach>(table, topts);
+            },
+            false);
+  run_tasks("NoSampling",
+            [&](const TaskSpec&) {
+              return std::make_unique<NoSampling>(table);
+            },
+            false);
+
+  PrintHeader("Table II: sample visualization time (avg per query)");
+  std::printf("%-16s %18s %18s %18s\n", "approach", "heat map (ms)",
+              "mean (ms)", "regression (ms)");
+  PrintCsvHeader("table,approach,heatmap_ms,mean_ms,regression_ms");
+  for (const auto& [name, cells] : matrix) {
+    auto fmt = [](const Cell& c) {
+      if (!c.present) return std::string("-");
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", c.viz_millis);
+      return std::string(buf);
+    };
+    std::printf("%-16s %18s %18s %18s\n", name.c_str(),
+                fmt(cells[0]).c_str(), fmt(cells[1]).c_str(),
+                fmt(cells[2]).c_str());
+    char csv[160];
+    std::snprintf(csv, sizeof(csv), "2,%s,%s,%s,%s", name.c_str(),
+                  fmt(cells[0]).c_str(), fmt(cells[1]).c_str(),
+                  fmt(cells[2]).c_str());
+    PrintCsvRow(csv);
+  }
+  return 0;
+}

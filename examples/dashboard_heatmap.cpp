@@ -1,0 +1,96 @@
+/// Geospatial dashboard session — the paper's running example and its
+/// Figure 2 comparison.
+///
+///   $ ./dashboard_heatmap [output_dir]
+///
+/// Simulates a user exploring pickup-location heat maps with successive
+/// filters (cash rides, credit rides, airport rides), answered three
+/// ways: the raw data system (ground truth), the SampleFirst baseline
+/// (pre-built random sample — misses the airport hotspot), and Tabula
+/// (guaranteed within 0.25 km). Writes PPM images you can open with any
+/// viewer and prints the dashboard-visible divergence of each answer.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/sample_first.h"
+#include "core/tabula.h"
+#include "data/taxi_gen.h"
+#include "loss/min_dist_loss.h"
+#include "viz/heatmap.h"
+
+using namespace tabula;
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  std::printf("Generating 150k taxi rides...\n");
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 150000;
+  auto table = TaxiGenerator(gen).Generate();
+
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  const double theta = 0.25 * kNormalizedUnitsPerKm;  // 0.25 km
+
+  std::printf("Initializing Tabula (heat-map loss, theta = 0.25 km)...\n");
+  TabulaOptions options;
+  options.cubed_attributes = {"payment_type", "rate_code"};
+  options.loss = loss.get();
+  options.threshold = theta;
+  auto tabula = Tabula::Initialize(*table, options);
+  if (!tabula.ok()) {
+    std::printf("init failed: %s\n", tabula.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  done in %.0f ms (%zu iceberg cells)\n\n",
+              tabula.value()->init_stats().total_millis,
+              tabula.value()->init_stats().iceberg_cells);
+
+  // The SampleFirst strawman: a 2000-tuple pre-built random sample.
+  SampleFirst sample_first(*table, 2000 * TupleBytes(*table), "SamFirst");
+  if (!sample_first.Prepare().ok()) return 1;
+
+  struct Interaction {
+    const char* label;
+    std::vector<PredicateTerm> where;
+  };
+  std::vector<Interaction> session = {
+      {"cash", {{"payment_type", CompareOp::kEq, Value("Cash")}}},
+      {"credit", {{"payment_type", CompareOp::kEq, Value("Credit")}}},
+      {"jfk", {{"rate_code", CompareOp::kEq, Value("JFK")}}},
+  };
+
+  for (const auto& step : session) {
+    auto pred = BoundPredicate::Bind(*table, step.where);
+    DatasetView truth(table.get(), pred->FilterAll());
+
+    auto tabula_answer = tabula.value()->Query(step.where);
+    auto samfirst_answer = sample_first.Execute(step.where);
+    if (!tabula_answer.ok() || !samfirst_answer.ok()) return 1;
+
+    Heatmap truth_map, tabula_map, samfirst_map;
+    truth_map.Render(truth, "pickup_x", "pickup_y").ok();
+    tabula_map.Render(tabula_answer->sample, "pickup_x", "pickup_y").ok();
+    samfirst_map.Render(*samfirst_answer, "pickup_x", "pickup_y").ok();
+
+    std::string base = out_dir + "/heatmap_" + step.label;
+    truth_map.WritePpm(base + "_truth.ppm").ok();
+    tabula_map.WritePpm(base + "_tabula.ppm").ok();
+    samfirst_map.WritePpm(base + "_samfirst.ppm").ok();
+
+    double tabula_loss = loss->Loss(truth, tabula_answer->sample).value();
+    double samfirst_loss = loss->Loss(truth, *samfirst_answer).value();
+    std::printf("filter %-8s population=%7zu\n", step.label, truth.size());
+    std::printf("  Tabula    %5zu tuples in %.3f ms, loss %.5f (bound %.5f)\n",
+                tabula_answer->sample.size(),
+                tabula_answer->data_system_millis, tabula_loss, theta);
+    std::printf("  SamFirst  %5zu tuples, loss %.5f (%.0fx worse)\n",
+                samfirst_answer->size(), samfirst_loss,
+                samfirst_loss / std::max(tabula_loss, 1e-9));
+    std::printf("  images: %s_{truth,tabula,samfirst}.ppm\n\n", base.c_str());
+  }
+  std::printf(
+      "Open heatmap_jfk_*.ppm: SampleFirst thins out or misses the JFK "
+      "hotspot (the paper's Figure 2 red circle); Tabula preserves it.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// Interactive SQL shell over the embedded data system and Tabula
+/// middleware — a minimal psql-style REPL.
+///
+///   $ ./sql_shell [num_rows]
+///   tabula> SELECT payment_type, COUNT(*) FROM nyctaxi GROUP BY payment_type
+///   tabula> CREATE TABLE c AS SELECT payment_type, SAMPLING(*, 0.05) AS sample
+///           FROM nyctaxi GROUP BY CUBE(payment_type)
+///           HAVING mean_loss(fare_amount, SAM_GLOBAL) > 0.05
+///   tabula> SELECT sample FROM c WHERE payment_type = 'Cash'
+///   tabula> \q
+///
+/// Statements may span lines; an empty line or a line ending in ';'
+/// submits. `\q` quits, `\help` lists the dialect.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "data/taxi_gen.h"
+#include "sql/engine.h"
+
+using namespace tabula;
+
+namespace {
+
+void PrintTable(const Table& t, size_t max_rows = 20) {
+  const Schema& schema = t.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    std::printf("%s%s", c == 0 ? "" : " | ", schema.field(c).name.c_str());
+  }
+  std::printf("\n");
+  size_t show = std::min(t.num_rows(), max_rows);
+  for (size_t r = 0; r < show; ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      std::printf("%s%s", c == 0 ? "" : " | ",
+                  t.GetValue(c, r).ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (t.num_rows() > show) {
+    std::printf("... (%zu rows total)\n", t.num_rows());
+  }
+}
+
+void PrintHelp() {
+  std::printf(
+      "Statements:\n"
+      "  SELECT cols|aggs FROM tbl [WHERE ...] [GROUP BY ...]\n"
+      "  CREATE AGGREGATE name(Raw, Sam) RETURN decimal_value AS\n"
+      "    BEGIN <expr over AVG/SUM/COUNT/MIN/MAX/STD_DEV/ANGLE of Raw|Sam>"
+      " END\n"
+      "  CREATE TABLE cube AS SELECT attrs..., SAMPLING(*, theta) AS sample\n"
+      "    FROM tbl GROUP BY CUBE(attrs...)\n"
+      "    HAVING loss(attr[, attr2], SAM_GLOBAL) > theta\n"
+      "  SELECT sample FROM cube [WHERE attr = 'v' AND ...]\n"
+      "Built-in losses: mean_loss, heatmap_loss, histogram_loss, "
+      "regression_loss\n"
+      "Meta: \\q quit, \\help this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 50000;
+  std::printf("Loading %zu synthetic NYC taxi rides as table 'nyctaxi'...\n",
+              rows);
+  sql::SqlEngine engine;
+  TaxiGeneratorOptions gen;
+  gen.num_rows = rows;
+  if (!engine.RegisterTable("nyctaxi", TaxiGenerator(gen).Generate()).ok()) {
+    return 1;
+  }
+  std::printf("Ready. Type \\help for the dialect, \\q to quit.\n");
+
+  std::string buffer;
+  std::string line;
+  for (;;) {
+    std::printf(buffer.empty() ? "tabula> " : "   ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "\\q" || line == "\\quit") break;
+    if (line == "\\help") {
+      PrintHelp();
+      continue;
+    }
+    if (!line.empty()) {
+      buffer += line;
+      buffer += ' ';
+    }
+    bool submit = line.empty() ||
+                  (!line.empty() && line.back() == ';');
+    if (!submit || buffer.find_first_not_of(" ;") == std::string::npos) {
+      if (submit) buffer.clear();
+      continue;
+    }
+    // Strip trailing semicolon.
+    while (!buffer.empty() && (buffer.back() == ' ' || buffer.back() == ';')) {
+      buffer.pop_back();
+    }
+    Stopwatch timer;
+    auto result = engine.Execute(buffer);
+    double ms = timer.ElapsedMillis();
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->table != nullptr) PrintTable(*result->table);
+    if (!result->message.empty()) {
+      std::printf("%s (%.2f ms)\n", result->message.c_str(), ms);
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

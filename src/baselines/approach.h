@@ -1,0 +1,64 @@
+#ifndef TABULA_BASELINES_APPROACH_H_
+#define TABULA_BASELINES_APPROACH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// \brief Common interface of the compared approaches (Section V).
+///
+/// An approach prepares any pre-built state once (timed as initialization)
+/// and then answers dashboard queries; the bench harness measures
+/// per-query data-system time, the actual accuracy loss of the returned
+/// answer, and the pre-built memory footprint.
+class Approach {
+ public:
+  virtual ~Approach() = default;
+
+  /// Display name used in bench tables (e.g. "SamFirst-100MB").
+  virtual std::string name() const = 0;
+
+  /// Builds pre-materialized state (samples, cubes). May be a no-op.
+  virtual Status Prepare() = 0;
+
+  /// Answers one dashboard query (a conjunction of equality predicates on
+  /// the experiment attributes); returns the tuples handed to the
+  /// visualization dashboard.
+  virtual Result<DatasetView> Execute(
+      const std::vector<PredicateTerm>& where) = 0;
+
+  /// Bytes of pre-built/materialized samples ("memory footprint"). The
+  /// on-the-fly approaches return 0, matching the paper's accounting.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  /// True for approaches that answer with a scalar conclusion instead of
+  /// sample tuples (the paper's SnappyData "takes a query and directly
+  /// renders a conclusion, which is AVG"; it has no sample-visualization
+  /// time and its actual loss is the relative error of that scalar).
+  virtual bool ReturnsScalarAnswer() const { return false; }
+
+  /// The scalar conclusion for scalar-answer approaches.
+  virtual Result<double> ExecuteScalar(
+      const std::vector<PredicateTerm>& where) {
+    (void)where;
+    return Status::NotImplemented(name() + " returns sample tuples");
+  }
+};
+
+/// Average materialized-tuple width of `table`, shared by all approaches
+/// so memory reports are comparable.
+inline uint64_t TupleBytes(const Table& table) {
+  if (table.num_rows() == 0) return 1;
+  uint64_t b = table.MemoryBytes() / table.num_rows();
+  return b > 0 ? b : 1;
+}
+
+}  // namespace tabula
+
+#endif  // TABULA_BASELINES_APPROACH_H_

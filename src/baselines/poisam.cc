@@ -1,0 +1,38 @@
+#include "baselines/poisam.h"
+
+#include "common/rng.h"
+#include "sampling/random_sampler.h"
+
+namespace tabula {
+
+Result<DatasetView> PoiSam::Execute(const std::vector<PredicateTerm>& where) {
+  TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                          BoundPredicate::Bind(*table_, where));
+  DatasetView population(table_, pred.FilterAll());
+
+  // Law-of-large-numbers random pre-sample of the query result; its size
+  // barely changes with the population size (Section V-E).
+  size_t k = SerflingSampleSize(error_bound_, confidence_);
+  Rng rng(seed_ + (++query_counter_));
+  std::vector<RowId> random_rows = RandomSample(population, k, &rng);
+  DatasetView random_view(table_, std::move(random_rows));
+
+  // Algorithm 1 over the random sample — loss is guaranteed w.r.t. the
+  // random sample only, hence the occasional threshold violation vs. the
+  // true population.
+  GreedySamplerOptions opts = sampler_options_;
+  double threshold = theta_;
+  if (mode_ == Mode::kFixedSize) {
+    // Original POIsam objective: exactly fixed_size_ tuples chosen to
+    // minimize loss (an unreachable threshold keeps greedy running until
+    // the size cap stops it).
+    opts.max_sample_size = fixed_size_;
+    threshold = 0.0;
+  }
+  GreedySampler sampler(loss_, threshold, opts);
+  TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
+                          sampler.Sample(random_view));
+  return DatasetView(table_, std::move(sample));
+}
+
+}  // namespace tabula

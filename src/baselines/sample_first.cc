@@ -1,0 +1,29 @@
+#include "baselines/sample_first.h"
+
+#include "common/rng.h"
+#include "sampling/random_sampler.h"
+
+namespace tabula {
+
+Status SampleFirst::Prepare() {
+  uint64_t tuple_bytes = TupleBytes(*table_);
+  size_t target = static_cast<size_t>(sample_bytes_ / tuple_bytes);
+  if (target == 0) target = 1;
+  Rng rng(seed_);
+  DatasetView all(table_);
+  sample_rows_ = RandomSample(all, target, &rng);
+  return Status::OK();
+}
+
+Result<DatasetView> SampleFirst::Execute(
+    const std::vector<PredicateTerm>& where) {
+  if (sample_rows_.empty()) {
+    return Status::Internal("SampleFirst::Prepare() was not called");
+  }
+  TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                          BoundPredicate::Bind(*table_, where));
+  // Full sequential filtering on the pre-built sample (Section V-E).
+  return DatasetView(table_, pred.FilterRows(sample_rows_));
+}
+
+}  // namespace tabula

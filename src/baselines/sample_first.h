@@ -1,0 +1,48 @@
+#ifndef TABULA_BASELINES_SAMPLE_FIRST_H_
+#define TABULA_BASELINES_SAMPLE_FIRST_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/approach.h"
+
+namespace tabula {
+
+/// \brief The SampleFirst baseline (Section I / V, "SamFirst").
+///
+/// Draws one random sample of the entire table up front and runs every
+/// dashboard query as a full sequential filter over that sample. Fast and
+/// flat in data-system time, but with no accuracy guarantee — small
+/// populations (e.g. the airport rides of Figure 2) can be missed
+/// entirely. The paper evaluates 100MB and 1GB pre-built sample sizes.
+class SampleFirst final : public Approach {
+ public:
+  /// \param sample_bytes pre-built sample budget (e.g. 100 MB analog).
+  SampleFirst(const Table& table, uint64_t sample_bytes, std::string label,
+              uint64_t seed = 42)
+      : table_(&table),
+        sample_bytes_(sample_bytes),
+        label_(std::move(label)),
+        seed_(seed) {}
+
+  std::string name() const override { return label_; }
+  Status Prepare() override;
+  Result<DatasetView> Execute(
+      const std::vector<PredicateTerm>& where) override;
+  uint64_t MemoryBytes() const override {
+    return sample_rows_.size() * TupleBytes(*table_);
+  }
+
+  size_t sample_size() const { return sample_rows_.size(); }
+
+ private:
+  const Table* table_;
+  uint64_t sample_bytes_;
+  std::string label_;
+  uint64_t seed_;
+  std::vector<RowId> sample_rows_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_BASELINES_SAMPLE_FIRST_H_

@@ -1,0 +1,17 @@
+#include "baselines/sample_on_the_fly.h"
+
+namespace tabula {
+
+Result<DatasetView> SampleOnTheFly::Execute(
+    const std::vector<PredicateTerm>& where) {
+  TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                          BoundPredicate::Bind(*table_, where));
+  // Full table scan for the query population — unavoidable here.
+  DatasetView population(table_, pred.FilterAll());
+  GreedySampler sampler(loss_, theta_, sampler_options_);
+  TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
+                          sampler.Sample(population));
+  return DatasetView(table_, std::move(sample));
+}
+
+}  // namespace tabula

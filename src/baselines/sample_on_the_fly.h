@@ -1,0 +1,43 @@
+#ifndef TABULA_BASELINES_SAMPLE_ON_THE_FLY_H_
+#define TABULA_BASELINES_SAMPLE_ON_THE_FLY_H_
+
+#include <string>
+
+#include "baselines/approach.h"
+#include "loss/loss_function.h"
+#include "sampling/greedy_sampler.h"
+
+namespace tabula {
+
+/// \brief The SampleOnTheFly baseline (Section I / V, "SamFly").
+///
+/// No pre-built samples: every query scans the whole table, extracts the
+/// matching population, and runs the greedy accuracy-loss-aware sampler
+/// (Algorithm 1) on it. Deterministic accuracy — at the cost of touching
+/// the raw data on every dashboard interaction, which is exactly the
+/// data-system time Tabula eliminates.
+class SampleOnTheFly final : public Approach {
+ public:
+  SampleOnTheFly(const Table& table, const LossFunction* loss, double theta,
+                 GreedySamplerOptions sampler_options = {})
+      : table_(&table),
+        loss_(loss),
+        theta_(theta),
+        sampler_options_(sampler_options) {}
+
+  std::string name() const override { return "SamFly"; }
+  Status Prepare() override { return Status::OK(); }
+  Result<DatasetView> Execute(
+      const std::vector<PredicateTerm>& where) override;
+  uint64_t MemoryBytes() const override { return 0; }
+
+ private:
+  const Table* table_;
+  const LossFunction* loss_;
+  double theta_;
+  GreedySamplerOptions sampler_options_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_BASELINES_SAMPLE_ON_THE_FLY_H_

@@ -1,0 +1,149 @@
+#include "baselines/snappy_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tabula {
+
+namespace {
+/// 99%-confidence z-score for the CLT bound certification.
+constexpr double kZScore = 2.576;
+}  // namespace
+
+Status SnappyLike::Prepare() {
+  TABULA_ASSIGN_OR_RETURN(encoder_, KeyEncoder::Make(*table_, qcs_columns_));
+  std::vector<size_t> all_cols(qcs_columns_.size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  TABULA_ASSIGN_OR_RETURN(packer_, KeyPacker::Make(encoder_, all_cols));
+
+  StratifiedSamplerOptions opts;
+  opts.total_budget =
+      static_cast<size_t>(sample_bytes_ / TupleBytes(*table_));
+  opts.seed = seed_;
+  TABULA_ASSIGN_OR_RETURN(
+      StratifiedSample sample,
+      StratifiedSample::Build(*table_, qcs_columns_, opts));
+  strata_ = std::make_unique<StratifiedSample>(std::move(sample));
+
+  // Exact per-stratum population stats of the target column (one pass).
+  TABULA_ASSIGN_OR_RETURN(const Column* target_col,
+                          table_->ColumnByName(target_column_));
+  const auto* target = target_col->As<DoubleColumn>();
+  if (target == nullptr) {
+    return Status::TypeMismatch("SnappyLike target column '" +
+                                target_column_ + "' must be DOUBLE");
+  }
+  auto stats = GroupAccumulate<NumericAggState>(
+      encoder_, packer_, DatasetView(table_),
+      [target](NumericAggState* s, RowId r) { s->Add(target->At(r)); });
+  population_stats_.resize(strata_->strata().size());
+  for (size_t i = 0; i < strata_->strata().size(); ++i) {
+    auto it = stats.find(strata_->strata()[i].key);
+    if (it != stats.end()) population_stats_[i] = it->second;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<const Stratum*>> SnappyLike::MatchStrata(
+    const std::vector<PredicateTerm>& where) const {
+  // Resolve the constrained attribute codes.
+  std::vector<std::pair<size_t, uint32_t>> constraints;
+  for (const auto& term : where) {
+    auto it =
+        std::find(qcs_columns_.begin(), qcs_columns_.end(), term.column);
+    if (it == qcs_columns_.end()) {
+      return Status::InvalidArgument("'" + term.column +
+                                     "' is not in the Query Column Set");
+    }
+    size_t k = static_cast<size_t>(it - qcs_columns_.begin());
+    auto code = encoder_.CodeForValue(k, term.literal);
+    if (!code.ok()) return std::vector<const Stratum*>{};  // empty result
+    constraints.emplace_back(k, code.value());
+  }
+  std::vector<const Stratum*> matched;
+  for (const auto& stratum : strata_->strata()) {
+    bool ok = true;
+    for (const auto& [k, code] : constraints) {
+      if (packer_.CodeAt(stratum.key, k) != code) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) matched.push_back(&stratum);
+  }
+  return matched;
+}
+
+Result<DatasetView> SnappyLike::Execute(
+    const std::vector<PredicateTerm>& where) {
+  TABULA_ASSIGN_OR_RETURN(AvgAnswer answer, ExecuteAvg(where));
+  if (answer.fell_back_to_raw) {
+    TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                            BoundPredicate::Bind(*table_, where));
+    return DatasetView(table_, pred.FilterAll());
+  }
+  TABULA_ASSIGN_OR_RETURN(std::vector<const Stratum*> matched,
+                          MatchStrata(where));
+  std::vector<RowId> rows;
+  for (const Stratum* s : matched) {
+    rows.insert(rows.end(), s->rows.begin(), s->rows.end());
+  }
+  return DatasetView(table_, std::move(rows));
+}
+
+Result<SnappyLike::AvgAnswer> SnappyLike::ExecuteAvg(
+    const std::vector<PredicateTerm>& where) {
+  if (strata_ == nullptr) {
+    return Status::Internal("SnappyLike::Prepare() was not called");
+  }
+  TABULA_ASSIGN_OR_RETURN(std::vector<const Stratum*> matched,
+                          MatchStrata(where));
+  TABULA_ASSIGN_OR_RETURN(const Column* target_col,
+                          table_->ColumnByName(target_column_));
+  const auto* target = target_col->As<DoubleColumn>();
+
+  // Stratified estimator over the matched strata.
+  double total_pop = 0.0;
+  for (const Stratum* s : matched) {
+    total_pop += static_cast<double>(s->population);
+  }
+  AvgAnswer answer;
+  if (total_pop == 0.0) return answer;
+
+  double mean = 0.0;
+  double variance = 0.0;  // Var of the stratified mean estimator
+  for (const Stratum* s : matched) {
+    NumericAggState sam;
+    for (RowId r : s->rows) sam.Add(target->At(r));
+    double w = static_cast<double>(s->population) / total_pop;
+    mean += w * sam.Avg();
+    double sd = sam.StdDev();
+    if (sam.count > 0) {
+      variance += w * w * (sd * sd) / sam.count;
+    }
+  }
+  double se = std::sqrt(variance);
+  answer.avg = mean;
+  answer.estimated_relative_error =
+      std::abs(mean) > 1e-12 ? kZScore * se / std::abs(mean) : kZScore * se;
+
+  if (answer.estimated_relative_error > error_bound_) {
+    // Bound cannot be certified: scan the raw table (the expensive path).
+    ++fallbacks_;
+    answer.fell_back_to_raw = true;
+    TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                            BoundPredicate::Bind(*table_, where));
+    NumericAggState exact;
+    for (RowId r : pred.FilterAll()) exact.Add(target->At(r));
+    answer.avg = exact.Avg();
+    answer.estimated_relative_error = 0.0;
+  }
+  return answer;
+}
+
+uint64_t SnappyLike::MemoryBytes() const {
+  if (strata_ == nullptr) return 0;
+  return strata_->TotalSampledRows() * TupleBytes(*table_);
+}
+
+}  // namespace tabula

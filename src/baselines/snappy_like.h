@@ -1,0 +1,89 @@
+#ifndef TABULA_BASELINES_SNAPPY_LIKE_H_
+#define TABULA_BASELINES_SNAPPY_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/approach.h"
+#include "exec/aggregate.h"
+#include "exec/group_by.h"
+#include "sampling/stratified_sampler.h"
+
+namespace tabula {
+
+/// \brief A SnappyData/BlinkDB-style AQP baseline (Section V, approach 4).
+///
+/// Pre-builds stratified samples over the Query Column Set (the cubed
+/// attributes) and answers AVG queries from the matching strata. Each
+/// stratum keeps its exact population aggregates from build time, so the
+/// baseline can certify a CLT error bound for the stratified estimate;
+/// when the bound cannot be met it falls back to scanning the raw table —
+/// mirroring the paper's observation that "SnappyData can guarantee the
+/// error-bound since [when] the actual accuracy loss exceeds the
+/// threshold value, it accesses the raw table and runs queries and
+/// aggregation on-the-fly".
+///
+/// SnappyData returns a scalar AVG, not tuples (its "sample visualization
+/// time" is n/a in Table II); Execute returns the union of matched
+/// stratum samples (or the raw rows on fallback) so the harness can
+/// compute actual loss, and ExecuteAvg exposes the certified estimate.
+class SnappyLike final : public Approach {
+ public:
+  /// \param sample_bytes pre-built stratified sample budget.
+  SnappyLike(const Table& table, const std::string& target_column,
+             std::vector<std::string> qcs_columns, uint64_t sample_bytes,
+             double error_bound, std::string label, uint64_t seed = 42)
+      : table_(&table),
+        target_column_(target_column),
+        qcs_columns_(std::move(qcs_columns)),
+        sample_bytes_(sample_bytes),
+        error_bound_(error_bound),
+        label_(std::move(label)),
+        seed_(seed) {}
+
+  std::string name() const override { return label_; }
+  Status Prepare() override;
+  Result<DatasetView> Execute(
+      const std::vector<PredicateTerm>& where) override;
+  uint64_t MemoryBytes() const override;
+  bool ReturnsScalarAnswer() const override { return true; }
+  Result<double> ExecuteScalar(
+      const std::vector<PredicateTerm>& where) override {
+    TABULA_ASSIGN_OR_RETURN(AvgAnswer answer, ExecuteAvg(where));
+    return answer.avg;
+  }
+
+  /// The certified AVG estimate with fallback diagnostics.
+  struct AvgAnswer {
+    double avg = 0.0;
+    bool fell_back_to_raw = false;
+    double estimated_relative_error = 0.0;
+  };
+  Result<AvgAnswer> ExecuteAvg(const std::vector<PredicateTerm>& where);
+
+  size_t fallback_count() const { return fallbacks_; }
+
+ private:
+  /// Strata whose key matches the query's constrained attributes.
+  Result<std::vector<const Stratum*>> MatchStrata(
+      const std::vector<PredicateTerm>& where) const;
+
+  const Table* table_;
+  std::string target_column_;
+  std::vector<std::string> qcs_columns_;
+  uint64_t sample_bytes_;
+  double error_bound_;
+  std::string label_;
+  uint64_t seed_;
+
+  KeyEncoder encoder_;
+  KeyPacker packer_;
+  std::unique_ptr<StratifiedSample> strata_;
+  /// Per-stratum exact population stats of the target column.
+  std::vector<NumericAggState> population_stats_;
+  size_t fallbacks_ = 0;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_BASELINES_SNAPPY_LIKE_H_

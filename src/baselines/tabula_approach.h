@@ -1,0 +1,77 @@
+#ifndef TABULA_BASELINES_TABULA_APPROACH_H_
+#define TABULA_BASELINES_TABULA_APPROACH_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/approach.h"
+#include "core/tabula.h"
+
+namespace tabula {
+
+/// \brief Tabula (and Tabula*) wrapped behind the common Approach
+/// interface so the bench harness treats all systems uniformly.
+class TabulaApproach final : public Approach {
+ public:
+  /// \param enable_selection false builds Tabula* (no representative
+  ///        sample selection — Section V, approach 6).
+  TabulaApproach(const Table& table, TabulaOptions options,
+                 bool enable_selection = true)
+      : table_(&table), options_(std::move(options)) {
+    options_.enable_sample_selection = enable_selection;
+  }
+
+  std::string name() const override {
+    return options_.enable_sample_selection ? "Tabula" : "Tabula*";
+  }
+
+  Status Prepare() override {
+    TABULA_ASSIGN_OR_RETURN(tabula_, Tabula::Initialize(*table_, options_));
+    return Status::OK();
+  }
+
+  Result<DatasetView> Execute(
+      const std::vector<PredicateTerm>& where) override {
+    if (tabula_ == nullptr) {
+      return Status::Internal("TabulaApproach::Prepare() was not called");
+    }
+    TABULA_ASSIGN_OR_RETURN(TabulaQueryResult answer, tabula_->Query(where));
+    return answer.sample;
+  }
+
+  uint64_t MemoryBytes() const override {
+    return tabula_ != nullptr ? tabula_->init_stats().TotalBytes() : 0;
+  }
+
+  /// The wrapped middleware (valid after Prepare()).
+  const Tabula* tabula() const { return tabula_.get(); }
+
+ private:
+  const Table* table_;
+  TabulaOptions options_;
+  std::unique_ptr<Tabula> tabula_;
+};
+
+/// \brief NoSampling: the raw data system with no middleware — every
+/// query returns the full population (Table II's "No sampling" row).
+class NoSampling final : public Approach {
+ public:
+  explicit NoSampling(const Table& table) : table_(&table) {}
+
+  std::string name() const override { return "NoSampling"; }
+  Status Prepare() override { return Status::OK(); }
+  Result<DatasetView> Execute(
+      const std::vector<PredicateTerm>& where) override {
+    TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                            BoundPredicate::Bind(*table_, where));
+    return DatasetView(table_, pred.FilterAll());
+  }
+  uint64_t MemoryBytes() const override { return 0; }
+
+ private:
+  const Table* table_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_BASELINES_TABULA_APPROACH_H_

@@ -1,0 +1,95 @@
+#ifndef TABULA_COMMON_BINARY_IO_H_
+#define TABULA_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tabula {
+
+/// Minimal little-endian binary (de)serialization helpers used by the
+/// sampling-cube persistence format.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  bool ok() const { return out_->good(); }
+
+ private:
+  void WriteRaw(const void* data, size_t bytes) {
+    out_->write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(bytes));
+  }
+  std::ostream* out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Result<uint32_t> ReadU32() {
+    uint32_t v = 0;
+    TABULA_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> ReadU64() {
+    uint64_t v = 0;
+    TABULA_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<double> ReadDouble() {
+    double v = 0;
+    TABULA_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<std::string> ReadString() {
+    TABULA_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    if (n > (1ull << 32)) return Status::ParseError("string too long");
+    std::string s(n, '\0');
+    TABULA_RETURN_NOT_OK(ReadRaw(s.data(), n));
+    return s;
+  }
+  template <typename T>
+  Result<std::vector<T>> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TABULA_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    if (n > (1ull << 34) / sizeof(T)) {
+      return Status::ParseError("vector too long");
+    }
+    std::vector<T> v(n);
+    TABULA_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(T)));
+    return v;
+  }
+
+ private:
+  Status ReadRaw(void* data, size_t bytes) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    if (!in_->good() && bytes > 0) {
+      return Status::IOError("unexpected end of file");
+    }
+    return Status::OK();
+  }
+  std::istream* in_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_BINARY_IO_H_

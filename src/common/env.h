@@ -1,0 +1,21 @@
+#ifndef TABULA_COMMON_ENV_H_
+#define TABULA_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tabula {
+
+/// Reads an int64 from the environment, falling back to `def` when the
+/// variable is unset or unparsable.
+int64_t EnvInt64(const char* name, int64_t def);
+
+/// Reads a double from the environment with fallback.
+double EnvDouble(const char* name, double def);
+
+/// Reads a string from the environment with fallback.
+std::string EnvString(const char* name, const std::string& def);
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_ENV_H_

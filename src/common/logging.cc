@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace tabula {
+
+namespace {
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("TABULA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?    ";
+}
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LevelFromEnv()) {}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < level_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto now = std::chrono::system_clock::now();
+  std::time_t t = std::chrono::system_clock::to_time_t(now);
+  char buf[32];
+  std::tm tm_buf;
+  localtime_r(&t, &tm_buf);
+  std::strftime(buf, sizeof(buf), "%H:%M:%S", &tm_buf);
+  std::cerr << "[" << buf << " " << LevelTag(level) << "] " << message
+            << std::endl;
+}
+
+}  // namespace tabula

@@ -1,0 +1,69 @@
+#ifndef TABULA_COMMON_LOGGING_H_
+#define TABULA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tabula {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Minimal synchronized logger writing to stderr.
+///
+/// The active level is read once from the TABULA_LOG_LEVEL environment
+/// variable ("debug", "info", "warn", "error"; default "warn" so library
+/// users see a quiet console, benches flip it to info).
+class Logger {
+ public:
+  static Logger& Instance();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mu_;
+};
+
+namespace internal {
+/// Stream-style log-line collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Log(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define TABULA_LOG(level) \
+  ::tabula::internal::LogMessage(::tabula::LogLevel::k##level)
+
+/// Fatal invariant check: prints and aborts. Use for programmer errors only;
+/// recoverable conditions must return Status.
+#define TABULA_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "TABULA_CHECK failed at " << __FILE__ << ":"          \
+                << __LINE__ << ": " #cond << std::endl;                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_LOGGING_H_

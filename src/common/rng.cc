@@ -1,0 +1,40 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace tabula {
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  if (k >= n) {
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }
+  if (k * 4 > n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: Floyd's algorithm, O(k) expected.
+  std::unordered_set<uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t j = n - k; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(UniformInt(0, j));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace tabula

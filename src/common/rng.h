@@ -1,0 +1,76 @@
+#ifndef TABULA_COMMON_RNG_H_
+#define TABULA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tabula {
+
+/// \brief Deterministic pseudo-random source.
+///
+/// Every stochastic component in Tabula (samplers, data generator, workload
+/// generator) draws from an explicitly seeded Rng so that experiments are
+/// reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal scaled to N(mean, stddev).
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Exponential with rate lambda.
+  double Exponential(double lambda) {
+    std::exponential_distribution<double> dist(lambda);
+    return dist(engine_);
+  }
+
+  /// Index drawn from a discrete distribution with the given weights.
+  size_t Discrete(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) without replacement.
+  /// Uses Floyd's algorithm when k << n, otherwise shuffles.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_RNG_H_

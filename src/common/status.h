@@ -1,0 +1,147 @@
+#ifndef TABULA_COMMON_STATUS_H_
+#define TABULA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tabula {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kIOError,
+  kParseError,
+  kTypeMismatch,
+};
+
+/// \brief Operation outcome, RocksDB/Arrow style.
+///
+/// Tabula does not throw exceptions across API boundaries; fallible
+/// operations return a Status (or a Result<T> when they also produce a
+/// value). A Status is cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<code>: <message>" string.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A Status or a value of type T.
+///
+/// Mirrors arrow::Result. Access the value only after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result must not be built from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Status of the operation; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define TABULA_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::tabula::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns the value to `lhs` or returns
+/// the error Status to the caller.
+#define TABULA_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto TABULA_CONCAT_(_res, __LINE__) = (expr);             \
+  if (!TABULA_CONCAT_(_res, __LINE__).ok())                 \
+    return TABULA_CONCAT_(_res, __LINE__).status();         \
+  lhs = std::move(TABULA_CONCAT_(_res, __LINE__)).value()
+
+#define TABULA_CONCAT_INNER_(a, b) a##b
+#define TABULA_CONCAT_(a, b) TABULA_CONCAT_INNER_(a, b)
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_STATUS_H_

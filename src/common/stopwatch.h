@@ -1,0 +1,36 @@
+#ifndef TABULA_COMMON_STOPWATCH_H_
+#define TABULA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tabula {
+
+/// \brief Monotonic wall-clock timer used for all reported timings.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedMillis() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_STOPWATCH_H_

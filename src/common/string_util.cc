@@ -1,0 +1,90 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tabula {
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view TrimView(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string HumanMillis(double ms) {
+  char buf[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ms / 1000.0);
+  } else if (ms >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
+  }
+  return buf;
+}
+
+}  // namespace tabula

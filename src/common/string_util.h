@@ -1,0 +1,37 @@
+#ifndef TABULA_COMMON_STRING_UTIL_H_
+#define TABULA_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabula {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimView(std::string_view s);
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string_view s);
+/// Upper-cases ASCII.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins elements with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Formats a byte count as "1.5 MB" style human-readable text.
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats milliseconds as "1.23 s" / "45 ms" style text.
+std::string HumanMillis(double ms);
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tabula {
+
+namespace {
+/// Set while a pool worker runs a task; nested ParallelFor calls from
+/// worker threads execute inline to avoid self-deadlock (all workers
+/// blocked waiting on tasks that can never be scheduled).
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_inside_worker = true;
+    task();
+    t_inside_worker = false;
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> fut = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.emplace([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  ParallelForChunked(n, [&fn](size_t, size_t b, size_t e) { fn(b, e); });
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t chunks = std::min(n, num_threads());
+  if (t_inside_worker) chunks = 1;  // nested call: run inline
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = c * chunk_size;
+    size_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) break;
+    futures.push_back(Submit([&fn, c, begin, end] { fn(c, begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool([] {
+    const char* env = std::getenv("TABULA_THREADS");
+    if (env != nullptr) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(0);
+  }());
+  return pool;
+}
+
+}  // namespace tabula

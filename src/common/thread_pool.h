@@ -1,0 +1,58 @@
+#ifndef TABULA_COMMON_THREAD_POOL_H_
+#define TABULA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tabula {
+
+/// \brief Fixed-size worker pool used to parallelize scans and GroupBys.
+///
+/// Plays the role that Spark's executors play in the paper's testbed: the
+/// embedded data system splits every full-table pass into per-worker chunks.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 → hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(chunk_begin, chunk_end) over [0, n) split into roughly equal
+  /// contiguous chunks, one per worker, and blocks until all complete.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Like ParallelFor but also passes the chunk index, for per-chunk
+  /// accumulator state: fn(chunk_index, begin, end).
+  void ParallelForChunked(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide pool sized from TABULA_THREADS (default: hw concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_THREAD_POOL_H_

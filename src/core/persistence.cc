@@ -1,0 +1,196 @@
+#include <cstring>
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "common/stopwatch.h"
+#include "core/tabula.h"
+
+namespace tabula {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x54424C43;  // "TBLC"
+constexpr uint32_t kVersion = 1;
+
+/// Cheap content fingerprint of the base table: cardinality plus a few
+/// probed cells, enough to catch "wrong table" mistakes without a full
+/// hash pass.
+uint64_t TableFingerprint(const Table& table) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(table.num_rows());
+  mix(table.num_columns());
+  if (table.num_rows() == 0) return h;
+  for (size_t probe = 0; probe < 16; ++probe) {
+    RowId row = static_cast<RowId>((probe * 2654435761ull) %
+                                   table.num_rows());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      Value v = table.GetValue(c, row);
+      if (v.is_string()) {
+        for (char ch : v.AsString()) mix(static_cast<uint64_t>(ch));
+      } else if (v.is_int64()) {
+        mix(static_cast<uint64_t>(v.AsInt64()));
+      } else if (v.is_double()) {
+        double d = v.AsDouble();
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+Status Tabula::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  BinaryWriter w(&out);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(TableFingerprint(*table_));
+  w.WriteString(options_.loss->name());
+  w.WriteDouble(options_.threshold);
+  w.WriteU64(options_.cubed_attributes.size());
+  for (const auto& attr : options_.cubed_attributes) w.WriteString(attr);
+
+  w.WriteVector(global_sample_rows_);
+
+  w.WriteU64(cube_.size());
+  for (const auto& cell : cube_.cells()) {
+    w.WriteU64(cell.key);
+    w.WriteU32(cell.cuboid);
+    w.WriteU32(cell.sample_id);
+  }
+  w.WriteU64(samples_.size());
+  for (uint32_t id = 0; id < samples_.size(); ++id) {
+    w.WriteVector(samples_.sample(id));
+  }
+
+  // Stats snapshot so a loaded cube still reports its build costs.
+  w.WriteDouble(stats_.dry_run_millis);
+  w.WriteDouble(stats_.real_run_millis);
+  w.WriteDouble(stats_.selection_millis);
+  w.WriteU64(stats_.total_cells);
+  w.WriteU64(stats_.iceberg_cells);
+  w.WriteU64(stats_.iceberg_cuboids);
+  w.WriteU64(stats_.cells_sharing_samples);
+
+  if (!w.ok()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
+                                             TabulaOptions options,
+                                             const std::string& path) {
+  if (options.loss == nullptr) {
+    return Status::InvalidArgument("TabulaOptions.loss must be set");
+  }
+  Stopwatch timer;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  BinaryReader r(&in);
+
+  TABULA_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  TABULA_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (magic != kMagic) {
+    return Status::ParseError("'" + path + "' is not a Tabula cube file");
+  }
+  if (version != kVersion) {
+    return Status::ParseError("unsupported cube file version " +
+                              std::to_string(version));
+  }
+  TABULA_ASSIGN_OR_RETURN(uint64_t fingerprint, r.ReadU64());
+  if (fingerprint != TableFingerprint(table)) {
+    return Status::InvalidArgument(
+        "cube file was built on a different table (fingerprint mismatch); "
+        "re-run Initialize()");
+  }
+  TABULA_ASSIGN_OR_RETURN(std::string loss_name, r.ReadString());
+  if (loss_name != options.loss->name()) {
+    return Status::InvalidArgument("cube was built with loss '" + loss_name +
+                                   "', options specify '" +
+                                   options.loss->name() + "'");
+  }
+  TABULA_ASSIGN_OR_RETURN(double threshold, r.ReadDouble());
+  if (threshold != options.threshold) {
+    return Status::InvalidArgument(
+        "cube was built with threshold " + std::to_string(threshold) +
+        ", options specify " + std::to_string(options.threshold));
+  }
+  TABULA_ASSIGN_OR_RETURN(uint64_t num_attrs, r.ReadU64());
+  std::vector<std::string> attrs(num_attrs);
+  for (auto& attr : attrs) {
+    TABULA_ASSIGN_OR_RETURN(attr, r.ReadString());
+  }
+  if (attrs != options.cubed_attributes) {
+    return Status::InvalidArgument(
+        "cube file's cubed attributes differ from options");
+  }
+
+  auto tabula = std::unique_ptr<Tabula>(new Tabula());
+  tabula->table_ = &table;
+  tabula->options_ = std::move(options);
+  TABULA_ASSIGN_OR_RETURN(tabula->encoder_, KeyEncoder::Make(table, attrs));
+  std::vector<size_t> all_cols(attrs.size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  TABULA_ASSIGN_OR_RETURN(tabula->packer_,
+                          KeyPacker::Make(tabula->encoder_, all_cols));
+
+  TABULA_ASSIGN_OR_RETURN(tabula->global_sample_rows_,
+                          r.ReadVector<RowId>());
+  tabula->global_sample_ =
+      DatasetView(&table, tabula->global_sample_rows_);
+
+  TABULA_ASSIGN_OR_RETURN(uint64_t num_cells, r.ReadU64());
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    IcebergCell cell;
+    TABULA_ASSIGN_OR_RETURN(cell.key, r.ReadU64());
+    TABULA_ASSIGN_OR_RETURN(cell.cuboid, r.ReadU32());
+    TABULA_ASSIGN_OR_RETURN(cell.sample_id, r.ReadU32());
+    tabula->cube_.Add(std::move(cell));
+  }
+  TABULA_ASSIGN_OR_RETURN(uint64_t num_samples, r.ReadU64());
+  for (uint64_t i = 0; i < num_samples; ++i) {
+    TABULA_ASSIGN_OR_RETURN(std::vector<RowId> rows, r.ReadVector<RowId>());
+    // Validate row ids against the table before trusting the file.
+    for (RowId row : rows) {
+      if (row >= table.num_rows()) {
+        return Status::ParseError("cube file references row " +
+                                  std::to_string(row) +
+                                  " beyond the table");
+      }
+    }
+    tabula->samples_.Add(std::move(rows));
+  }
+  for (const auto& cell : tabula->cube_.cells()) {
+    if (cell.sample_id != kInvalidSampleId &&
+        cell.sample_id >= tabula->samples_.size()) {
+      return Status::ParseError("cube file has a dangling sample link");
+    }
+  }
+
+  TabulaInitStats& stats = tabula->stats_;
+  TABULA_ASSIGN_OR_RETURN(stats.dry_run_millis, r.ReadDouble());
+  TABULA_ASSIGN_OR_RETURN(stats.real_run_millis, r.ReadDouble());
+  TABULA_ASSIGN_OR_RETURN(stats.selection_millis, r.ReadDouble());
+  TABULA_ASSIGN_OR_RETURN(stats.total_cells, r.ReadU64());
+  TABULA_ASSIGN_OR_RETURN(stats.iceberg_cells, r.ReadU64());
+  TABULA_ASSIGN_OR_RETURN(stats.iceberg_cuboids, r.ReadU64());
+  TABULA_ASSIGN_OR_RETURN(stats.cells_sharing_samples, r.ReadU64());
+  stats.global_sample_tuples = tabula->global_sample_.size();
+  stats.representative_samples = tabula->samples_.size();
+  uint64_t tuple_bytes = tabula->BytesPerTuple();
+  stats.global_sample_bytes = tabula->global_sample_.size() * tuple_bytes;
+  stats.cube_table_bytes = tabula->cube_.MemoryBytes();
+  stats.sample_table_bytes = tabula->samples_.MemoryBytes(tuple_bytes);
+  stats.total_millis = timer.ElapsedMillis();  // load time, not build time
+  return tabula;
+}
+
+}  // namespace tabula

@@ -1,0 +1,213 @@
+/// Incremental maintenance of an initialized sampling cube (see
+/// Tabula::Refresh in tabula.h). The paper builds the cube once over a
+/// static table; this extension keeps the deterministic guarantee valid
+/// as rows are appended, at a cost far below re-initialization:
+/// per-finest-cell loss states absorb the new rows, the lattice roll-up
+/// reclassifies every cell without touching the table again, and only
+/// cells that actually need new samples trigger raw-data collection.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "core/tabula.h"
+#include "cube/lattice.h"
+#include "sampling/greedy_sampler.h"
+
+namespace tabula {
+
+Status Tabula::BuildMaintenanceState() {
+  if (maintenance_bound_ == nullptr) {
+    TABULA_ASSIGN_OR_RETURN(maintenance_bound_,
+                            options_.loss->Bind(*table_, global_sample_));
+  }
+  finest_states_.clear();
+  DatasetView all(table_);
+  BoundLoss* bound = maintenance_bound_.get();
+  finest_states_ = GroupAccumulate<LossState>(
+      encoder_, packer_, all,
+      [bound](LossState* state, RowId row) { bound->Accumulate(state, row); });
+  return Status::OK();
+}
+
+Status Tabula::Refresh(RefreshStats* stats) {
+  Stopwatch timer;
+  RefreshStats local;
+  RefreshStats* out = stats != nullptr ? stats : &local;
+  *out = RefreshStats{};
+
+  const size_t n0 = refreshed_rows_;
+  const size_t n1 = table_->num_rows();
+  if (n1 < n0) {
+    return Status::InvalidArgument(
+        "base table shrank; Refresh only supports appends");
+  }
+  out->new_rows = n1 - n0;
+  if (out->new_rows == 0) {
+    out->millis = timer.ElapsedMillis();
+    return Status::OK();
+  }
+
+  // Re-make the encoder: appended rows need fresh int64 code maps, and
+  // this is where unseen attribute values surface.
+  TABULA_ASSIGN_OR_RETURN(
+      KeyEncoder new_encoder,
+      KeyEncoder::Make(*table_, options_.cubed_attributes));
+  bool layout_changed = false;
+  for (size_t k = 0; k < new_encoder.num_columns(); ++k) {
+    if (new_encoder.Cardinality(k) != encoder_.Cardinality(k)) {
+      layout_changed = true;
+      break;
+    }
+  }
+  if (layout_changed) {
+    // A new attribute value shifts the packed-key layout: every stored
+    // key would be stale. Rebuild the cube from scratch.
+    TabulaOptions opts = options_;
+    TABULA_ASSIGN_OR_RETURN(std::unique_ptr<Tabula> fresh,
+                            Initialize(*table_, std::move(opts)));
+    *this = std::move(*fresh);
+    out->full_rebuild = true;
+    out->millis = timer.ElapsedMillis();
+    return Status::OK();
+  }
+  encoder_ = std::move(new_encoder);
+
+  // Lazily build the finest-state map when Initialize didn't keep it
+  // (one full accumulation pass; kept for subsequent refreshes).
+  if (finest_states_.empty()) {
+    // Accumulate only rows [0, n0): the new rows join right below.
+    if (maintenance_bound_ == nullptr) {
+      TABULA_ASSIGN_OR_RETURN(maintenance_bound_,
+                              options_.loss->Bind(*table_, global_sample_));
+    }
+    std::vector<RowId> old_rows(n0);
+    for (size_t i = 0; i < n0; ++i) old_rows[i] = static_cast<RowId>(i);
+    DatasetView old_view(table_, std::move(old_rows));
+    BoundLoss* bound = maintenance_bound_.get();
+    finest_states_ = GroupAccumulate<LossState>(
+        encoder_, packer_, old_view,
+        [bound](LossState* state, RowId row) {
+          bound->Accumulate(state, row);
+        });
+  }
+
+  // 1. Fold the appended rows into the finest states.
+  std::unordered_set<uint64_t> dirty_finest;
+  for (size_t r = n0; r < n1; ++r) {
+    uint64_t key = packer_.PackRow(encoder_, static_cast<RowId>(r));
+    maintenance_bound_->Accumulate(&finest_states_[key],
+                                   static_cast<RowId>(r));
+    dirty_finest.insert(key);
+  }
+
+  // 2. Roll the states up the lattice (no table scan) and reclassify.
+  Lattice lattice(options_.cubed_attributes.size());
+  const size_t n_attrs = lattice.num_attributes();
+  std::vector<std::unordered_map<uint64_t, LossState>> maps(
+      lattice.num_cuboids());
+  std::vector<std::unordered_set<uint64_t>> dirty(lattice.num_cuboids());
+  maps[lattice.finest()] = finest_states_;  // copy: roll-up consumes it
+  dirty[lattice.finest()] = std::move(dirty_finest);
+  for (CuboidMask mask : lattice.TopDownOrder()) {
+    if (mask == lattice.finest()) continue;
+    size_t j = 0;
+    while (j < n_attrs && (mask & (CuboidMask{1} << j))) ++j;
+    CuboidMask parent = mask | (CuboidMask{1} << j);
+    for (const auto& [key, state] : maps[parent]) {
+      uint64_t rolled = packer_.WithNull(key, j);
+      auto [it, inserted] = maps[mask].try_emplace(rolled, state);
+      if (!inserted) it->second.Merge(state);
+    }
+    for (uint64_t key : dirty[parent]) {
+      dirty[mask].insert(packer_.WithNull(key, j));
+    }
+  }
+
+  // Classify the work per cuboid.
+  struct CellWork {
+    CuboidMask cuboid;
+    bool is_new;  // newly iceberg vs existing-but-dirty
+  };
+  std::unordered_map<uint64_t, CellWork> needs_rows;
+  for (size_t m = 0; m < lattice.num_cuboids(); ++m) {
+    CuboidMask mask = static_cast<CuboidMask>(m);
+    for (const auto& [key, state] : maps[m]) {
+      bool iceberg = maintenance_bound_->Finalize(state) > options_.threshold;
+      const IcebergCell* existing = cube_.Find(key);
+      if (iceberg && existing == nullptr) {
+        needs_rows.emplace(key, CellWork{mask, /*is_new=*/true});
+        ++out->new_iceberg_cells;
+      } else if (!iceberg && existing != nullptr) {
+        // The global sample now covers this cell (state says loss <= θ):
+        // serve it from the global sample again.
+        cube_.Remove(key);
+        ++out->dropped_iceberg_cells;
+      } else if (iceberg && existing != nullptr &&
+                 dirty[m].count(key) > 0) {
+        needs_rows.emplace(key, CellWork{mask, /*is_new=*/false});
+      }
+    }
+  }
+
+  if (!needs_rows.empty()) {
+    // 3. One pass per affected cuboid collecting the raw rows of cells
+    //    that need (re)sampling.
+    std::unordered_set<CuboidMask> affected;
+    for (const auto& [key, work] : needs_rows) affected.insert(work.cuboid);
+    std::unordered_map<uint64_t, std::vector<RowId>> cell_rows;
+    for (CuboidMask mask : affected) {
+      for (size_t r = 0; r < n1; ++r) {
+        uint64_t key =
+            packer_.PackRowMasked(encoder_, static_cast<RowId>(r), mask);
+        auto it = needs_rows.find(key);
+        if (it != needs_rows.end() && it->second.cuboid == mask) {
+          cell_rows[key].push_back(static_cast<RowId>(r));
+        }
+      }
+    }
+
+    // 4. Verify / (re)sample.
+    GreedySamplerOptions sampler_opts = options_.sampler;
+    sampler_opts.seed = options_.seed;
+    GreedySampler sampler(options_.loss, options_.threshold, sampler_opts);
+    for (auto& [key, rows] : cell_rows) {
+      const CellWork& work = needs_rows.at(key);
+      DatasetView raw(table_, rows);
+      if (work.is_new) {
+        TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
+                                sampler.Sample(raw));
+        IcebergCell cell;
+        cell.key = key;
+        cell.cuboid = work.cuboid;
+        cell.sample_id = samples_.Add(std::move(sample));
+        cube_.Add(std::move(cell));
+      } else {
+        IcebergCell* cell = cube_.FindMutable(key);
+        TABULA_CHECK(cell != nullptr);
+        ++out->rechecked_cells;
+        DatasetView rep(table_, samples_.sample(cell->sample_id));
+        TABULA_ASSIGN_OR_RETURN(double loss, options_.loss->Loss(raw, rep));
+        if (loss > options_.threshold) {
+          TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
+                                  sampler.Sample(raw));
+          cell->sample_id = samples_.Add(std::move(sample));
+          ++out->resampled_cells;
+        }
+      }
+    }
+  }
+
+  refreshed_rows_ = n1;
+  if (!options_.keep_maintenance_state) {
+    finest_states_.clear();  // rebuilt lazily next time
+  }
+  uint64_t tuple_bytes = BytesPerTuple();
+  stats_.cube_table_bytes = cube_.MemoryBytes();
+  stats_.sample_table_bytes = samples_.MemoryBytes(tuple_bytes);
+  stats_.iceberg_cells = cube_.size();
+  out->millis = timer.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace tabula

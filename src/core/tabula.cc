@@ -1,0 +1,167 @@
+#include "core/tabula.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "cube/lattice.h"
+#include "sampling/random_sampler.h"
+
+namespace tabula {
+
+Result<std::unique_ptr<Tabula>> Tabula::Initialize(const Table& table,
+                                                   TabulaOptions options) {
+  if (options.loss == nullptr) {
+    return Status::InvalidArgument("TabulaOptions.loss must be set");
+  }
+  if (options.cubed_attributes.empty()) {
+    return Status::InvalidArgument("at least one cubed attribute required");
+  }
+  if (options.threshold <= 0.0) {
+    return Status::InvalidArgument("accuracy loss threshold must be > 0");
+  }
+  for (const auto& col : options.loss->InputColumns()) {
+    if (!table.schema().HasField(col)) {
+      return Status::NotFound("loss function input column '" + col +
+                              "' not in table");
+    }
+  }
+
+  Stopwatch total;
+  auto tabula = std::unique_ptr<Tabula>(new Tabula());
+  tabula->table_ = &table;
+  tabula->options_ = std::move(options);
+  const TabulaOptions& opts = tabula->options_;
+
+  TABULA_ASSIGN_OR_RETURN(
+      tabula->encoder_, KeyEncoder::Make(table, opts.cubed_attributes));
+  std::vector<size_t> all_cols(opts.cubed_attributes.size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  TABULA_ASSIGN_OR_RETURN(tabula->packer_,
+                          KeyPacker::Make(tabula->encoder_, all_cols));
+
+  // Global random sample, sized by Serfling's inequality.
+  size_t global_size =
+      SerflingSampleSize(opts.serfling_epsilon, opts.serfling_delta);
+  Rng rng(opts.seed);
+  DatasetView all(&table);
+  tabula->global_sample_rows_ = RandomSample(all, global_size, &rng);
+  tabula->global_sample_ = DatasetView(&table, tabula->global_sample_rows_);
+  tabula->stats_.global_sample_tuples = tabula->global_sample_.size();
+
+  Lattice lattice(opts.cubed_attributes.size());
+
+  // Stage 1: dry run — iceberg cell lookup via algebraic roll-up.
+  TABULA_ASSIGN_OR_RETURN(
+      DryRunResult dry,
+      RunDryRun(table, tabula->encoder_, tabula->packer_, lattice, *opts.loss,
+                tabula->global_sample_, opts.threshold));
+  tabula->stats_.dry_run_millis = dry.millis;
+  tabula->stats_.total_cells = dry.total_cells;
+  tabula->stats_.iceberg_cells = dry.total_iceberg_cells;
+  tabula->stats_.iceberg_cuboids = dry.iceberg_cuboids;
+
+  // Stage 2: real run — local samples for iceberg cells only.
+  GreedySamplerOptions sampler_opts = opts.sampler;
+  sampler_opts.seed = opts.seed;
+  TABULA_ASSIGN_OR_RETURN(
+      RealRunResult real,
+      RunRealRun(table, tabula->encoder_, tabula->packer_, lattice, dry,
+                 *opts.loss, opts.threshold, sampler_opts,
+                 opts.path_policy));
+  tabula->stats_.real_run_millis = real.millis;
+  tabula->stats_.real_run_cuboids = std::move(real.per_cuboid);
+  tabula->cube_ = std::move(real.cube);
+
+  // Stage 3: representative sample selection (or persist-all for
+  // Tabula*).
+  if (opts.enable_sample_selection) {
+    TABULA_ASSIGN_OR_RETURN(
+        SelectionResult sel,
+        SelectRepresentativeSamples(table, *opts.loss, opts.threshold,
+                                    opts.selection, &tabula->cube_,
+                                    &tabula->samples_));
+    tabula->stats_.selection_millis = sel.millis;
+    tabula->stats_.representative_samples = sel.representatives;
+    tabula->stats_.cells_sharing_samples = sel.cells_sharing;
+  } else {
+    TABULA_ASSIGN_OR_RETURN(SelectionResult sel,
+                            PersistAllSamples(&tabula->cube_,
+                                              &tabula->samples_));
+    tabula->stats_.selection_millis = sel.millis;
+    tabula->stats_.representative_samples = sel.representatives;
+  }
+
+  tabula->refreshed_rows_ = table.num_rows();
+  if (opts.keep_maintenance_state) {
+    TABULA_RETURN_NOT_OK(tabula->BuildMaintenanceState());
+  }
+
+  uint64_t tuple_bytes = tabula->BytesPerTuple();
+  tabula->stats_.global_sample_bytes =
+      tabula->global_sample_.size() * tuple_bytes;
+  tabula->stats_.cube_table_bytes = tabula->cube_.MemoryBytes();
+  tabula->stats_.sample_table_bytes =
+      tabula->samples_.MemoryBytes(tuple_bytes);
+  tabula->stats_.total_millis = total.ElapsedMillis();
+  return tabula;
+}
+
+uint64_t Tabula::BytesPerTuple() const {
+  if (table_ == nullptr || table_->num_rows() == 0) return sizeof(RowId);
+  return std::max<uint64_t>(table_->MemoryBytes() / table_->num_rows(), 1);
+}
+
+Result<TabulaQueryResult> Tabula::Query(
+    const std::vector<PredicateTerm>& where) const {
+  Stopwatch timer;
+  TabulaQueryResult result;
+
+  const auto& names = encoder_.column_names();
+  std::vector<uint32_t> codes(names.size(), kNullCode);
+  for (const auto& term : where) {
+    if (term.op != CompareOp::kEq) {
+      return Status::InvalidArgument(
+          "sampling-cube queries support equality predicates only (got '" +
+          term.column + " " + CompareOpName(term.op) + " ...')");
+    }
+    auto it = std::find(names.begin(), names.end(), term.column);
+    if (it == names.end()) {
+      return Status::InvalidArgument(
+          "'" + term.column +
+          "' is not a cubed attribute; WHERE-clause attributes must be a "
+          "subset of the cubed attributes of the initialization query");
+    }
+    size_t k = static_cast<size_t>(it - names.begin());
+    if (codes[k] != kNullCode) {
+      return Status::InvalidArgument("duplicate predicate on '" +
+                                     term.column + "'");
+    }
+    auto code = encoder_.CodeForValue(k, term.literal);
+    if (!code.ok()) {
+      // The filter value never occurs in the data: the cell is provably
+      // empty, so an empty sample is the exact answer (loss 0).
+      result.empty_cell = true;
+      result.sample = DatasetView(table_, {});
+      result.data_system_millis = timer.ElapsedMillis();
+      return result;
+    }
+    codes[k] = code.value();
+  }
+
+  uint64_t key = packer_.PackCodes(codes);
+  const IcebergCell* cell = cube_.Find(key);
+  if (cell != nullptr) {
+    result.from_local_sample = true;
+    result.sample = DatasetView(table_, samples_.sample(cell->sample_id));
+  } else {
+    // Non-iceberg cell: the dry run verified the global sample is within
+    // θ of this cell's raw data.
+    result.sample = DatasetView(table_, global_sample_rows_);
+  }
+  result.data_system_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace tabula

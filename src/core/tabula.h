@@ -1,0 +1,194 @@
+#ifndef TABULA_CORE_TABULA_H_
+#define TABULA_CORE_TABULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cube_table.h"
+#include "cube/dry_run.h"
+#include "cube/real_run.h"
+#include "loss/loss_function.h"
+#include "sampling/greedy_sampler.h"
+#include "selection/rep_selection.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Parameters of the initialization query (Section II): loss function,
+/// threshold, cubed attributes, plus engine knobs.
+struct TabulaOptions {
+  /// Cubed attributes — the columns future WHERE clauses may filter on.
+  std::vector<std::string> cubed_attributes;
+  /// User-defined accuracy loss function (not owned; must outlive Tabula).
+  const LossFunction* loss = nullptr;
+  /// Accuracy loss threshold θ: the deterministic bound every returned
+  /// sample satisfies.
+  double threshold = 0.1;
+  /// Serfling global-sample parameters (Section III-B1).
+  double serfling_epsilon = 0.05;
+  double serfling_delta = 0.01;
+  /// SAMPLING(*, θ) engine knobs.
+  GreedySamplerOptions sampler;
+  /// Real-run data-fetch path (kAuto = the paper's cost model).
+  RealRunPathPolicy path_policy = RealRunPathPolicy::kAuto;
+  /// Representative-sample-selection knobs.
+  SelectionOptions selection;
+  /// When false, every local sample is persisted individually — the
+  /// paper's Tabula* ablation (Section V, compared approach 6).
+  bool enable_sample_selection = true;
+  /// Keep the per-finest-cell loss states after initialization so
+  /// Refresh() (incremental maintenance after appends) avoids one
+  /// full-table accumulation pass. Costs one extra scan at init plus
+  /// O(#finest cells) memory.
+  bool keep_maintenance_state = false;
+  uint64_t seed = 42;
+};
+
+/// Timing/size breakdown of Initialize(), matching the components the
+/// paper plots (Figures 8–10).
+struct TabulaInitStats {
+  double dry_run_millis = 0.0;
+  double real_run_millis = 0.0;
+  double selection_millis = 0.0;
+  double total_millis = 0.0;
+
+  size_t global_sample_tuples = 0;
+  size_t total_cells = 0;
+  size_t iceberg_cells = 0;
+  size_t iceberg_cuboids = 0;
+  size_t representative_samples = 0;
+  size_t cells_sharing_samples = 0;
+
+  /// Memory components (Figure 9): global sample / cube table / sample
+  /// table, in bytes, with tuples costed at the base table's row width.
+  uint64_t global_sample_bytes = 0;
+  uint64_t cube_table_bytes = 0;
+  uint64_t sample_table_bytes = 0;
+  uint64_t TotalBytes() const {
+    return global_sample_bytes + cube_table_bytes + sample_table_bytes;
+  }
+
+  std::vector<CuboidRealRunInfo> real_run_cuboids;
+};
+
+/// Answer to a dashboard query.
+struct TabulaQueryResult {
+  /// The pre-materialized sample (rows of the base table).
+  DatasetView sample;
+  /// True when an iceberg cell's representative local sample was
+  /// returned; false when the global sample sufficed (non-iceberg cell)
+  /// or the cell is provably empty.
+  bool from_local_sample = false;
+  /// True when the queried cell provably holds no rows (a filter value
+  /// that never occurs); the returned sample is empty.
+  bool empty_cell = false;
+  /// Middleware lookup latency (the data-system time of Tabula).
+  double data_system_millis = 0.0;
+};
+
+/// \brief The Tabula middleware (the paper's primary contribution).
+///
+/// Sits between the SQL data system (`storage`/`exec`) and the
+/// visualization dashboard (`viz`). Initialize() executes the paper's
+/// CREATE TABLE ... SAMPLING(*, θ) ... GROUP BY CUBE ... HAVING loss(...)
+/// > θ pipeline: global sample → dry run → real run → representative
+/// sample selection. Query() then answers
+/// SELECT sample FROM cube WHERE <equality predicates on cubed attrs>
+/// with a readily materialized sample whose accuracy loss w.r.t. the true
+/// query answer never exceeds θ (100% confidence).
+class Tabula {
+ public:
+  /// Builds the partially materialized sampling cube over `table`.
+  /// `table` must outlive the returned instance.
+  static Result<std::unique_ptr<Tabula>> Initialize(const Table& table,
+                                                    TabulaOptions options);
+
+  /// Answers a dashboard query. Every term must be an equality predicate
+  /// on a cubed attribute (the paper's WHERE-clause contract); attributes
+  /// not mentioned roll up to '*'.
+  Result<TabulaQueryResult> Query(
+      const std::vector<PredicateTerm>& where) const;
+
+  const TabulaInitStats& init_stats() const { return stats_; }
+  const TabulaOptions& options() const { return options_; }
+  const Table& base_table() const { return *table_; }
+  const CubeTable& cube_table() const { return cube_; }
+  const SampleTable& sample_table() const { return samples_; }
+  const DatasetView& global_sample() const { return global_sample_; }
+
+  /// Average bytes per materialized tuple of the base schema (used to
+  /// cost sample memory like the paper's materialized tuples).
+  uint64_t BytesPerTuple() const;
+
+  /// \brief Persists the initialized sampling cube (global sample rows,
+  /// cube table, sample table) to a binary file so subsequent sessions
+  /// skip initialization entirely — the middleware restarts in
+  /// milliseconds. Samples reference base-table row ids, so a saved cube
+  /// is only valid for the exact table it was built on; Load verifies a
+  /// fingerprint (cardinality + content probes) and the loss/threshold
+  /// configuration before accepting the file.
+  Status Save(const std::string& path) const;
+
+  /// Restores a cube saved with Save(). `options` must name the same
+  /// loss function, threshold, and cubed attributes used at build time.
+  static Result<std::unique_ptr<Tabula>> Load(const Table& table,
+                                              TabulaOptions options,
+                                              const std::string& path);
+
+  /// Diagnostics from one Refresh() pass.
+  struct RefreshStats {
+    size_t new_rows = 0;
+    size_t new_iceberg_cells = 0;
+    size_t dropped_iceberg_cells = 0;
+    size_t rechecked_cells = 0;
+    size_t resampled_cells = 0;
+    bool full_rebuild = false;
+    double millis = 0.0;
+  };
+
+  /// \brief Incremental maintenance after the base table grew (an
+  /// extension beyond the paper, which builds the cube once).
+  ///
+  /// Call after appending rows to the base table. Re-derives every cube
+  /// cell's loss state from the maintained finest-cuboid states (no
+  /// 2^n GroupBys), then restores the deterministic guarantee:
+  /// newly-iceberg cells get fresh local samples, cells whose raw data
+  /// changed re-verify their representative sample (re-sampling on
+  /// violation), and cells that dropped below θ fall back to the global
+  /// sample. If an appended row introduces a previously unseen cubed
+  /// attribute value, the key layout changes and a full
+  /// re-initialization runs instead (reported via
+  /// RefreshStats::full_rebuild). Representative-sample sharing is not
+  /// re-optimized here — memory may drift above optimal until the next
+  /// full initialization.
+  Status Refresh(RefreshStats* stats = nullptr);
+
+ private:
+  Tabula() = default;
+
+  /// Accumulates the per-finest-cell loss states over rows [0, n) for
+  /// incremental maintenance.
+  Status BuildMaintenanceState();
+
+  const Table* table_ = nullptr;
+  TabulaOptions options_;
+  KeyEncoder encoder_;
+  KeyPacker packer_;
+  std::vector<RowId> global_sample_rows_;
+  DatasetView global_sample_;
+  CubeTable cube_;
+  SampleTable samples_;
+  TabulaInitStats stats_;
+
+  /// Incremental-maintenance state (see Refresh()).
+  std::unique_ptr<BoundLoss> maintenance_bound_;
+  std::unordered_map<uint64_t, LossState> finest_states_;
+  size_t refreshed_rows_ = 0;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_CORE_TABULA_H_

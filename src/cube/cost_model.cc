@@ -1,0 +1,35 @@
+#include "cube/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tabula {
+
+namespace {
+/// log base k, guarded for degenerate bases/arguments.
+double LogBaseK(double k, double x) {
+  if (k <= 1.0 || x <= 1.0) return 0.0;
+  return std::log(x) / std::log(k);
+}
+}  // namespace
+
+double IcebergRowFraction(double iceberg_cells, double total_cells) {
+  if (total_cells <= 0.0) return 1.0;
+  return std::clamp(iceberg_cells / total_cells, 0.0, 1.0);
+}
+
+bool PreferJoinPath(double table_rows, double iceberg_cells,
+                    double total_cells) {
+  if (iceberg_cells <= 0.0) return true;  // nothing to group at all
+  if (total_cells <= 1.0) return false;   // single cell: GroupBy is a scan
+  const double n = table_rows;
+  const double i = iceberg_cells;
+  const double k = total_cells;
+  const double pruned = IcebergRowFraction(i, k) * n;
+  const double cost_prune = n * i;
+  const double cost_group_pruned = pruned * LogBaseK(k, pruned);
+  const double cost_group_all = n * LogBaseK(k, n);
+  return cost_prune + cost_group_pruned < cost_group_all;
+}
+
+}  // namespace tabula

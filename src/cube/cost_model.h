@@ -1,0 +1,28 @@
+#ifndef TABULA_CUBE_COST_MODEL_H_
+#define TABULA_CUBE_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace tabula {
+
+/// \brief The real-run path chooser (paper Inequation 1).
+///
+/// For a cuboid with i iceberg cells out of k total cells over a table of
+/// cardinality N, the equi-join path (prune rows to iceberg cells, then
+/// group only those) beats the full-GroupBy path when
+///
+///   CostPrune + CostGroupPrunedData < CostGroupAllData
+///   N*i_sel + (i/k)*N*log_k((i/k)*N)  <  N*log_k(N)
+///
+/// where the paper's per-row prune factor is the iceberg-cell membership
+/// test. The condition assumes each cell holds the same amount of raw
+/// data. Returns true when the join (prune) path should be used.
+bool PreferJoinPath(double table_rows, double iceberg_cells,
+                    double total_cells);
+
+/// Estimated fraction of rows surviving the prune ((i/k), clamped).
+double IcebergRowFraction(double iceberg_cells, double total_cells);
+
+}  // namespace tabula
+
+#endif  // TABULA_CUBE_COST_MODEL_H_

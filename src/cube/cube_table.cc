@@ -1,0 +1,85 @@
+#include "cube/cube_table.h"
+
+#include "common/logging.h"
+
+namespace tabula {
+
+void CubeTable::Add(IcebergCell cell) {
+  auto [it, inserted] = index_.emplace(cell.key, cells_.size());
+  TABULA_CHECK(inserted);
+  (void)it;
+  cells_.push_back(std::move(cell));
+}
+
+const IcebergCell* CubeTable::Find(uint64_t key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return &cells_[it->second];
+}
+
+IcebergCell* CubeTable::FindMutable(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return &cells_[it->second];
+}
+
+bool CubeTable::Remove(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  size_t idx = it->second;
+  index_.erase(it);
+  size_t last = cells_.size() - 1;
+  if (idx != last) {
+    cells_[idx] = std::move(cells_[last]);
+    index_[cells_[idx].key] = idx;
+  }
+  cells_.pop_back();
+  return true;
+}
+
+void CubeTable::DropRawData() {
+  for (auto& cell : cells_) {
+    cell.raw_rows.clear();
+    cell.raw_rows.shrink_to_fit();
+    cell.local_sample.clear();
+    cell.local_sample.shrink_to_fit();
+  }
+}
+
+uint64_t CubeTable::MemoryBytes() const {
+  // Normalized layout: packed key + cuboid + sample link per cell, plus
+  // the hash index.
+  uint64_t per_cell = sizeof(uint64_t) + sizeof(CuboidMask) + sizeof(uint32_t);
+  return cells_.size() * per_cell +
+         index_.size() * (sizeof(uint64_t) + sizeof(size_t) + 16);
+}
+
+uint64_t CubeTable::RawDataBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& cell : cells_) {
+    bytes += cell.raw_rows.capacity() * sizeof(RowId);
+    bytes += cell.local_sample.capacity() * sizeof(RowId);
+  }
+  return bytes;
+}
+
+uint32_t SampleTable::Add(std::vector<RowId> sample) {
+  samples_.push_back(std::move(sample));
+  return static_cast<uint32_t>(samples_.size() - 1);
+}
+
+size_t SampleTable::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& s : samples_) total += s.size();
+  return total;
+}
+
+uint64_t SampleTable::MemoryBytes(uint64_t bytes_per_tuple) const {
+  uint64_t bytes = 0;
+  for (const auto& s : samples_) {
+    bytes += s.size() * bytes_per_tuple + sizeof(std::vector<RowId>);
+  }
+  return bytes;
+}
+
+}  // namespace tabula

@@ -1,0 +1,96 @@
+#ifndef TABULA_CUBE_CUBE_TABLE_H_
+#define TABULA_CUBE_CUBE_TABLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cube/lattice.h"
+#include "exec/group_by.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Sample-table id sentinel for "not yet assigned".
+inline constexpr uint32_t kInvalidSampleId =
+    std::numeric_limits<uint32_t>::max();
+
+/// \brief One iceberg cell of the sampling cube (paper Figure 4a / 6).
+///
+/// `key` is the cell's full-width packed key: every cubed attribute has a
+/// code, with the reserved '*' pattern in non-grouped positions, so a key
+/// uniquely identifies a cell across all cuboids. Raw rows are row ids
+/// into the base table (see DESIGN.md §5) and are only held between the
+/// real-run stage and sample selection; the normalized cube table keeps
+/// just key → sample_id.
+struct IcebergCell {
+  uint64_t key = 0;
+  CuboidMask cuboid = 0;
+  /// Cell raw data (row ids); cleared once selection finishes.
+  std::vector<RowId> raw_rows;
+  /// The cell's own local sample from Algorithm 1 (row ids).
+  std::vector<RowId> local_sample;
+  /// Link into the SampleTable after representative selection.
+  uint32_t sample_id = kInvalidSampleId;
+};
+
+/// \brief The cube table: all iceberg cells, indexed by packed key.
+class CubeTable {
+ public:
+  /// Adds a cell; keys must be unique.
+  void Add(IcebergCell cell);
+
+  /// Cell by packed key; nullptr when the key is not an iceberg cell.
+  const IcebergCell* Find(uint64_t key) const;
+  IcebergCell* FindMutable(uint64_t key);
+
+  /// Removes a cell (e.g. it stopped being iceberg after a refresh).
+  /// Returns false when the key is absent.
+  bool Remove(uint64_t key);
+
+  size_t size() const { return cells_.size(); }
+  const std::vector<IcebergCell>& cells() const { return cells_; }
+  std::vector<IcebergCell>& mutable_cells() { return cells_; }
+
+  /// Frees every cell's raw-row vector (normalization after selection).
+  void DropRawData();
+
+  /// Bytes of the normalized cube table (keys + links), the paper's
+  /// "cube table" memory component.
+  uint64_t MemoryBytes() const;
+
+  /// Bytes transiently held by raw-row id vectors (diagnostics).
+  uint64_t RawDataBytes() const;
+
+ private:
+  std::vector<IcebergCell> cells_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+/// \brief The sample table: representative samples only (paper Figure 4b).
+class SampleTable {
+ public:
+  /// Persists a sample; returns its id.
+  uint32_t Add(std::vector<RowId> sample);
+
+  const std::vector<RowId>& sample(uint32_t id) const { return samples_[id]; }
+  size_t size() const { return samples_.size(); }
+
+  /// Total persisted tuples across samples.
+  size_t TotalTuples() const;
+
+  /// Bytes of persisted samples, the paper's "sample table" component.
+  /// `bytes_per_tuple` models the width of a materialized tuple (the
+  /// paper persists full tuples; we persist row ids and scale by the
+  /// schema's tuple width for an apples-to-apples memory report).
+  uint64_t MemoryBytes(uint64_t bytes_per_tuple = sizeof(RowId)) const;
+
+ private:
+  std::vector<std::vector<RowId>> samples_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_CUBE_CUBE_TABLE_H_

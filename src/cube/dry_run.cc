@@ -1,0 +1,73 @@
+#include "cube/dry_run.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+
+namespace tabula {
+
+Result<DryRunResult> RunDryRun(const Table& table, const KeyEncoder& encoder,
+                               const KeyPacker& packer, const Lattice& lattice,
+                               const LossFunction& loss,
+                               const DatasetView& global_sample,
+                               double theta) {
+  Stopwatch timer;
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<BoundLoss> bound,
+                          loss.Bind(table, global_sample));
+
+  // One full-table GroupBy at the finest cuboid, folding each row into its
+  // cell's algebraic LossState.
+  DatasetView all(&table);
+  std::unordered_map<uint64_t, LossState> finest =
+      GroupAccumulate<LossState>(
+          encoder, packer, all,
+          [&bound](LossState* state, RowId row) {
+            bound->Accumulate(state, row);
+          });
+
+  const size_t n = lattice.num_attributes();
+  std::vector<std::unordered_map<uint64_t, LossState>> maps(
+      lattice.num_cuboids());
+  maps[lattice.finest()] = std::move(finest);
+
+  // Roll up along the lattice, finest first. Each cuboid derives from a
+  // parent with exactly one more grouped attribute by nulling that
+  // attribute's position and merging states — no further table scans.
+  for (CuboidMask mask : lattice.TopDownOrder()) {
+    if (mask == lattice.finest()) continue;
+    // Lowest attribute not in this mask picks the roll-up parent.
+    size_t j = 0;
+    while (j < n && (mask & (CuboidMask{1} << j))) ++j;
+    CuboidMask parent = mask | (CuboidMask{1} << j);
+    const auto& parent_map = maps[parent];
+    auto& my_map = maps[mask];
+    my_map.reserve(parent_map.size());
+    for (const auto& [key, state] : parent_map) {
+      uint64_t rolled = packer.WithNull(key, j);
+      auto [it, inserted] = my_map.try_emplace(rolled, state);
+      if (!inserted) it->second.Merge(state);
+    }
+  }
+
+  DryRunResult result;
+  result.cuboids.resize(lattice.num_cuboids());
+  for (size_t m = 0; m < lattice.num_cuboids(); ++m) {
+    CuboidMask mask = static_cast<CuboidMask>(m);
+    CuboidDryRunInfo& info = result.cuboids[m];
+    info.mask = mask;
+    info.total_cells = maps[m].size();
+    for (const auto& [key, state] : maps[m]) {
+      if (bound->Finalize(state) > theta) {
+        info.iceberg_keys.push_back(key);
+      }
+    }
+    result.total_cells += info.total_cells;
+    result.total_iceberg_cells += info.iceberg_keys.size();
+    if (!info.iceberg_keys.empty()) ++result.iceberg_cuboids;
+  }
+  result.millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace tabula

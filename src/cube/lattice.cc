@@ -1,0 +1,65 @@
+#include "cube/lattice.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace tabula {
+
+Lattice::Lattice(size_t num_attributes) : n_(num_attributes) {
+  TABULA_CHECK(num_attributes > 0 && num_attributes < 31);
+}
+
+std::vector<size_t> Lattice::GroupingList(CuboidMask mask) const {
+  std::vector<size_t> cols;
+  for (size_t i = 0; i < n_; ++i) {
+    if (mask & (CuboidMask{1} << i)) cols.push_back(i);
+  }
+  return cols;
+}
+
+std::vector<CuboidMask> Lattice::Parents(CuboidMask mask) const {
+  std::vector<CuboidMask> parents;
+  for (size_t i = 0; i < n_; ++i) {
+    CuboidMask bit = CuboidMask{1} << i;
+    if (!(mask & bit)) parents.push_back(mask | bit);
+  }
+  return parents;
+}
+
+std::vector<CuboidMask> Lattice::Children(CuboidMask mask) const {
+  std::vector<CuboidMask> children;
+  for (size_t i = 0; i < n_; ++i) {
+    CuboidMask bit = CuboidMask{1} << i;
+    if (mask & bit) children.push_back(mask & ~bit);
+  }
+  return children;
+}
+
+std::vector<CuboidMask> Lattice::TopDownOrder() const {
+  std::vector<CuboidMask> order(num_cuboids());
+  for (size_t m = 0; m < order.size(); ++m) {
+    order[m] = static_cast<CuboidMask>(m);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](CuboidMask a, CuboidMask b) {
+                     return std::popcount(a) > std::popcount(b);
+                   });
+  return order;
+}
+
+std::string Lattice::Label(CuboidMask mask,
+                           const std::vector<std::string>& names) {
+  if (mask == 0) return "All";
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (mask & (CuboidMask{1} << i)) {
+      if (!out.empty()) out += ",";
+      out += names[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace tabula

@@ -1,0 +1,52 @@
+#ifndef TABULA_CUBE_LATTICE_H_
+#define TABULA_CUBE_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tabula {
+
+/// A cuboid is identified by the bitmask of cubed attributes on its
+/// grouping list (bit i set == attribute i grouped). The full cube lattice
+/// over n attributes has 2^n cuboids: mask (2^n − 1) is the finest cuboid
+/// (all attributes, the paper's "DCM" vertex) and mask 0 is the "All"
+/// vertex.
+using CuboidMask = uint32_t;
+
+/// \brief The cuboid lattice of a sampling cube (paper Figure 5a).
+class Lattice {
+ public:
+  explicit Lattice(size_t num_attributes);
+
+  size_t num_attributes() const { return n_; }
+  size_t num_cuboids() const { return size_t{1} << n_; }
+  CuboidMask finest() const {
+    return static_cast<CuboidMask>((uint64_t{1} << n_) - 1);
+  }
+
+  /// Attribute indices on the grouping list of `mask`, ascending.
+  std::vector<size_t> GroupingList(CuboidMask mask) const;
+
+  /// Direct parents of `mask` in the lattice: cuboids with exactly one
+  /// more grouped attribute (the roll-up sources).
+  std::vector<CuboidMask> Parents(CuboidMask mask) const;
+
+  /// Direct children (one fewer grouped attribute).
+  std::vector<CuboidMask> Children(CuboidMask mask) const;
+
+  /// Masks ordered by descending popcount (finest first) — the roll-up
+  /// evaluation order.
+  std::vector<CuboidMask> TopDownOrder() const;
+
+  /// Human-readable cuboid label like "D,C,M" given attribute names.
+  static std::string Label(CuboidMask mask,
+                           const std::vector<std::string>& names);
+
+ private:
+  size_t n_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_CUBE_LATTICE_H_

@@ -1,0 +1,170 @@
+#include "cube/real_run.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "cube/cost_model.h"
+
+namespace tabula {
+
+namespace {
+
+using CellRowsMap = std::unordered_map<uint64_t, std::vector<RowId>>;
+
+/// Semi-join path: one scan; only rows whose cell key is an iceberg key
+/// are collected (paper's "equi-join with the iceberg cell table").
+CellRowsMap CollectJoinPath(const Table& table, const KeyEncoder& enc,
+                            const KeyPacker& packer, CuboidMask mask,
+                            const std::unordered_set<uint64_t>& iceberg) {
+  auto& pool = ThreadPool::Global();
+  std::vector<CellRowsMap> partials(pool.num_threads() + 1);
+  pool.ParallelForChunked(
+      table.num_rows(), [&](size_t chunk, size_t begin, size_t end) {
+        auto& map = partials[chunk];
+        for (size_t r = begin; r < end; ++r) {
+          uint64_t key =
+              packer.PackRowMasked(enc, static_cast<RowId>(r), mask);
+          if (iceberg.count(key) > 0) {
+            map[key].push_back(static_cast<RowId>(r));
+          }
+        }
+      });
+  CellRowsMap merged;
+  for (auto& partial : partials) {
+    if (merged.empty()) {
+      merged = std::move(partial);
+      continue;
+    }
+    for (auto& [key, rows] : partial) {
+      auto& dst = merged[key];
+      dst.insert(dst.end(), rows.begin(), rows.end());
+    }
+  }
+  return merged;
+}
+
+/// Full-GroupBy path: group *all* rows of the cuboid, then keep iceberg
+/// groups only.
+CellRowsMap CollectGroupByPath(const Table& table, const KeyEncoder& enc,
+                               const KeyPacker& packer, CuboidMask mask,
+                               const std::unordered_set<uint64_t>& iceberg) {
+  auto& pool = ThreadPool::Global();
+  std::vector<CellRowsMap> partials(pool.num_threads() + 1);
+  pool.ParallelForChunked(
+      table.num_rows(), [&](size_t chunk, size_t begin, size_t end) {
+        auto& map = partials[chunk];
+        for (size_t r = begin; r < end; ++r) {
+          uint64_t key =
+              packer.PackRowMasked(enc, static_cast<RowId>(r), mask);
+          map[key].push_back(static_cast<RowId>(r));
+        }
+      });
+  CellRowsMap merged;
+  for (auto& partial : partials) {
+    if (merged.empty()) {
+      merged = std::move(partial);
+      continue;
+    }
+    for (auto& [key, rows] : partial) {
+      auto& dst = merged[key];
+      dst.insert(dst.end(), rows.begin(), rows.end());
+    }
+  }
+  // Filter to iceberg cells.
+  CellRowsMap filtered;
+  for (auto& [key, rows] : merged) {
+    if (iceberg.count(key) > 0) filtered.emplace(key, std::move(rows));
+  }
+  return filtered;
+}
+
+}  // namespace
+
+Result<RealRunResult> RunRealRun(
+    const Table& table, const KeyEncoder& encoder, const KeyPacker& packer,
+    const Lattice& lattice, const DryRunResult& dry_run,
+    const LossFunction& loss, double theta,
+    const GreedySamplerOptions& sampler_options,
+    RealRunPathPolicy path_policy) {
+  Stopwatch total;
+  RealRunResult result;
+  GreedySampler sampler(&loss, theta, sampler_options);
+  auto& pool = ThreadPool::Global();
+
+  for (const CuboidDryRunInfo& info : dry_run.cuboids) {
+    if (info.iceberg_keys.empty()) continue;  // skip non-iceberg cuboids
+    Stopwatch cuboid_timer;
+
+    std::unordered_set<uint64_t> iceberg(info.iceberg_keys.begin(),
+                                         info.iceberg_keys.end());
+    bool join_path;
+    switch (path_policy) {
+      case RealRunPathPolicy::kAlwaysJoin:
+        join_path = true;
+        break;
+      case RealRunPathPolicy::kAlwaysGroupBy:
+        join_path = false;
+        break;
+      case RealRunPathPolicy::kAuto:
+      default:
+        join_path =
+            PreferJoinPath(static_cast<double>(table.num_rows()),
+                           static_cast<double>(info.iceberg_keys.size()),
+                           static_cast<double>(info.total_cells));
+        break;
+    }
+    CellRowsMap cell_rows =
+        join_path
+            ? CollectJoinPath(table, encoder, packer, info.mask, iceberg)
+            : CollectGroupByPath(table, encoder, packer, info.mask, iceberg);
+
+    // Draw a local sample for each iceberg cell (parallel across cells;
+    // the greedy sampler runs inline inside workers).
+    std::vector<IcebergCell> cells;
+    cells.reserve(cell_rows.size());
+    for (auto& [key, rows] : cell_rows) {
+      IcebergCell cell;
+      cell.key = key;
+      cell.cuboid = info.mask;
+      cell.raw_rows = std::move(rows);
+      cells.push_back(std::move(cell));
+    }
+    Status first_error = Status::OK();
+    std::mutex error_mu;
+    pool.ParallelFor(cells.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        DatasetView raw(&table, cells[i].raw_rows);
+        auto sample = sampler.Sample(raw);
+        if (!sample.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = sample.status();
+          continue;
+        }
+        cells[i].local_sample = std::move(sample).value();
+      }
+    });
+    TABULA_RETURN_NOT_OK(first_error);
+
+    for (auto& cell : cells) {
+      result.local_sample_tuples += cell.local_sample.size();
+      result.cube.Add(std::move(cell));
+    }
+
+    CuboidRealRunInfo cuboid_info;
+    cuboid_info.mask = info.mask;
+    cuboid_info.iceberg_cells = info.iceberg_keys.size();
+    cuboid_info.used_join_path = join_path;
+    cuboid_info.millis = cuboid_timer.ElapsedMillis();
+    result.per_cuboid.push_back(cuboid_info);
+  }
+
+  (void)lattice;
+  result.millis = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace tabula

@@ -1,0 +1,108 @@
+#include "data/synthetic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tabula {
+
+namespace {
+/// Deterministic hash → double in [0, 1), used for latent cell
+/// parameters so they depend only on (seed, cell identity).
+double HashUnit(uint64_t seed, uint64_t a, uint64_t b, uint64_t salt) {
+  uint64_t h = seed ^ (a * 0x9E3779B97F4A7C15ull) ^
+               (b * 0xC2B2AE3D27D4EB4Full) ^ (salt * 0x165667B19E3779F9ull);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+}
+}  // namespace
+
+SyntheticGenerator::SyntheticGenerator(SyntheticGeneratorOptions options)
+    : options_(std::move(options)) {
+  if (options_.columns.empty()) {
+    options_.columns = {
+        {"dim_a", 4, 0.0}, {"dim_b", 4, 0.0}, {"dim_c", 4, 0.0},
+        {"dim_d", 4, 0.0}};
+  }
+  for (const auto& spec : options_.columns) {
+    TABULA_CHECK(spec.cardinality > 0);
+  }
+}
+
+Schema SyntheticGenerator::MakeSchema() const {
+  std::vector<Field> fields;
+  for (const auto& spec : options_.columns) {
+    fields.push_back({spec.name, DataType::kCategorical});
+  }
+  fields.push_back({"value", DataType::kDouble});
+  fields.push_back({"x", DataType::kDouble});
+  fields.push_back({"y", DataType::kDouble});
+  return Schema(std::move(fields));
+}
+
+std::vector<std::string> SyntheticGenerator::CategoricalColumns() const {
+  std::vector<std::string> names;
+  for (const auto& spec : options_.columns) names.push_back(spec.name);
+  return names;
+}
+
+std::unique_ptr<Table> SyntheticGenerator::Generate() const {
+  Rng rng(options_.seed);
+  auto table = std::make_unique<Table>(MakeSchema());
+  table->Reserve(options_.num_rows);
+
+  // Per-column value distributions (Zipf-style weights).
+  std::vector<std::vector<double>> weights(options_.columns.size());
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    const auto& spec = options_.columns[c];
+    weights[c].resize(spec.cardinality);
+    for (uint32_t v = 0; v < spec.cardinality; ++v) {
+      weights[c][v] = 1.0 / std::pow(static_cast<double>(v + 1),
+                                     spec.zipf_skew);
+    }
+  }
+
+  const double spread = options_.cell_spread;
+  const double noise = options_.noise;
+  std::vector<Value> row(table->schema().num_fields());
+  std::vector<uint32_t> codes(options_.columns.size());
+  for (size_t i = 0; i < options_.num_rows; ++i) {
+    for (size_t c = 0; c < options_.columns.size(); ++c) {
+      codes[c] = static_cast<uint32_t>(rng.Discrete(weights[c]));
+      row[c] = Value(options_.columns[c].name + "_" +
+                     std::to_string(codes[c]));
+    }
+    // Latent parameters owned by the (first, second) column pair; with
+    // a single column, pair with zero.
+    uint64_t a = codes[0];
+    uint64_t b = options_.columns.size() > 1 ? codes[1] : 0;
+    double cell_mean =
+        100.0 * (1.0 + spread * (HashUnit(options_.seed, a, b, 1) - 0.5));
+    double cx =
+        0.5 + spread * (HashUnit(options_.seed, a, b, 2) - 0.5) * 0.9;
+    double cy =
+        0.5 + spread * (HashUnit(options_.seed, a, b, 3) - 0.5) * 0.9;
+    double slope = spread * (HashUnit(options_.seed, a, b, 4) - 0.5) * 2.0;
+
+    double x = std::clamp(rng.Normal(cx, 0.03 + noise * 0.05), 0.0, 1.0);
+    double y = std::clamp(
+        rng.Normal(cy + slope * (x - cx), 0.03 + noise * 0.05), 0.0, 1.0);
+    double value = rng.Normal(cell_mean, noise * cell_mean);
+
+    size_t base = options_.columns.size();
+    row[base] = Value(value);
+    row[base + 1] = Value(x);
+    row[base + 2] = Value(y);
+    Status st = table->AppendRow(row);
+    TABULA_CHECK(st.ok());
+  }
+  return table;
+}
+
+}  // namespace tabula

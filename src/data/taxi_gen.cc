@@ -1,0 +1,184 @@
+#include "data/taxi_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "loss/spatial.h"
+
+namespace tabula {
+
+namespace {
+
+const char* kVendors[] = {"CMT", "VTS", "DDS"};
+const double kVendorWeights[] = {0.45, 0.45, 0.10};
+
+const char* kWeekdays[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+const double kWeekdayWeights[] = {0.13, 0.13, 0.14, 0.14, 0.17, 0.16, 0.13};
+
+const char* kPayments[] = {"Cash", "Credit", "No Charge", "Dispute"};
+const double kPaymentWeights[] = {0.38, 0.58, 0.03, 0.01};
+
+const char* kRateCodes[] = {"Standard", "JFK", "Newark", "Nassau",
+                            "Negotiated"};
+const double kRateWeights[] = {0.90, 0.055, 0.02, 0.01, 0.015};
+
+const char* kPassengerCounts[] = {"1", "2", "3", "4", "5", "6"};
+const double kPassengerWeights[] = {0.70, 0.15, 0.06, 0.04, 0.03, 0.02};
+
+/// Pickup-location archetypes (normalized [0,1]² city canvas).
+struct Hotspot {
+  double x, y, sx, sy;
+};
+// Manhattan spine, midtown, downtown, and the two airports. The airport
+// clusters are the "red circle" pattern of Figure 2.
+const Hotspot kMidtown{0.38, 0.60, 0.045, 0.070};
+const Hotspot kDowntown{0.33, 0.42, 0.035, 0.050};
+const Hotspot kUptown{0.42, 0.78, 0.040, 0.060};
+const Hotspot kJfk{0.82, 0.18, 0.012, 0.012};
+const Hotspot kNewark{0.08, 0.30, 0.012, 0.012};
+
+Point DrawFrom(const Hotspot& h, Rng* rng) {
+  return {std::clamp(rng->Normal(h.x, h.sx), 0.0, 1.0),
+          std::clamp(rng->Normal(h.y, h.sy), 0.0, 1.0)};
+}
+
+const char* DistanceBin(double miles) {
+  if (miles < 5) return "[0,5)";
+  if (miles < 10) return "[5,10)";
+  if (miles < 15) return "[10,15)";
+  if (miles < 20) return "[15,20)";
+  return "[20,25)";
+}
+
+}  // namespace
+
+Schema TaxiGenerator::MakeSchema() {
+  return Schema({
+      {"vendor_name", DataType::kCategorical},
+      {"pickup_weekday", DataType::kCategorical},
+      {"passenger_count", DataType::kCategorical},
+      {"payment_type", DataType::kCategorical},
+      {"rate_code", DataType::kCategorical},
+      {"store_and_forward", DataType::kCategorical},
+      {"dropoff_weekday", DataType::kCategorical},
+      {"trip_distance_bin", DataType::kCategorical},
+      {"trip_distance", DataType::kDouble},
+      {"fare_amount", DataType::kDouble},
+      {"tip_amount", DataType::kDouble},
+      {"pickup_x", DataType::kDouble},
+      {"pickup_y", DataType::kDouble},
+  });
+}
+
+std::vector<std::string> TaxiGenerator::ExperimentAttributes() {
+  return {"vendor_name", "pickup_weekday", "passenger_count",
+          "payment_type", "rate_code",     "store_and_forward",
+          "dropoff_weekday"};
+}
+
+std::unique_ptr<Table> TaxiGenerator::Generate() const {
+  Rng rng(options_.seed);
+  auto table = std::make_unique<Table>(MakeSchema());
+  table->Reserve(options_.num_rows);
+
+  std::vector<double> vendor_w(std::begin(kVendorWeights),
+                               std::end(kVendorWeights));
+  std::vector<double> weekday_w(std::begin(kWeekdayWeights),
+                                std::end(kWeekdayWeights));
+  std::vector<double> payment_w(std::begin(kPaymentWeights),
+                                std::end(kPaymentWeights));
+  std::vector<double> rate_w(std::begin(kRateWeights), std::end(kRateWeights));
+  std::vector<double> pax_w(std::begin(kPassengerWeights),
+                            std::end(kPassengerWeights));
+
+  std::vector<Value> row(table->schema().num_fields());
+  for (size_t i = 0; i < options_.num_rows; ++i) {
+    const char* rate = kRateCodes[rng.Discrete(rate_w)];
+    bool jfk = std::string_view(rate) == "JFK";
+    bool newark = std::string_view(rate) == "Newark";
+
+    // --- pickup location ---
+    Point pickup;
+    if (jfk) {
+      // Airport rides overwhelmingly start at the airport stand.
+      pickup = rng.Bernoulli(0.8) ? DrawFrom(kJfk, &rng)
+                                  : DrawFrom(kMidtown, &rng);
+    } else if (newark) {
+      pickup = rng.Bernoulli(0.8) ? DrawFrom(kNewark, &rng)
+                                  : DrawFrom(kDowntown, &rng);
+    } else {
+      double mix = rng.UniformDouble(0.0, 1.0);
+      if (mix < 0.40) {
+        pickup = DrawFrom(kMidtown, &rng);
+      } else if (mix < 0.65) {
+        pickup = DrawFrom(kDowntown, &rng);
+      } else if (mix < 0.85) {
+        pickup = DrawFrom(kUptown, &rng);
+      } else if (mix < 0.97) {
+        // Broad street grid.
+        pickup = {rng.UniformDouble(0.25, 0.55), rng.UniformDouble(0.3, 0.9)};
+      } else {
+        pickup = {rng.UniformDouble(0.0, 1.0), rng.UniformDouble(0.0, 1.0)};
+      }
+    }
+
+    // --- categorical attributes ---
+    const char* payment = kPayments[rng.Discrete(payment_w)];
+    // Disputes concentrate downtown — a small skewed population whose
+    // cells deviate sharply from the global distribution.
+    if (std::string_view(payment) == "Dispute") {
+      pickup = DrawFrom(kDowntown, &rng);
+    }
+    const char* vendor = kVendors[rng.Discrete(vendor_w)];
+    const char* pickup_day = kWeekdays[rng.Discrete(weekday_w)];
+    // Most rides end the day they start.
+    const char* dropoff_day = rng.Bernoulli(0.96)
+                                  ? pickup_day
+                                  : kWeekdays[rng.Discrete(weekday_w)];
+    // Airport rides skew to larger parties.
+    const char* pax =
+        (jfk || newark) && rng.Bernoulli(0.35)
+            ? kPassengerCounts[rng.UniformInt(1, 5)]
+            : kPassengerCounts[rng.Discrete(pax_w)];
+    const char* saf = rng.Bernoulli(0.985) ? "N" : "Y";
+
+    // --- numeric attributes ---
+    double miles;
+    if (jfk || newark) {
+      miles = std::clamp(rng.Normal(17.0, 3.0), 8.0, 24.9);
+    } else {
+      miles = std::clamp(rng.Exponential(0.45) + 0.3, 0.3, 24.9);
+    }
+    double fare = 2.5 + 2.3 * miles + rng.Normal(0.0, 1.2);
+    if (jfk) fare = std::max(fare, 52.0 + rng.Normal(0.0, 2.0));
+    fare = std::max(fare, 2.5);
+    double tip = 0.0;
+    if (std::string_view(payment) == "Credit") {
+      tip = std::max(0.0, fare * rng.Normal(0.20, 0.05));
+    } else if (std::string_view(payment) == "Cash" && rng.Bernoulli(0.08)) {
+      tip = std::max(0.0, rng.Normal(1.0, 0.5));
+    }
+
+    row[0] = Value(vendor);
+    row[1] = Value(pickup_day);
+    row[2] = Value(pax);
+    row[3] = Value(payment);
+    row[4] = Value(rate);
+    row[5] = Value(saf);
+    row[6] = Value(dropoff_day);
+    row[7] = Value(DistanceBin(miles));
+    row[8] = Value(miles);
+    row[9] = Value(fare);
+    row[10] = Value(tip);
+    row[11] = Value(pickup.x);
+    row[12] = Value(pickup.y);
+    Status st = table->AppendRow(row);
+    TABULA_CHECK(st.ok());
+  }
+  return table;
+}
+
+}  // namespace tabula

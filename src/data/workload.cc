@@ -1,0 +1,56 @@
+#include "data/workload.h"
+
+#include "common/rng.h"
+
+namespace tabula {
+
+std::string WorkloadQuery::ToString() const {
+  if (where.empty()) return "(all rows)";
+  std::string out;
+  for (size_t i = 0; i < where.size(); ++i) {
+    if (i != 0) out += " AND ";
+    out += where[i].column;
+    out += " = '";
+    out += where[i].literal.ToString();
+    out += "'";
+  }
+  return out;
+}
+
+Result<std::vector<WorkloadQuery>> GenerateWorkload(
+    const Table& table, const std::vector<std::string>& attributes,
+    const WorkloadOptions& options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot build a workload on empty table");
+  }
+  std::vector<size_t> attr_cols;
+  for (const auto& name : attributes) {
+    TABULA_ASSIGN_OR_RETURN(size_t idx, table.schema().FieldIndex(name));
+    attr_cols.push_back(idx);
+  }
+
+  Rng rng(options.seed);
+  std::vector<WorkloadQuery> out;
+  out.reserve(options.num_queries);
+  const size_t n = attributes.size();
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    // Random cuboid; random seed row instantiates the grouped values.
+    uint32_t mask = static_cast<uint32_t>(
+        rng.UniformInt(0, (int64_t{1} << n) - 1));
+    RowId seed_row =
+        static_cast<RowId>(rng.UniformInt(0, table.num_rows() - 1));
+    WorkloadQuery query;
+    for (size_t k = 0; k < n; ++k) {
+      if (!(mask & (uint32_t{1} << k))) continue;
+      PredicateTerm term;
+      term.column = attributes[k];
+      term.op = CompareOp::kEq;
+      term.literal = table.GetValue(attr_cols[k], seed_row);
+      query.where.push_back(std::move(term));
+    }
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace tabula

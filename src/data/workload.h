@@ -1,0 +1,42 @@
+#ifndef TABULA_DATA_WORKLOAD_H_
+#define TABULA_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Options for the analytics-workload generator.
+struct WorkloadOptions {
+  /// Number of queries ("randomly pick 100 SQL queries (cells) from the
+  /// cube", Section V).
+  size_t num_queries = 100;
+  uint64_t seed = 99;
+};
+
+/// One dashboard interaction: a conjunctive equality filter (a cube cell).
+struct WorkloadQuery {
+  std::vector<PredicateTerm> where;
+  /// Human-readable "a=x AND b=y" rendering.
+  std::string ToString() const;
+};
+
+/// \brief Generates the paper's analytics workload: random cells drawn
+/// from the full data cube over the given attributes.
+///
+/// Each query picks a random cuboid (uniformly over the lattice, the
+/// "All" vertex included) and instantiates its grouped attributes from a
+/// random data row — so every generated cell is non-empty, like cells of
+/// an actual cube.
+Result<std::vector<WorkloadQuery>> GenerateWorkload(
+    const Table& table, const std::vector<std::string>& attributes,
+    const WorkloadOptions& options);
+
+}  // namespace tabula
+
+#endif  // TABULA_DATA_WORKLOAD_H_

@@ -1,0 +1,98 @@
+#ifndef TABULA_EXEC_AGGREGATE_H_
+#define TABULA_EXEC_AGGREGATE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tabula {
+
+/// \brief Distributive/algebraic aggregate state over one numeric column.
+///
+/// Covers the aggregates the paper allows inside accuracy loss functions
+/// (Section II: SUM, COUNT, AVG, STD_DEV, MIN, MAX — all distributive or
+/// algebraic). States merge, which is what lets the dry-run stage roll a
+/// finest-cuboid GroupBy up through the whole lattice (Section III-B1).
+struct NumericAggState {
+  double count = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    count += 1.0;
+    sum += v;
+    sum_sq += v * v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  void Merge(const NumericAggState& o) {
+    count += o.count;
+    sum += o.sum;
+    sum_sq += o.sum_sq;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+
+  double Avg() const { return count > 0 ? sum / count : 0.0; }
+
+  /// Population standard deviation.
+  double StdDev() const {
+    if (count <= 0) return 0.0;
+    double mean = Avg();
+    double var = sum_sq / count - mean * mean;
+    return var > 0 ? std::sqrt(var) : 0.0;
+  }
+};
+
+/// \brief Algebraic state for simple linear regression y = slope*x + b.
+///
+/// Implements the paper's slope formula (Section II, Function 3):
+///   slope = (n*Σxy − Σx*Σy) / (n*Σx² − (Σx)²)
+/// and its conversion to an angle in degrees.
+struct RegressionAggState {
+  double n = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxy = 0.0;
+  double sxx = 0.0;
+
+  void Add(double x, double y) {
+    n += 1.0;
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+  }
+
+  void Merge(const RegressionAggState& o) {
+    n += o.n;
+    sx += o.sx;
+    sy += o.sy;
+    sxy += o.sxy;
+    sxx += o.sxx;
+  }
+
+  /// Least-squares slope; 0 when degenerate (vertical/empty data).
+  double Slope() const {
+    double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-12) return 0.0;
+    return (n * sxy - sx * sy) / denom;
+  }
+
+  /// Regression-line angle in degrees, in (-90, 90).
+  double AngleDegrees() const {
+    return std::atan(Slope()) * 180.0 / M_PI;
+  }
+
+  double Intercept() const {
+    if (n <= 0) return 0.0;
+    return (sy - Slope() * sx) / n;
+  }
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_EXEC_AGGREGATE_H_

@@ -1,0 +1,87 @@
+#include "exec/group_by.h"
+
+namespace tabula {
+
+namespace {
+/// Bits needed to represent values [0, n] (n inclusive).
+uint32_t BitsFor(uint32_t n) {
+  uint32_t bits = 1;
+  while ((1ull << bits) <= n) ++bits;
+  return bits;
+}
+}  // namespace
+
+Result<KeyPacker> KeyPacker::Make(const KeyEncoder& enc,
+                                  std::vector<size_t> key_cols) {
+  KeyPacker p;
+  p.key_cols_ = std::move(key_cols);
+  uint32_t shift = 0;
+  for (size_t col : p.key_cols_) {
+    uint32_t card = enc.Cardinality(col);
+    // Reserve one extra pattern (== card) for the '*' marker.
+    uint32_t bits = BitsFor(card);
+    if (shift + bits > 64) {
+      return Status::OutOfRange(
+          "packed group key exceeds 64 bits; reduce cubed attributes or "
+          "their cardinalities");
+    }
+    p.masks_.push_back((1ull << bits) - 1);
+    p.shifts_.push_back(shift);
+    p.null_patterns_.push_back(card);
+    shift += bits;
+  }
+  return p;
+}
+
+uint64_t KeyPacker::PackCodes(const std::vector<uint32_t>& codes) const {
+  uint64_t key = 0;
+  for (size_t i = 0; i < key_cols_.size(); ++i) {
+    uint32_t code = codes[i] == kNullCode ? null_patterns_[i] : codes[i];
+    key |= static_cast<uint64_t>(code) << shifts_[i];
+  }
+  return key;
+}
+
+std::vector<uint32_t> KeyPacker::Unpack(uint64_t key) const {
+  std::vector<uint32_t> codes(key_cols_.size());
+  for (size_t i = 0; i < key_cols_.size(); ++i) {
+    codes[i] = CodeAt(key, i);
+  }
+  return codes;
+}
+
+GroupedRows GroupRows(const KeyEncoder& enc, const KeyPacker& packer,
+                      const DatasetView& view) {
+  auto& pool = ThreadPool::Global();
+  size_t n = view.size();
+  using LocalMap = std::unordered_map<uint64_t, std::vector<RowId>>;
+  std::vector<LocalMap> partials(pool.num_threads() + 1);
+  pool.ParallelForChunked(n, [&](size_t chunk, size_t begin, size_t end) {
+    auto& map = partials[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      RowId r = view.row(i);
+      map[packer.PackRow(enc, r)].push_back(r);
+    }
+  });
+  LocalMap merged;
+  for (auto& partial : partials) {
+    if (merged.empty()) {
+      merged = std::move(partial);
+      continue;
+    }
+    for (auto& [key, rows] : partial) {
+      auto& dst = merged[key];
+      dst.insert(dst.end(), rows.begin(), rows.end());
+    }
+  }
+  GroupedRows out;
+  out.keys.reserve(merged.size());
+  out.rows.reserve(merged.size());
+  for (auto& [key, rows] : merged) {
+    out.keys.push_back(key);
+    out.rows.push_back(std::move(rows));
+  }
+  return out;
+}
+
+}  // namespace tabula

@@ -1,0 +1,134 @@
+#ifndef TABULA_EXEC_GROUP_BY_H_
+#define TABULA_EXEC_GROUP_BY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/key_encoder.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// \brief Packs multi-column group keys into a uint64.
+///
+/// Bit widths come from the encoder cardinalities (+1 spare pattern per
+/// column for the '*' roll-up marker). With the paper's 7 categorical taxi
+/// attributes the packed key needs well under 64 bits; wider key spaces are
+/// rejected at construction so callers can fall back to fewer attributes.
+class KeyPacker {
+ public:
+  /// \param key_cols indices into the encoder's column list forming this
+  ///        (sub-)key, e.g. a cuboid's grouping list.
+  static Result<KeyPacker> Make(const KeyEncoder& enc,
+                                std::vector<size_t> key_cols);
+
+  size_t num_cols() const { return key_cols_.size(); }
+  const std::vector<size_t>& key_cols() const { return key_cols_; }
+
+  /// Packs the row's codes on the key columns.
+  uint64_t PackRow(const KeyEncoder& enc, RowId row) const {
+    uint64_t key = 0;
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      key |= static_cast<uint64_t>(enc.Encode(key_cols_[i], row)) << shifts_[i];
+    }
+    return key;
+  }
+
+  /// Packs explicit codes (one per key column; kNullCode allowed and maps
+  /// to the column's reserved '*' pattern).
+  uint64_t PackCodes(const std::vector<uint32_t>& codes) const;
+
+  /// Packs a row's codes keeping only the key columns whose bit is set in
+  /// `grouped` (by key-column index); others take the '*' pattern. This is
+  /// how one full-width packer serves every cuboid of the lattice.
+  uint64_t PackRowMasked(const KeyEncoder& enc, RowId row,
+                         uint32_t grouped) const {
+    uint64_t key = 0;
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      uint32_t code = (grouped & (uint32_t{1} << i))
+                          ? enc.Encode(key_cols_[i], row)
+                          : null_patterns_[i];
+      key |= static_cast<uint64_t>(code) << shifts_[i];
+    }
+    return key;
+  }
+
+  /// Unpacks to one code per key column (kNullCode for '*').
+  std::vector<uint32_t> Unpack(uint64_t key) const;
+
+  /// Code of key column i inside the packed key.
+  uint32_t CodeAt(uint64_t key, size_t i) const {
+    uint32_t raw = static_cast<uint32_t>((key >> shifts_[i]) & masks_[i]);
+    return raw == null_patterns_[i] ? kNullCode : raw;
+  }
+
+  /// Replaces key column i with the '*' pattern (roll-up step).
+  uint64_t WithNull(uint64_t key, size_t i) const {
+    key &= ~(masks_[i] << shifts_[i]);
+    key |= static_cast<uint64_t>(null_patterns_[i]) << shifts_[i];
+    return key;
+  }
+
+ private:
+  std::vector<size_t> key_cols_;
+  std::vector<uint64_t> masks_;          // per-col value mask (unshifted)
+  std::vector<uint32_t> shifts_;
+  std::vector<uint32_t> null_patterns_;  // reserved '*' bit pattern
+};
+
+/// Result of a GroupBy that materializes per-group row lists.
+struct GroupedRows {
+  /// Packed key per group (see KeyPacker).
+  std::vector<uint64_t> keys;
+  /// Row ids per group, parallel to `keys`.
+  std::vector<std::vector<RowId>> rows;
+};
+
+/// Hash GroupBy over `view`, grouping on the packer's key columns and
+/// collecting row-id lists. Runs chunked on the global thread pool.
+GroupedRows GroupRows(const KeyEncoder& enc, const KeyPacker& packer,
+                      const DatasetView& view);
+
+/// Hash GroupBy that folds rows straight into a mergeable accumulator
+/// state instead of materializing row lists — the dry-run stage's workhorse
+/// (the loss measure is algebraic, so states merge).
+///
+/// \tparam State default-constructible, with Merge(const State&).
+/// \param add  invoked as add(&state, row) for every row.
+template <typename State, typename AddFn>
+std::unordered_map<uint64_t, State> GroupAccumulate(const KeyEncoder& enc,
+                                                    const KeyPacker& packer,
+                                                    const DatasetView& view,
+                                                    const AddFn& add) {
+  auto& pool = ThreadPool::Global();
+  size_t n = view.size();
+  std::vector<std::unordered_map<uint64_t, State>> partials(
+      pool.num_threads() + 1);
+  pool.ParallelForChunked(n, [&](size_t chunk, size_t begin, size_t end) {
+    auto& map = partials[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      RowId r = view.row(i);
+      uint64_t key = packer.PackRow(enc, r);
+      add(&map[key], r);
+    }
+  });
+  std::unordered_map<uint64_t, State> merged;
+  for (auto& partial : partials) {
+    if (merged.empty()) {
+      merged = std::move(partial);
+      continue;
+    }
+    for (auto& [key, state] : partial) {
+      auto [it, inserted] = merged.try_emplace(key, std::move(state));
+      if (!inserted) it->second.Merge(state);
+    }
+  }
+  return merged;
+}
+
+}  // namespace tabula
+
+#endif  // TABULA_EXEC_GROUP_BY_H_

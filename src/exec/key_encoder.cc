@@ -1,0 +1,77 @@
+#include "exec/key_encoder.h"
+
+namespace tabula {
+
+Result<KeyEncoder> KeyEncoder::Make(const Table& table,
+                                    const std::vector<std::string>& columns) {
+  KeyEncoder enc;
+  enc.names_ = columns;
+  enc.cols_.resize(columns.size());
+  for (size_t k = 0; k < columns.size(); ++k) {
+    TABULA_ASSIGN_OR_RETURN(size_t idx,
+                            table.schema().FieldIndex(columns[k]));
+    const Column& col = table.column(idx);
+    ColumnCodec& codec = enc.cols_[k];
+    switch (col.type()) {
+      case DataType::kCategorical: {
+        codec.categorical = col.As<CategoricalColumn>();
+        codec.cardinality = codec.categorical->dict().size();
+        break;
+      }
+      case DataType::kInt64: {
+        const auto* int_col = col.As<Int64Column>();
+        codec.int_codes.reserve(int_col->size());
+        for (size_t r = 0; r < int_col->size(); ++r) {
+          int64_t v = int_col->At(r);
+          auto [it, inserted] = codec.int_index.try_emplace(
+              v, static_cast<uint32_t>(codec.int_values.size()));
+          if (inserted) codec.int_values.push_back(v);
+          codec.int_codes.push_back(it->second);
+        }
+        codec.cardinality = static_cast<uint32_t>(codec.int_values.size());
+        break;
+      }
+      case DataType::kDouble:
+        return Status::InvalidArgument(
+            "cubed attribute '" + columns[k] +
+            "' is continuous; bin it into a categorical first");
+    }
+  }
+  return enc;
+}
+
+Value KeyEncoder::Decode(size_t k, uint32_t code) const {
+  if (code == kNullCode) return Value();
+  const ColumnCodec& c = cols_[k];
+  if (c.categorical != nullptr) return Value(c.categorical->dict().At(code));
+  return Value(c.int_values[code]);
+}
+
+Result<uint32_t> KeyEncoder::CodeForValue(size_t k, const Value& v) const {
+  const ColumnCodec& c = cols_[k];
+  if (c.categorical != nullptr) {
+    if (!v.is_string()) {
+      return Status::TypeMismatch("categorical key expects a string literal");
+    }
+    return c.categorical->dict().Find(v.AsString());
+  }
+  if (!v.is_int64()) {
+    return Status::TypeMismatch("integer key expects an integer literal");
+  }
+  auto it = c.int_index.find(v.AsInt64());
+  if (it == c.int_index.end()) {
+    return Status::NotFound("value " + v.ToString() +
+                            " never occurs in key column " + names_[k]);
+  }
+  return it->second;
+}
+
+uint64_t KeyEncoder::KeySpaceSize() const {
+  uint64_t total = 1;
+  for (const auto& c : cols_) {
+    total *= std::max<uint64_t>(1, c.cardinality);
+  }
+  return total;
+}
+
+}  // namespace tabula

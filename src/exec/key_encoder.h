@@ -1,0 +1,67 @@
+#ifndef TABULA_EXEC_KEY_ENCODER_H_
+#define TABULA_EXEC_KEY_ENCODER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Sentinel code meaning '*' (ALL / rolled-up) in cube cell keys.
+inline constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+
+/// \brief Maps the values of the cubed attributes to dense uint32 codes.
+///
+/// Categorical columns reuse their dictionary codes; int64 columns get a
+/// value→code mapping built in one pre-pass. Double columns are rejected —
+/// continuous attributes must be binned into categoricals first, exactly as
+/// the paper bins trip distance into [0,5), [5,10), ... .
+class KeyEncoder {
+ public:
+  /// Builds an encoder for `columns` of `table`.
+  static Result<KeyEncoder> Make(const Table& table,
+                                 const std::vector<std::string>& columns);
+
+  size_t num_columns() const { return cols_.size(); }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Dense code of column `k` (index within the key, not the table) at
+  /// `row`.
+  uint32_t Encode(size_t k, RowId row) const {
+    const ColumnCodec& c = cols_[k];
+    if (c.categorical != nullptr) return c.categorical->CodeAt(row);
+    return c.int_codes[row];
+  }
+
+  /// Number of distinct codes of key column `k`.
+  uint32_t Cardinality(size_t k) const { return cols_[k].cardinality; }
+
+  /// Original value for a code of key column `k` (Value() for kNullCode).
+  Value Decode(size_t k, uint32_t code) const;
+
+  /// Resolves a literal to its code in key column `k`; NotFound when the
+  /// value never occurs in the data.
+  Result<uint32_t> CodeForValue(size_t k, const Value& v) const;
+
+  /// Product of cardinalities — the size of the finest cuboid's key space.
+  uint64_t KeySpaceSize() const;
+
+ private:
+  struct ColumnCodec {
+    const CategoricalColumn* categorical = nullptr;  // fast path
+    std::vector<uint32_t> int_codes;                 // per-row codes
+    std::vector<int64_t> int_values;                 // code -> value
+    std::unordered_map<int64_t, uint32_t> int_index;
+    uint32_t cardinality = 0;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<ColumnCodec> cols_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_EXEC_KEY_ENCODER_H_

@@ -1,0 +1,136 @@
+#include "loss/mean_loss.h"
+
+#include <cmath>
+
+namespace tabula {
+
+namespace {
+
+constexpr double kDegenerateMean = 1e-12;
+
+class MeanBoundLoss final : public BoundLoss {
+ public:
+  MeanBoundLoss(const DoubleColumn* col, double ref_avg, bool ref_empty)
+      : col_(col), ref_avg_(ref_avg), ref_empty_(ref_empty) {}
+
+  void Accumulate(LossState* state, RowId row) const override {
+    state->num.Add(col_->At(row));
+  }
+
+  double Finalize(const LossState& state) const override {
+    return MeanLoss::RelativeMeanError(state.num.Avg(), ref_avg_,
+                                       ref_empty_ || state.num.count == 0);
+  }
+
+ private:
+  const DoubleColumn* col_;
+  double ref_avg_;
+  bool ref_empty_;
+};
+
+class MeanGreedyEvaluator final : public GreedyLossEvaluator {
+ public:
+  MeanGreedyEvaluator(const DatasetView& raw, const DoubleColumn* col)
+      : raw_(raw), col_(col) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      raw_state_.Add(col_->At(raw.row(i)));
+    }
+  }
+
+  double CurrentLoss() const override {
+    if (chosen_.count == 0) return kInfiniteLoss;
+    return MeanLoss::RelativeMeanError(raw_state_.Avg(), chosen_.Avg(),
+                                       false);
+  }
+
+  double LossWithCandidate(size_t candidate) const override {
+    double v = col_->At(raw_.row(candidate));
+    double count = chosen_.count + 1;
+    double avg = (chosen_.sum + v) / count;
+    return MeanLoss::RelativeMeanError(raw_state_.Avg(), avg, false);
+  }
+
+  void Add(size_t candidate) override {
+    chosen_.Add(col_->At(raw_.row(candidate)));
+  }
+
+  size_t raw_size() const override { return raw_.size(); }
+
+ private:
+  DatasetView raw_;
+  const DoubleColumn* col_;
+  NumericAggState raw_state_;
+  NumericAggState chosen_;
+};
+
+}  // namespace
+
+double MeanLoss::RelativeMeanError(double raw_avg, double sample_avg,
+                                   bool sample_empty) {
+  if (sample_empty) return kInfiniteLoss;
+  if (std::abs(raw_avg) < kDegenerateMean) {
+    return std::abs(sample_avg - raw_avg) < kDegenerateMean ? 0.0
+                                                            : kInfiniteLoss;
+  }
+  return std::abs((raw_avg - sample_avg) / raw_avg);
+}
+
+Result<const DoubleColumn*> MeanLoss::TargetColumn(const Table& table) const {
+  TABULA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(target_));
+  const auto* dcol = col->As<DoubleColumn>();
+  if (dcol == nullptr) {
+    return Status::TypeMismatch("mean_loss target '" + target_ +
+                                "' must be a DOUBLE column");
+  }
+  return dcol;
+}
+
+Result<std::unique_ptr<BoundLoss>> MeanLoss::Bind(
+    const Table& table, const DatasetView& ref) const {
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col, TargetColumn(table));
+  NumericAggState ref_state;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ref_state.Add(col->At(ref.row(i)));
+  }
+  return std::unique_ptr<BoundLoss>(std::make_unique<MeanBoundLoss>(
+      col, ref_state.Avg(), ref_state.count == 0));
+}
+
+Result<double> MeanLoss::Loss(const DatasetView& raw,
+                              const DatasetView& sample) const {
+  if (raw.table() == nullptr) {
+    return Status::InvalidArgument("raw view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col, TargetColumn(*raw.table()));
+  NumericAggState raw_state;
+  for (size_t i = 0; i < raw.size(); ++i) raw_state.Add(col->At(raw.row(i)));
+  NumericAggState sam_state;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    sam_state.Add(col->At(sample.row(i)));
+  }
+  return RelativeMeanError(raw_state.Avg(), sam_state.Avg(),
+                           sam_state.count == 0);
+}
+
+std::vector<double> MeanLoss::Signature(const DatasetView& view) const {
+  if (view.table() == nullptr || view.empty()) return {0.0};
+  auto col = TargetColumn(*view.table());
+  if (!col.ok()) return {0.0};
+  NumericAggState state;
+  for (size_t i = 0; i < view.size(); ++i) {
+    state.Add(col.value()->At(view.row(i)));
+  }
+  return {state.Avg()};
+}
+
+Result<std::unique_ptr<GreedyLossEvaluator>> MeanLoss::MakeGreedyEvaluator(
+    const DatasetView& raw) const {
+  if (raw.table() == nullptr) {
+    return Status::InvalidArgument("raw view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col, TargetColumn(*raw.table()));
+  return std::unique_ptr<GreedyLossEvaluator>(
+      std::make_unique<MeanGreedyEvaluator>(raw, col));
+}
+
+}  // namespace tabula

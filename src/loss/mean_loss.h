@@ -1,0 +1,47 @@
+#ifndef TABULA_LOSS_MEAN_LOSS_H_
+#define TABULA_LOSS_MEAN_LOSS_H_
+
+#include <string>
+
+#include "loss/loss_function.h"
+
+namespace tabula {
+
+/// \brief Statistical-mean accuracy loss (paper Function 1):
+///
+///   loss(Raw, Sam) = ABS((AVG(Raw) − AVG(Sam)) / AVG(Raw))
+///
+/// The relative error between the sample mean and the raw mean of the
+/// target attribute. Degenerate raw means (|AVG(Raw)| < epsilon) yield a
+/// loss of 0 when the sample mean matches and +inf otherwise, so empty or
+/// zero-mean cells never silently pass the threshold.
+class MeanLoss final : public LossFunction {
+ public:
+  /// \param target_column numeric attribute the analysis averages
+  ///        (fare_amount in the paper's experiments).
+  explicit MeanLoss(std::string target_column)
+      : target_(std::move(target_column)) {}
+
+  std::string name() const override { return "mean_loss"; }
+  Result<std::unique_ptr<BoundLoss>> Bind(
+      const Table& table, const DatasetView& ref) const override;
+  Result<double> Loss(const DatasetView& raw,
+                      const DatasetView& sample) const override;
+  Result<std::unique_ptr<GreedyLossEvaluator>> MakeGreedyEvaluator(
+      const DatasetView& raw) const override;
+  std::vector<std::string> InputColumns() const override { return {target_}; }
+  std::vector<double> Signature(const DatasetView& view) const override;
+
+  /// Shared formula so all evaluation paths agree exactly.
+  static double RelativeMeanError(double raw_avg, double sample_avg,
+                                  bool sample_empty);
+
+ private:
+  Result<const DoubleColumn*> TargetColumn(const Table& table) const;
+
+  std::string target_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_LOSS_MEAN_LOSS_H_

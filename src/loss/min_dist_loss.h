@@ -1,0 +1,68 @@
+#ifndef TABULA_LOSS_MIN_DIST_LOSS_H_
+#define TABULA_LOSS_MIN_DIST_LOSS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loss/loss_function.h"
+#include "loss/spatial.h"
+
+namespace tabula {
+
+/// \brief Visualization-aware accuracy loss (paper Function 2, from
+/// VAS/POIsam):
+///
+///   loss(Raw, Sam) = (1/|Raw|) Σ_{x∈Raw} MIN_{s∈Sam} dist(x, s)
+///
+/// The average distance from each raw tuple to its nearest sample tuple.
+/// Instantiated in 2-D over (x, y) pickup coordinates it is the paper's
+/// *geospatial heat-map-aware* loss; in 1-D over a numeric attribute it is
+/// the *histogram-aware* loss (Section V "User defined accuracy loss
+/// functions").
+///
+/// The greedy gain of adding a tuple is a facility-location objective and
+/// hence submodular, which is what justifies POIsam's lazy-forward
+/// acceleration (SubmodularGain() == true).
+class MinDistLoss final : public LossFunction {
+ public:
+  /// \param name        registry name ("heatmap_loss" / "histogram_loss").
+  /// \param coord_columns one (1-D) or two (2-D) DOUBLE columns.
+  /// \param metric      distance metric between tuples.
+  MinDistLoss(std::string name, std::vector<std::string> coord_columns,
+              DistanceMetric metric = DistanceMetric::kEuclidean);
+
+  std::string name() const override { return name_; }
+  Result<std::unique_ptr<BoundLoss>> Bind(
+      const Table& table, const DatasetView& ref) const override;
+  Result<double> Loss(const DatasetView& raw,
+                      const DatasetView& sample) const override;
+  Result<std::unique_ptr<GreedyLossEvaluator>> MakeGreedyEvaluator(
+      const DatasetView& raw) const override;
+  bool SubmodularGain() const override { return true; }
+  std::vector<std::string> InputColumns() const override { return columns_; }
+  std::vector<double> Signature(const DatasetView& view) const override;
+
+  DistanceMetric metric() const { return metric_; }
+
+ private:
+  /// Extracts the viewed rows as points (y = 0 for 1-D losses).
+  Result<std::vector<Point>> ExtractPoints(const DatasetView& view) const;
+
+  std::string name_;
+  std::vector<std::string> columns_;
+  DistanceMetric metric_;
+};
+
+/// The paper's geospatial heat-map-aware loss over pickup coordinates.
+std::unique_ptr<LossFunction> MakeHeatmapLoss(
+    const std::string& x_column, const std::string& y_column,
+    DistanceMetric metric = DistanceMetric::kEuclidean);
+
+/// The paper's histogram-aware loss over one numeric attribute
+/// (fare_amount in the experiments; unit = US dollar).
+std::unique_ptr<LossFunction> MakeHistogramLoss(const std::string& column);
+
+}  // namespace tabula
+
+#endif  // TABULA_LOSS_MIN_DIST_LOSS_H_

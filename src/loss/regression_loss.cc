@@ -1,0 +1,148 @@
+#include "loss/regression_loss.h"
+
+#include <cmath>
+
+namespace tabula {
+
+namespace {
+
+double AngleDiff(const RegressionAggState& raw, const RegressionAggState& sam,
+                 bool sample_empty) {
+  if (sample_empty) return kInfiniteLoss;
+  return std::abs(raw.AngleDegrees() - sam.AngleDegrees());
+}
+
+class RegressionBoundLoss final : public BoundLoss {
+ public:
+  RegressionBoundLoss(const DoubleColumn* x_col, const DoubleColumn* y_col,
+                      RegressionAggState ref_state, bool ref_empty)
+      : x_col_(x_col),
+        y_col_(y_col),
+        ref_state_(ref_state),
+        ref_empty_(ref_empty) {}
+
+  void Accumulate(LossState* state, RowId row) const override {
+    state->reg.Add(x_col_->At(row), y_col_->At(row));
+  }
+
+  double Finalize(const LossState& state) const override {
+    if (state.reg.n == 0) return 0.0;  // empty cell
+    return AngleDiff(state.reg, ref_state_, ref_empty_);
+  }
+
+ private:
+  const DoubleColumn* x_col_;
+  const DoubleColumn* y_col_;
+  RegressionAggState ref_state_;
+  bool ref_empty_;
+};
+
+class RegressionGreedyEvaluator final : public GreedyLossEvaluator {
+ public:
+  RegressionGreedyEvaluator(const DatasetView& raw, const DoubleColumn* x_col,
+                            const DoubleColumn* y_col)
+      : raw_(raw), x_col_(x_col), y_col_(y_col) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      RowId r = raw.row(i);
+      raw_state_.Add(x_col_->At(r), y_col_->At(r));
+    }
+  }
+
+  double CurrentLoss() const override {
+    return AngleDiff(raw_state_, chosen_, chosen_.n == 0);
+  }
+
+  double LossWithCandidate(size_t candidate) const override {
+    RowId r = raw_.row(candidate);
+    RegressionAggState next = chosen_;
+    next.Add(x_col_->At(r), y_col_->At(r));
+    return AngleDiff(raw_state_, next, false);
+  }
+
+  void Add(size_t candidate) override {
+    RowId r = raw_.row(candidate);
+    chosen_.Add(x_col_->At(r), y_col_->At(r));
+  }
+
+  size_t raw_size() const override { return raw_.size(); }
+
+ private:
+  DatasetView raw_;
+  const DoubleColumn* x_col_;
+  const DoubleColumn* y_col_;
+  RegressionAggState raw_state_;
+  RegressionAggState chosen_;
+};
+
+}  // namespace
+
+Result<std::pair<const DoubleColumn*, const DoubleColumn*>>
+RegressionLoss::Columns(const Table& table) const {
+  TABULA_ASSIGN_OR_RETURN(const Column* xc, table.ColumnByName(x_));
+  TABULA_ASSIGN_OR_RETURN(const Column* yc, table.ColumnByName(y_));
+  const auto* x_col = xc->As<DoubleColumn>();
+  const auto* y_col = yc->As<DoubleColumn>();
+  if (x_col == nullptr || y_col == nullptr) {
+    return Status::TypeMismatch(
+        "regression_loss columns must be DOUBLE (got '" + x_ + "', '" + y_ +
+        "')");
+  }
+  return std::make_pair(x_col, y_col);
+}
+
+Result<std::unique_ptr<BoundLoss>> RegressionLoss::Bind(
+    const Table& table, const DatasetView& ref) const {
+  TABULA_ASSIGN_OR_RETURN(auto cols, Columns(table));
+  RegressionAggState ref_state;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    RowId r = ref.row(i);
+    ref_state.Add(cols.first->At(r), cols.second->At(r));
+  }
+  return std::unique_ptr<BoundLoss>(std::make_unique<RegressionBoundLoss>(
+      cols.first, cols.second, ref_state, ref_state.n == 0));
+}
+
+Result<double> RegressionLoss::Loss(const DatasetView& raw,
+                                    const DatasetView& sample) const {
+  if (raw.table() == nullptr) {
+    return Status::InvalidArgument("raw view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(auto cols, Columns(*raw.table()));
+  RegressionAggState raw_state;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    RowId r = raw.row(i);
+    raw_state.Add(cols.first->At(r), cols.second->At(r));
+  }
+  RegressionAggState sam_state;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    RowId r = sample.row(i);
+    sam_state.Add(cols.first->At(r), cols.second->At(r));
+  }
+  if (raw_state.n == 0) return 0.0;
+  return AngleDiff(raw_state, sam_state, sam_state.n == 0);
+}
+
+std::vector<double> RegressionLoss::Signature(const DatasetView& view) const {
+  if (view.table() == nullptr || view.empty()) return {0.0};
+  auto cols = Columns(*view.table());
+  if (!cols.ok()) return {0.0};
+  RegressionAggState state;
+  for (size_t i = 0; i < view.size(); ++i) {
+    RowId r = view.row(i);
+    state.Add(cols.value().first->At(r), cols.value().second->At(r));
+  }
+  return {state.AngleDegrees()};
+}
+
+Result<std::unique_ptr<GreedyLossEvaluator>>
+RegressionLoss::MakeGreedyEvaluator(const DatasetView& raw) const {
+  if (raw.table() == nullptr) {
+    return Status::InvalidArgument("raw view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(auto cols, Columns(*raw.table()));
+  return std::unique_ptr<GreedyLossEvaluator>(
+      std::make_unique<RegressionGreedyEvaluator>(raw, cols.first,
+                                                  cols.second));
+}
+
+}  // namespace tabula

@@ -1,0 +1,42 @@
+#ifndef TABULA_LOSS_REGRESSION_LOSS_H_
+#define TABULA_LOSS_REGRESSION_LOSS_H_
+
+#include <string>
+
+#include "loss/loss_function.h"
+
+namespace tabula {
+
+/// \brief Linear-regression accuracy loss (paper Function 3):
+///
+///   loss(Raw, Sam) = ABS(angle(Raw) − angle(Sam))
+///
+/// where angle() is the least-squares regression-line slope converted to
+/// degrees (Section II). The paper's experiments regress tip amount (y)
+/// on fare amount (x).
+class RegressionLoss final : public LossFunction {
+ public:
+  RegressionLoss(std::string x_column, std::string y_column)
+      : x_(std::move(x_column)), y_(std::move(y_column)) {}
+
+  std::string name() const override { return "regression_loss"; }
+  Result<std::unique_ptr<BoundLoss>> Bind(
+      const Table& table, const DatasetView& ref) const override;
+  Result<double> Loss(const DatasetView& raw,
+                      const DatasetView& sample) const override;
+  Result<std::unique_ptr<GreedyLossEvaluator>> MakeGreedyEvaluator(
+      const DatasetView& raw) const override;
+  std::vector<std::string> InputColumns() const override { return {x_, y_}; }
+  std::vector<double> Signature(const DatasetView& view) const override;
+
+ private:
+  Result<std::pair<const DoubleColumn*, const DoubleColumn*>> Columns(
+      const Table& table) const;
+
+  std::string x_;
+  std::string y_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_LOSS_REGRESSION_LOSS_H_

@@ -1,0 +1,159 @@
+#include "loss/topk_loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "loss/mean_loss.h"
+
+namespace tabula {
+
+namespace {
+
+/// Inserts v into a descending top-k list in place.
+void PushTopK(std::vector<double>* topk, double v, uint32_t k) {
+  auto it = std::lower_bound(topk->begin(), topk->end(), v,
+                             std::greater<double>());
+  if (it == topk->end() && topk->size() >= k) return;
+  topk->insert(it, v);
+  if (topk->size() > k) topk->pop_back();
+}
+
+class TopKBoundLoss final : public BoundLoss {
+ public:
+  TopKBoundLoss(const DoubleColumn* col, uint32_t k, double ref_topk_avg,
+                bool ref_empty)
+      : col_(col), k_(k), ref_avg_(ref_topk_avg), ref_empty_(ref_empty) {}
+
+  void Accumulate(LossState* state, RowId row) const override {
+    state->topk_k = k_;
+    state->num.Add(col_->At(row));  // count rides along
+    PushTopK(&state->topk, col_->At(row), k_);
+  }
+
+  double Finalize(const LossState& state) const override {
+    if (state.topk.empty()) return 0.0;  // empty cell
+    return TopKLoss::RelativeTopKError(TopKLoss::TopKAvg(state.topk),
+                                       ref_avg_, ref_empty_);
+  }
+
+ private:
+  const DoubleColumn* col_;
+  uint32_t k_;
+  double ref_avg_;
+  bool ref_empty_;
+};
+
+class TopKGreedyEvaluator final : public GreedyLossEvaluator {
+ public:
+  TopKGreedyEvaluator(const DatasetView& raw, const DoubleColumn* col,
+                      uint32_t k)
+      : raw_(raw), col_(col), k_(k) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      PushTopK(&raw_topk_, col_->At(raw.row(i)), k_);
+    }
+    raw_avg_ = TopKLoss::TopKAvg(raw_topk_);
+  }
+
+  double CurrentLoss() const override {
+    if (chosen_topk_.empty()) return kInfiniteLoss;
+    return TopKLoss::RelativeTopKError(raw_avg_,
+                                       TopKLoss::TopKAvg(chosen_topk_),
+                                       false);
+  }
+
+  double LossWithCandidate(size_t candidate) const override {
+    std::vector<double> next = chosen_topk_;
+    PushTopK(&next, col_->At(raw_.row(candidate)), k_);
+    return TopKLoss::RelativeTopKError(raw_avg_, TopKLoss::TopKAvg(next),
+                                       false);
+  }
+
+  void Add(size_t candidate) override {
+    PushTopK(&chosen_topk_, col_->At(raw_.row(candidate)), k_);
+  }
+
+  size_t raw_size() const override { return raw_.size(); }
+
+ private:
+  DatasetView raw_;
+  const DoubleColumn* col_;
+  uint32_t k_;
+  std::vector<double> raw_topk_;
+  double raw_avg_ = 0.0;
+  std::vector<double> chosen_topk_;
+};
+
+}  // namespace
+
+double TopKLoss::TopKAvg(const std::vector<double>& topk_desc) {
+  if (topk_desc.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : topk_desc) sum += v;
+  return sum / static_cast<double>(topk_desc.size());
+}
+
+double TopKLoss::RelativeTopKError(double raw_avg, double sample_avg,
+                                   bool sample_empty) {
+  // Same degenerate handling as the mean loss.
+  return MeanLoss::RelativeMeanError(raw_avg, sample_avg, sample_empty);
+}
+
+Result<const DoubleColumn*> TopKLoss::TargetColumn(const Table& table) const {
+  TABULA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(target_));
+  const auto* dcol = col->As<DoubleColumn>();
+  if (dcol == nullptr) {
+    return Status::TypeMismatch("topk_loss target '" + target_ +
+                                "' must be a DOUBLE column");
+  }
+  return dcol;
+}
+
+Result<std::vector<double>> TopKLoss::TopKOf(const DatasetView& view) const {
+  if (view.table() == nullptr) {
+    return Status::InvalidArgument("view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col,
+                          TargetColumn(*view.table()));
+  std::vector<double> topk;
+  for (size_t i = 0; i < view.size(); ++i) {
+    PushTopK(&topk, col->At(view.row(i)), k_);
+  }
+  return topk;
+}
+
+Result<std::unique_ptr<BoundLoss>> TopKLoss::Bind(
+    const Table& table, const DatasetView& ref) const {
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col, TargetColumn(table));
+  TABULA_ASSIGN_OR_RETURN(std::vector<double> ref_topk, TopKOf(ref));
+  return std::unique_ptr<BoundLoss>(std::make_unique<TopKBoundLoss>(
+      col, k_, TopKAvg(ref_topk), ref_topk.empty()));
+}
+
+Result<double> TopKLoss::Loss(const DatasetView& raw,
+                              const DatasetView& sample) const {
+  TABULA_ASSIGN_OR_RETURN(std::vector<double> raw_topk, TopKOf(raw));
+  TABULA_ASSIGN_OR_RETURN(std::vector<double> sam_topk, TopKOf(sample));
+  if (raw_topk.empty()) return 0.0;
+  return RelativeTopKError(TopKAvg(raw_topk), TopKAvg(sam_topk),
+                           sam_topk.empty());
+}
+
+Result<std::unique_ptr<GreedyLossEvaluator>> TopKLoss::MakeGreedyEvaluator(
+    const DatasetView& raw) const {
+  if (raw.table() == nullptr) {
+    return Status::InvalidArgument("raw view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col,
+                          TargetColumn(*raw.table()));
+  return std::unique_ptr<GreedyLossEvaluator>(
+      std::make_unique<TopKGreedyEvaluator>(raw, col, k_));
+}
+
+std::vector<double> TopKLoss::Signature(const DatasetView& view) const {
+  auto topk = TopKOf(view);
+  if (!topk.ok()) return {0.0};
+  return {TopKAvg(topk.value())};
+}
+
+}  // namespace tabula

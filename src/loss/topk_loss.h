@@ -1,0 +1,60 @@
+#ifndef TABULA_LOSS_TOPK_LOSS_H_
+#define TABULA_LOSS_TOPK_LOSS_H_
+
+#include <string>
+#include <vector>
+
+#include "loss/loss_function.h"
+
+namespace tabula {
+
+/// \brief TOP-K accuracy loss.
+///
+/// The paper lists TOP-K among the distributive/algebraic aggregates a
+/// user-defined loss may use (Section II) without evaluating one; this is
+/// the natural instantiation:
+///
+///   loss(Raw, Sam) = ABS((TopKAvg(Raw) − TopKAvg(Sam)) / TopKAvg(Raw))
+///
+/// where TopKAvg is the mean of the k largest values of the target
+/// attribute. A sample within θ preserves the dashboard's "top fares" /
+/// "largest tips" style panels. TOP-K is distributive (merging two top-k
+/// lists and re-trimming keeps the k largest), so the dry-run roll-up
+/// applies unchanged; LossState::topk carries the list.
+class TopKLoss final : public LossFunction {
+ public:
+  TopKLoss(std::string target_column, uint32_t k)
+      : target_(std::move(target_column)), k_(k == 0 ? 1 : k) {}
+
+  std::string name() const override {
+    return "topk_loss_k" + std::to_string(k_);
+  }
+  Result<std::unique_ptr<BoundLoss>> Bind(
+      const Table& table, const DatasetView& ref) const override;
+  Result<double> Loss(const DatasetView& raw,
+                      const DatasetView& sample) const override;
+  Result<std::unique_ptr<GreedyLossEvaluator>> MakeGreedyEvaluator(
+      const DatasetView& raw) const override;
+  std::vector<std::string> InputColumns() const override { return {target_}; }
+  std::vector<double> Signature(const DatasetView& view) const override;
+
+  uint32_t k() const { return k_; }
+
+  /// Mean of the (at most k) largest values in a descending-sorted list.
+  static double TopKAvg(const std::vector<double>& topk_desc);
+  /// The shared formula (relative error; +inf for empty samples).
+  static double RelativeTopKError(double raw_avg, double sample_avg,
+                                  bool sample_empty);
+
+ private:
+  Result<const DoubleColumn*> TargetColumn(const Table& table) const;
+  /// Descending k largest values of the target attribute over `view`.
+  Result<std::vector<double>> TopKOf(const DatasetView& view) const;
+
+  std::string target_;
+  uint32_t k_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_LOSS_TOPK_LOSS_H_

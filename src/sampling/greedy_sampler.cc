@@ -1,0 +1,187 @@
+#include "sampling/greedy_sampler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace tabula {
+
+namespace {
+
+/// Lazy-forward heap entry: a stale upper bound on a candidate's gain.
+struct HeapEntry {
+  double gain_bound;
+  size_t candidate;
+  size_t round;  // round the bound was computed in
+  bool operator<(const HeapEntry& o) const { return gain_bound < o.gain_bound; }
+};
+
+}  // namespace
+
+GreedySampler::GreedySampler(const LossFunction* loss, double threshold,
+                             GreedySamplerOptions options)
+    : loss_(loss), threshold_(threshold), options_(options) {
+  TABULA_CHECK(loss_ != nullptr);
+}
+
+Result<std::vector<RowId>> GreedySampler::Sample(
+    const DatasetView& raw, GreedySamplerStats* stats) const {
+  GreedySamplerStats local_stats;
+  GreedySamplerStats* st = stats != nullptr ? stats : &local_stats;
+  *st = GreedySamplerStats{};
+
+  if (raw.empty()) return std::vector<RowId>{};
+
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<GreedyLossEvaluator> eval,
+                          loss_->MakeGreedyEvaluator(raw));
+  const size_t n = eval->raw_size();
+
+  // Candidate pool (optionally capped; grows on demand — the termination
+  // check is always against the full raw data, so capping never weakens
+  // the deterministic guarantee).
+  Rng rng(options_.seed);
+  std::vector<size_t> pool_order(n);
+  for (size_t i = 0; i < n; ++i) pool_order[i] = i;
+  rng.Shuffle(&pool_order);
+  size_t pool_size = n;
+  if (options_.max_candidates > 0 && options_.max_candidates < n) {
+    pool_size = options_.max_candidates;
+  }
+  std::vector<char> in_sample(n, 0);
+  std::vector<RowId> sample;
+
+  const bool use_lazy = options_.lazy_forward && loss_->SubmodularGain();
+  std::priority_queue<HeapEntry> heap;
+  bool heap_initialized = false;
+
+  auto& pool = ThreadPool::Global();
+  std::atomic<size_t> eval_count{0};
+
+  // Parallel exhaustive scan over the active candidate pool; returns the
+  // candidate with minimal loss-with-candidate, or n when none remain.
+  auto ExhaustiveBest = [&]() -> std::pair<size_t, double> {
+    size_t chunks = pool.num_threads() + 1;
+    std::vector<std::pair<double, size_t>> best_per_chunk(
+        chunks, {kInfiniteLoss, n});
+    pool.ParallelForChunked(
+        pool_size, [&](size_t chunk, size_t begin, size_t end) {
+          double best_loss = kInfiniteLoss;
+          size_t best_cand = n;
+          size_t evals = 0;
+          for (size_t i = begin; i < end; ++i) {
+            size_t cand = pool_order[i];
+            if (in_sample[cand]) continue;
+            double l = eval->LossWithCandidate(cand);
+            ++evals;
+            if (l < best_loss) {
+              best_loss = l;
+              best_cand = cand;
+            }
+          }
+          best_per_chunk[chunk] = {best_loss, best_cand};
+          eval_count.fetch_add(evals, std::memory_order_relaxed);
+        });
+    std::pair<double, size_t> best{kInfiniteLoss, n};
+    for (const auto& b : best_per_chunk) {
+      if (b.second != n && b.first < best.first) best = b;
+    }
+    return {best.second, best.first};
+  };
+
+  // Lazy-forward (CELF): gains only shrink for submodular losses, so a
+  // stale bound that still tops the heap after re-evaluation is the true
+  // argmax.
+  auto LazyBest = [&](size_t round) -> size_t {
+    if (!heap_initialized) {
+      // Round one is inherently exhaustive; seed the heap with real gains.
+      double cur = eval->InternalLoss();
+      std::vector<HeapEntry> entries(pool_size);
+      pool.ParallelForChunked(
+          pool_size, [&](size_t, size_t begin, size_t end) {
+            size_t evals = 0;
+            for (size_t i = begin; i < end; ++i) {
+              size_t cand = pool_order[i];
+              entries[i] = {cur - eval->LossWithCandidate(cand), cand, round};
+              ++evals;
+            }
+            eval_count.fetch_add(evals, std::memory_order_relaxed);
+          });
+      for (const auto& e : entries) heap.push(e);
+      heap_initialized = true;
+    }
+    while (!heap.empty()) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      if (in_sample[top.candidate]) continue;
+      if (top.round == round) return top.candidate;
+      double gain =
+          eval->InternalLoss() - eval->LossWithCandidate(top.candidate);
+      eval_count.fetch_add(1, std::memory_order_relaxed);
+      heap.push({gain, top.candidate, round});
+    }
+    return n;
+  };
+
+  auto GrowPool = [&]() -> bool {
+    if (pool_size >= n) return false;
+    size_t new_size = std::min(n, pool_size * 2);
+    if (use_lazy && heap_initialized) {
+      // Newly admitted candidates enter with an infinite bound so they get
+      // evaluated on their first pop.
+      for (size_t i = pool_size; i < new_size; ++i) {
+        heap.push({kInfiniteLoss, pool_order[i], static_cast<size_t>(-1)});
+      }
+    }
+    pool_size = new_size;
+    ++st->pool_growths;
+    return true;
+  };
+
+  size_t round = 0;
+  while (eval->CurrentLoss() > threshold_) {
+    if (options_.max_sample_size > 0 &&
+        sample.size() >= options_.max_sample_size) {
+      break;
+    }
+    if (sample.size() >= n) break;  // whole dataset chosen
+    ++round;
+    ++st->rounds;
+
+    size_t best;
+    if (use_lazy) {
+      best = LazyBest(round);
+    } else {
+      auto [cand, loss] = ExhaustiveBest();
+      (void)loss;
+      best = cand;
+    }
+    if (best == n) {
+      // Pool exhausted above the threshold: widen it and retry.
+      if (!GrowPool()) break;
+      --round;
+      --st->rounds;
+      continue;
+    }
+    eval->Add(best);
+    in_sample[best] = 1;
+    sample.push_back(raw.row(best));
+  }
+
+  st->loss_evaluations = eval_count.load();
+
+  if (eval->CurrentLoss() > threshold_ && options_.max_sample_size == 0 &&
+      sample.size() < n) {
+    // Defensive: should be unreachable (loss(T, T) == 0 for all built-in
+    // losses); fall back to the full cell so the guarantee always holds.
+    TABULA_LOG(Warn) << "greedy sampler could not reach threshold "
+                     << threshold_ << "; returning the full cell";
+    return raw.ToRowIds();
+  }
+  return sample;
+}
+
+}  // namespace tabula

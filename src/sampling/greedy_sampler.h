@@ -1,0 +1,70 @@
+#ifndef TABULA_SAMPLING_GREEDY_SAMPLER_H_
+#define TABULA_SAMPLING_GREEDY_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "loss/loss_function.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Tuning knobs for the greedy accuracy-loss-aware sampler.
+struct GreedySamplerOptions {
+  /// POIsam's lazy-forward acceleration: keep stale gain upper bounds in a
+  /// max-heap and only re-evaluate the top. Exact for submodular gains
+  /// (min-distance losses); for non-submodular losses the sampler falls
+  /// back to exhaustive rounds regardless of this flag.
+  bool lazy_forward = true;
+
+  /// Caps the candidate pool per cell: candidates are drawn uniformly from
+  /// the raw data, the pool doubles whenever greedy selection stalls above
+  /// the threshold, and the termination check always evaluates the loss
+  /// against *all* raw tuples — so the deterministic guarantee is
+  /// unaffected. 0 disables the cap.
+  size_t max_candidates = 1024;
+
+  /// Hard cap on sample size (0 = none). The guarantee requires no cap;
+  /// this exists for experimentation only.
+  size_t max_sample_size = 0;
+
+  /// Seed for candidate-pool draws.
+  uint64_t seed = 42;
+};
+
+/// Progress counters from one SAMPLING() invocation.
+struct GreedySamplerStats {
+  size_t rounds = 0;
+  size_t loss_evaluations = 0;
+  size_t pool_growths = 0;
+};
+
+/// \brief The paper's SAMPLING(*, θ) aggregate — Algorithm 1.
+///
+/// Greedily grows a sample t ⊆ T, each round adding the tuple that
+/// minimizes loss(T, t + tp), until loss(T, t) <= θ. The produced sample
+/// is guaranteed to satisfy the threshold (the size may not be minimal —
+/// the sampling problem is the minimization version and greedy is the
+/// paper's chosen approximation).
+class GreedySampler {
+ public:
+  GreedySampler(const LossFunction* loss, double threshold,
+                GreedySamplerOptions options = {});
+
+  /// Draws a sample of `raw`; returns base-table row ids.
+  Result<std::vector<RowId>> Sample(const DatasetView& raw,
+                                    GreedySamplerStats* stats = nullptr) const;
+
+  double threshold() const { return threshold_; }
+  const GreedySamplerOptions& options() const { return options_; }
+
+ private:
+  const LossFunction* loss_;
+  double threshold_;
+  GreedySamplerOptions options_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_SAMPLING_GREEDY_SAMPLER_H_

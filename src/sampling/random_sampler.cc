@@ -1,0 +1,24 @@
+#include "sampling/random_sampler.h"
+
+#include <cmath>
+
+namespace tabula {
+
+std::vector<RowId> RandomSample(const DatasetView& view, size_t k, Rng* rng) {
+  size_t n = view.size();
+  if (k >= n) return view.ToRowIds();
+  std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(n), static_cast<uint32_t>(k));
+  std::vector<RowId> out;
+  out.reserve(picks.size());
+  for (uint32_t i : picks) out.push_back(view.row(i));
+  return out;
+}
+
+size_t SerflingSampleSize(double epsilon, double delta) {
+  if (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) return 1;
+  double k = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<size_t>(std::ceil(k));
+}
+
+}  // namespace tabula

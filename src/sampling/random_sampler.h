@@ -1,0 +1,28 @@
+#ifndef TABULA_SAMPLING_RANDOM_SAMPLER_H_
+#define TABULA_SAMPLING_RANDOM_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Draws `k` rows uniformly without replacement from `view`; returns
+/// base-table row ids. Returns all rows when k >= |view|.
+std::vector<RowId> RandomSample(const DatasetView& view, size_t k, Rng* rng);
+
+/// \brief Global-sample size from Serfling's inequality (Section III-B1).
+///
+/// Given relative error eps of the mean and confidence delta,
+///   k ≈ ln(2/δ) / (2 ε²).
+/// Tabula's defaults (ε=0.05, δ=0.01) give ~1060 tuples — the paper's
+/// "around 1000 tuples" for the 700M-row NYCtaxi table. The size is
+/// independent of the dataset's cardinality, which is why the global
+/// sample's memory footprint is flat across experiments.
+size_t SerflingSampleSize(double epsilon = 0.05, double delta = 0.01);
+
+}  // namespace tabula
+
+#endif  // TABULA_SAMPLING_RANDOM_SAMPLER_H_

@@ -1,0 +1,68 @@
+#include "sampling/stratified_sampler.h"
+
+#include <algorithm>
+
+#include "exec/group_by.h"
+#include "sampling/random_sampler.h"
+
+namespace tabula {
+
+Result<StratifiedSample> StratifiedSample::Build(
+    const Table& table, const std::vector<std::string>& qcs_columns,
+    const StratifiedSamplerOptions& options) {
+  TABULA_ASSIGN_OR_RETURN(KeyEncoder enc, KeyEncoder::Make(table, qcs_columns));
+  std::vector<size_t> all_cols(qcs_columns.size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  TABULA_ASSIGN_OR_RETURN(KeyPacker packer, KeyPacker::Make(enc, all_cols));
+
+  DatasetView all(&table);
+  GroupedRows groups = GroupRows(enc, packer, all);
+
+  StratifiedSample out;
+  out.qcs_columns_ = qcs_columns;
+  out.strata_.reserve(groups.keys.size());
+
+  size_t total_rows = table.num_rows();
+  Rng rng(options.seed);
+  for (size_t g = 0; g < groups.keys.size(); ++g) {
+    const auto& rows = groups.rows[g];
+    // Proportional share with a per-stratum floor.
+    size_t share = total_rows > 0
+                       ? (options.total_budget * rows.size()) / total_rows
+                       : 0;
+    size_t quota = std::max(options.min_per_stratum, share);
+    quota = std::min(quota, rows.size());
+
+    Stratum stratum;
+    stratum.key = groups.keys[g];
+    stratum.population = rows.size();
+    DatasetView group_view(&table, rows);
+    stratum.rows = RandomSample(group_view, quota, &rng);
+    out.index_.emplace(stratum.key, out.strata_.size());
+    out.strata_.push_back(std::move(stratum));
+  }
+  return out;
+}
+
+const Stratum* StratifiedSample::Find(uint64_t key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return &strata_[it->second];
+}
+
+size_t StratifiedSample::TotalSampledRows() const {
+  size_t total = 0;
+  for (const auto& s : strata_) total += s.rows.size();
+  return total;
+}
+
+uint64_t StratifiedSample::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& s : strata_) {
+    bytes += s.rows.capacity() * sizeof(RowId) + sizeof(Stratum);
+  }
+  bytes += index_.size() * (sizeof(uint64_t) + sizeof(size_t) + 16);
+  return bytes;
+}
+
+}  // namespace tabula

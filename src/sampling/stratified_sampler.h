@@ -1,0 +1,69 @@
+#ifndef TABULA_SAMPLING_STRATIFIED_SAMPLER_H_
+#define TABULA_SAMPLING_STRATIFIED_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Options for the stratified sampler (SnappyData/BlinkDB style).
+struct StratifiedSamplerOptions {
+  /// Total sample-size budget across all strata.
+  size_t total_budget = 100000;
+  /// Per-stratum floor — small populations keep representation, the key
+  /// idea behind stratified samples for group-by queries.
+  size_t min_per_stratum = 32;
+  uint64_t seed = 42;
+};
+
+/// One stratum of a stratified sample.
+struct Stratum {
+  /// Packed key on the Query Column Set (see KeyPacker).
+  uint64_t key = 0;
+  /// Size of the stratum's raw population.
+  size_t population = 0;
+  /// Sampled base-table row ids.
+  std::vector<RowId> rows;
+};
+
+/// \brief Stratified sample over a Query Column Set (QCS).
+///
+/// Implements the pre-built-sample strategy of SnappyData/BlinkDB used as
+/// the paper's AQP baseline (Section V): one uniform sample per distinct
+/// QCS combination, sized proportionally with a per-stratum floor.
+/// Knowing each stratum's true population also lets the baseline certify
+/// error bounds and fall back to the raw table when they cannot be met.
+class StratifiedSample {
+ public:
+  /// Builds a stratified sample on `qcs_columns` of `table`.
+  static Result<StratifiedSample> Build(
+      const Table& table, const std::vector<std::string>& qcs_columns,
+      const StratifiedSamplerOptions& options);
+
+  /// Stratum for a packed QCS key, or nullptr when absent.
+  const Stratum* Find(uint64_t key) const;
+
+  const std::vector<Stratum>& strata() const { return strata_; }
+  const std::vector<std::string>& qcs_columns() const { return qcs_columns_; }
+
+  /// Total sampled rows across strata.
+  size_t TotalSampledRows() const;
+
+  /// Memory held by the sampled row ids and stratum metadata.
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> qcs_columns_;
+  std::vector<Stratum> strata_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_SAMPLING_STRATIFIED_SAMPLER_H_

@@ -1,0 +1,108 @@
+#ifndef TABULA_SQL_AST_H_
+#define TABULA_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/predicate.h"
+
+namespace tabula {
+namespace sql {
+
+// ---------------------------------------------------------------------------
+// Loss-expression AST (the body of CREATE AGGREGATE, Section II)
+// ---------------------------------------------------------------------------
+
+/// Which dataset an aggregate term reads.
+enum class AggSource { kRaw, kSam };
+
+/// Aggregate functions usable inside a user-defined loss expression. All
+/// are distributive or algebraic, as the paper requires; ANGLE is the
+/// paper's regression-line angle (an algebraic measure over the two
+/// target attributes).
+enum class AggFunc { kAvg, kSum, kCount, kMin, kMax, kStdDev, kAngle };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Scalar expression node: number literal, aggregate reference, unary
+/// (ABS, negate) or binary (+ - * /) operation.
+struct Expr {
+  enum class Kind { kNumber, kAggRef, kAbs, kNegate, kAdd, kSub, kMul, kDiv };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;       // kNumber
+  AggFunc func = AggFunc::kAvg;  // kAggRef
+  AggSource source = AggSource::kRaw;  // kAggRef
+  ExprPtr left;   // unary operand / binary lhs
+  ExprPtr right;  // binary rhs
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// CREATE AGGREGATE name(Raw, Sam) RETURN decimal_value AS
+/// BEGIN <expr> END
+struct CreateAggregateStmt {
+  std::string name;
+  ExprPtr body;
+};
+
+/// CREATE TABLE cube AS SELECT attrs..., SAMPLING(*, θ) AS sample
+/// FROM tbl GROUP BY CUBE(attrs...)
+/// HAVING loss(attr[, attr2], SAM_GLOBAL) > θ
+struct CreateSamplingCubeStmt {
+  std::string cube_name;
+  std::string table_name;
+  std::vector<std::string> cubed_attributes;
+  double sampling_threshold = 0.0;
+  std::string loss_name;
+  /// Target attribute(s) of the loss (1 for mean/histogram, 2 for
+  /// heat map / regression / ANGLE-based expressions).
+  std::vector<std::string> loss_attributes;
+  double having_threshold = 0.0;
+};
+
+/// SELECT sample FROM cube WHERE a = 'x' AND b = 'y'
+struct SelectSampleStmt {
+  std::string cube_name;
+  std::vector<PredicateTerm> where;
+};
+
+/// One projection item of a plain SELECT: a column or AGG(column) /
+/// COUNT(*).
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFunc func = AggFunc::kAvg;
+  std::string column;  // empty for COUNT(*)
+};
+
+/// Plain data-system query:
+/// SELECT items FROM tbl [WHERE conj] [GROUP BY [CUBE(]cols[)]]
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  bool select_star = false;
+  std::string table_name;
+  std::vector<PredicateTerm> where;
+  std::vector<std::string> group_by;
+  /// GROUP BY CUBE(...): aggregate every subset of the grouping list
+  /// (2^n cuboids); rolled-up positions render as "(null)".
+  bool group_by_cube = false;
+  /// ORDER BY column of the *output* schema (aggregate columns use their
+  /// output names, e.g. "avg_fare_amount"); empty = unsorted.
+  std::string order_by;
+  bool order_desc = false;
+  /// LIMIT row cap; negative = unlimited.
+  int64_t limit = -1;
+};
+
+/// Any parsed statement.
+using Statement = std::variant<CreateAggregateStmt, CreateSamplingCubeStmt,
+                               SelectSampleStmt, SelectStmt>;
+
+}  // namespace sql
+}  // namespace tabula
+
+#endif  // TABULA_SQL_AST_H_

@@ -1,0 +1,456 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "exec/aggregate.h"
+#include "exec/group_by.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+#include "loss/regression_loss.h"
+#include "loss/topk_loss.h"
+#include "sql/expression.h"
+#include "sql/parser.h"
+
+namespace tabula {
+namespace sql {
+
+SqlEngine::SqlEngine() = default;
+
+Status SqlEngine::RegisterTable(const std::string& name,
+                                std::unique_ptr<Table> table) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+const Table* SqlEngine::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it != tables_.end() ? it->second.get() : nullptr;
+}
+
+const Tabula* SqlEngine::GetCube(const std::string& name) const {
+  auto it = cubes_.find(name);
+  return it != cubes_.end() ? it->second.cube.get() : nullptr;
+}
+
+Result<SqlEngine::ExecResult> SqlEngine::Execute(
+    const std::string& statement) {
+  TABULA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  if (auto* agg = std::get_if<CreateAggregateStmt>(&stmt)) {
+    return ExecCreateAggregate(std::move(*agg));
+  }
+  if (auto* cube = std::get_if<CreateSamplingCubeStmt>(&stmt)) {
+    return ExecCreateCube(*cube);
+  }
+  if (auto* sample = std::get_if<SelectSampleStmt>(&stmt)) {
+    return ExecSelectSample(*sample);
+  }
+  return ExecSelect(std::get<SelectStmt>(stmt));
+}
+
+Result<SqlEngine::ExecResult> SqlEngine::ExecCreateAggregate(
+    CreateAggregateStmt stmt) {
+  std::string key = ToLower(stmt.name);
+  if (user_aggregates_.count(key) > 0) {
+    return Status::AlreadyExists("aggregate '" + stmt.name +
+                                 "' already exists");
+  }
+  user_aggregates_.emplace(key,
+                           std::shared_ptr<const Expr>(std::move(stmt.body)));
+  ExecResult result;
+  result.message = "accuracy loss aggregate '" + stmt.name + "' registered";
+  return result;
+}
+
+Result<std::unique_ptr<LossFunction>> SqlEngine::MakeLoss(
+    const std::string& name, const std::vector<std::string>& attrs) const {
+  std::string key = ToLower(name);
+  auto need_attrs = [&](size_t n) -> Status {
+    if (attrs.size() != n) {
+      return Status::InvalidArgument(
+          "loss '" + name + "' expects " + std::to_string(n) +
+          " target attribute(s), got " + std::to_string(attrs.size()));
+    }
+    return Status::OK();
+  };
+  if (key == "mean_loss") {
+    TABULA_RETURN_NOT_OK(need_attrs(1));
+    return std::unique_ptr<LossFunction>(
+        std::make_unique<MeanLoss>(attrs[0]));
+  }
+  if (key == "heatmap_loss") {
+    TABULA_RETURN_NOT_OK(need_attrs(2));
+    return MakeHeatmapLoss(attrs[0], attrs[1]);
+  }
+  if (key == "histogram_loss") {
+    TABULA_RETURN_NOT_OK(need_attrs(1));
+    return MakeHistogramLoss(attrs[0]);
+  }
+  if (key == "regression_loss") {
+    TABULA_RETURN_NOT_OK(need_attrs(2));
+    return std::unique_ptr<LossFunction>(
+        std::make_unique<RegressionLoss>(attrs[0], attrs[1]));
+  }
+  if (key == "topk_loss") {
+    TABULA_RETURN_NOT_OK(need_attrs(1));
+    return std::unique_ptr<LossFunction>(
+        std::make_unique<TopKLoss>(attrs[0], 10));
+  }
+  auto it = user_aggregates_.find(key);
+  if (it == user_aggregates_.end()) {
+    return Status::NotFound(
+        "unknown loss '" + name +
+        "' (built-ins: mean_loss, heatmap_loss, histogram_loss, "
+        "regression_loss, topk_loss; or CREATE AGGREGATE it first)");
+  }
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<ExpressionLoss> loss,
+                          ExpressionLoss::Make(name, it->second, attrs));
+  return std::unique_ptr<LossFunction>(std::move(loss));
+}
+
+Result<SqlEngine::ExecResult> SqlEngine::ExecCreateCube(
+    const CreateSamplingCubeStmt& stmt) {
+  if (cubes_.count(stmt.cube_name) > 0) {
+    return Status::AlreadyExists("cube '" + stmt.cube_name +
+                                 "' already exists");
+  }
+  const Table* table = GetTable(stmt.table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table_name + "' not registered");
+  }
+  if (stmt.sampling_threshold != stmt.having_threshold) {
+    return Status::InvalidArgument(
+        "SAMPLING(*, θ) and HAVING ... > θ must use the same threshold");
+  }
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<LossFunction> loss,
+                          MakeLoss(stmt.loss_name, stmt.loss_attributes));
+
+  TabulaOptions options = cube_defaults_;
+  options.cubed_attributes = stmt.cubed_attributes;
+  options.loss = loss.get();
+  options.threshold = stmt.having_threshold;
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<Tabula> cube,
+                          Tabula::Initialize(*table, std::move(options)));
+
+  ExecResult result;
+  const auto& stats = cube->init_stats();
+  result.message =
+      "sampling cube '" + stmt.cube_name + "' created: " +
+      std::to_string(stats.total_cells) + " cells, " +
+      std::to_string(stats.iceberg_cells) + " iceberg cells, " +
+      std::to_string(stats.representative_samples) +
+      " representative samples, " + HumanBytes(stats.TotalBytes()) +
+      " in " + HumanMillis(stats.total_millis);
+  cubes_.emplace(stmt.cube_name,
+                 CubeEntry{std::move(loss), std::move(cube)});
+  return result;
+}
+
+Result<SqlEngine::ExecResult> SqlEngine::ExecSelectSample(
+    const SelectSampleStmt& stmt) {
+  auto it = cubes_.find(stmt.cube_name);
+  if (it == cubes_.end()) {
+    return Status::NotFound("sampling cube '" + stmt.cube_name +
+                            "' not found");
+  }
+  TABULA_ASSIGN_OR_RETURN(TabulaQueryResult answer,
+                          it->second.cube->Query(stmt.where));
+  ExecResult result;
+  result.sample = answer.sample;
+  result.has_sample = true;
+  result.from_local_sample = answer.from_local_sample;
+  result.message = std::to_string(answer.sample.size()) + " sample tuples (" +
+                   (answer.empty_cell
+                        ? "empty cell"
+                        : (answer.from_local_sample ? "local sample"
+                                                    : "global sample")) +
+                   ", " + HumanMillis(answer.data_system_millis) + ")";
+  return result;
+}
+
+namespace {
+
+Result<NumericAggState> AggregateColumn(const Table& table,
+                                        const DatasetView& view,
+                                        const std::string& column) {
+  TABULA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column));
+  NumericAggState state;
+  for (size_t i = 0; i < view.size(); ++i) {
+    RowId r = view.row(i);
+    switch (col->type()) {
+      case DataType::kDouble:
+        state.Add(col->As<DoubleColumn>()->At(r));
+        break;
+      case DataType::kInt64:
+        state.Add(static_cast<double>(col->As<Int64Column>()->At(r)));
+        break;
+      case DataType::kCategorical:
+        return Status::TypeMismatch("cannot aggregate categorical column '" +
+                                    column + "'");
+    }
+  }
+  return state;
+}
+
+double AggResult(AggFunc func, const NumericAggState& state) {
+  switch (func) {
+    case AggFunc::kAvg:
+      return state.Avg();
+    case AggFunc::kSum:
+      return state.sum;
+    case AggFunc::kCount:
+      return state.count;
+    case AggFunc::kMin:
+      return state.count > 0 ? state.min : 0.0;
+    case AggFunc::kMax:
+      return state.count > 0 ? state.max : 0.0;
+    case AggFunc::kStdDev:
+      return state.StdDev();
+    case AggFunc::kAngle:
+      return 0.0;  // not supported in plain SELECT
+  }
+  return 0.0;
+}
+
+const char* AggName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kStdDev:
+      return "std_dev";
+    case AggFunc::kAngle:
+      return "angle";
+  }
+  return "agg";
+}
+
+/// Applies ORDER BY / LIMIT to a finished result table.
+Status ApplyOrderLimit(const SelectStmt& stmt,
+                       std::unique_ptr<Table>* table) {
+  if (*table == nullptr) return Status::OK();
+  if (stmt.order_by.empty() &&
+      (stmt.limit < 0 ||
+       static_cast<size_t>(stmt.limit) >= (*table)->num_rows())) {
+    return Status::OK();
+  }
+  const Table& t = **table;
+  std::vector<RowId> order(t.num_rows());
+  for (RowId r = 0; r < t.num_rows(); ++r) order[r] = r;
+  if (!stmt.order_by.empty()) {
+    TABULA_ASSIGN_OR_RETURN(size_t idx,
+                            t.schema().FieldIndex(stmt.order_by));
+    const Column& col = t.column(idx);
+    auto less = [&](RowId a, RowId b) {
+      switch (col.type()) {
+        case DataType::kDouble:
+          return col.As<DoubleColumn>()->At(a) <
+                 col.As<DoubleColumn>()->At(b);
+        case DataType::kInt64:
+          return col.As<Int64Column>()->At(a) <
+                 col.As<Int64Column>()->At(b);
+        case DataType::kCategorical: {
+          const auto* cat = col.As<CategoricalColumn>();
+          return cat->dict().At(cat->CodeAt(a)) <
+                 cat->dict().At(cat->CodeAt(b));
+        }
+      }
+      return false;
+    };
+    std::stable_sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+      return stmt.order_desc ? less(b, a) : less(a, b);
+    });
+  }
+  if (stmt.limit >= 0 && order.size() > static_cast<size_t>(stmt.limit)) {
+    order.resize(static_cast<size_t>(stmt.limit));
+  }
+  *table = t.TakeRows(order);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SqlEngine::ExecResult> SqlEngine::ExecSelect(const SelectStmt& stmt) {
+  const Table* table = GetTable(stmt.table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table_name + "' not registered");
+  }
+  // WHERE filter.
+  DatasetView view(table);
+  if (!stmt.where.empty()) {
+    TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                            BoundPredicate::Bind(*table, stmt.where));
+    view = DatasetView(table, pred.FilterAll());
+  }
+
+  ExecResult result;
+  bool any_agg = stmt.select_star
+                     ? false
+                     : std::any_of(stmt.items.begin(), stmt.items.end(),
+                                   [](const SelectItem& i) {
+                                     return i.is_aggregate;
+                                   });
+
+  if (stmt.select_star || (!any_agg && stmt.group_by.empty())) {
+    // Row projection.
+    std::vector<size_t> col_idx;
+    std::vector<Field> fields;
+    if (stmt.select_star) {
+      for (size_t c = 0; c < table->schema().num_fields(); ++c) {
+        col_idx.push_back(c);
+        fields.push_back(table->schema().field(c));
+      }
+    } else {
+      for (const auto& item : stmt.items) {
+        TABULA_ASSIGN_OR_RETURN(size_t idx,
+                                table->schema().FieldIndex(item.column));
+        col_idx.push_back(idx);
+        fields.push_back(table->schema().field(idx));
+      }
+    }
+    auto out = std::make_unique<Table>(Schema(std::move(fields)));
+    out->Reserve(view.size());
+    std::vector<Value> row(col_idx.size());
+    for (size_t i = 0; i < view.size(); ++i) {
+      RowId r = view.row(i);
+      for (size_t c = 0; c < col_idx.size(); ++c) {
+        row[c] = table->GetValue(col_idx[c], r);
+      }
+      TABULA_RETURN_NOT_OK(out->AppendRow(row));
+    }
+    result.table = std::move(out);
+    TABULA_RETURN_NOT_OK(ApplyOrderLimit(stmt, &result.table));
+    result.message = std::to_string(result.table->num_rows()) + " rows";
+    return result;
+  }
+
+  if (!any_agg) {
+    return Status::InvalidArgument(
+        "GROUP BY requires aggregate functions in the projection");
+  }
+  // Non-aggregate projection items must be GROUP BY columns.
+  for (const auto& item : stmt.items) {
+    if (!item.is_aggregate &&
+        std::find(stmt.group_by.begin(), stmt.group_by.end(), item.column) ==
+            stmt.group_by.end()) {
+      return Status::InvalidArgument("column '" + item.column +
+                                     "' must appear in GROUP BY");
+    }
+  }
+
+  if (stmt.group_by.empty()) {
+    // Single aggregate row.
+    std::vector<Field> fields;
+    std::vector<Value> row;
+    for (const auto& item : stmt.items) {
+      fields.push_back({std::string(AggName(item.func)) +
+                            (item.column.empty() ? "" : "_" + item.column),
+                        DataType::kDouble});
+      if (item.func == AggFunc::kCount && item.column.empty()) {
+        row.push_back(Value(static_cast<double>(view.size())));
+      } else {
+        TABULA_ASSIGN_OR_RETURN(NumericAggState state,
+                                AggregateColumn(*table, view, item.column));
+        row.push_back(Value(AggResult(item.func, state)));
+      }
+    }
+    auto out = std::make_unique<Table>(Schema(std::move(fields)));
+    TABULA_RETURN_NOT_OK(out->AppendRow(row));
+    result.message = "1 row";
+    result.table = std::move(out);
+    TABULA_RETURN_NOT_OK(ApplyOrderLimit(stmt, &result.table));
+    return result;
+  }
+
+  // Grouped aggregation (plain GROUP BY or the CUBE operator).
+  TABULA_ASSIGN_OR_RETURN(KeyEncoder enc,
+                          KeyEncoder::Make(*table, stmt.group_by));
+  std::vector<size_t> key_cols(stmt.group_by.size());
+  for (size_t i = 0; i < key_cols.size(); ++i) key_cols[i] = i;
+  TABULA_ASSIGN_OR_RETURN(KeyPacker packer, KeyPacker::Make(enc, key_cols));
+
+  std::vector<Field> fields;
+  for (const auto& col : stmt.group_by) {
+    if (stmt.group_by_cube) {
+      // CUBE output stringifies group values so rolled-up positions can
+      // render as "(null)", matching the paper's cube tables.
+      fields.push_back({col, DataType::kCategorical});
+    } else {
+      TABULA_ASSIGN_OR_RETURN(size_t idx, table->schema().FieldIndex(col));
+      fields.push_back(table->schema().field(idx));
+    }
+  }
+  for (const auto& item : stmt.items) {
+    if (!item.is_aggregate) continue;
+    fields.push_back({std::string(AggName(item.func)) +
+                          (item.column.empty() ? "" : "_" + item.column),
+                      DataType::kDouble});
+  }
+  auto out = std::make_unique<Table>(Schema(std::move(fields)));
+
+  auto emit_groups = [&](const GroupedRows& groups) -> Status {
+    for (size_t g = 0; g < groups.keys.size(); ++g) {
+      std::vector<Value> row;
+      auto codes = packer.Unpack(groups.keys[g]);
+      for (size_t k = 0; k < stmt.group_by.size(); ++k) {
+        Value v = enc.Decode(k, codes[k]);
+        row.push_back(stmt.group_by_cube ? Value(v.ToString()) : v);
+      }
+      DatasetView group_view(table, groups.rows[g]);
+      for (const auto& item : stmt.items) {
+        if (!item.is_aggregate) continue;
+        if (item.func == AggFunc::kCount && item.column.empty()) {
+          row.push_back(Value(static_cast<double>(group_view.size())));
+        } else {
+          TABULA_ASSIGN_OR_RETURN(
+              NumericAggState state,
+              AggregateColumn(*table, group_view, item.column));
+          row.push_back(Value(AggResult(item.func, state)));
+        }
+      }
+      TABULA_RETURN_NOT_OK(out->AppendRow(row));
+    }
+    return Status::OK();
+  };
+
+  if (!stmt.group_by_cube) {
+    TABULA_RETURN_NOT_OK(emit_groups(GroupRows(enc, packer, view)));
+  } else {
+    // The classic CUBE plan: one GroupBy per cuboid. (Tabula's dry run
+    // deliberately avoids this; the plain operator implements it for
+    // general analytics.)
+    const uint32_t num_cuboids = uint32_t{1} << stmt.group_by.size();
+    for (uint32_t mask = 0; mask < num_cuboids; ++mask) {
+      std::unordered_map<uint64_t, std::vector<RowId>> cells;
+      for (size_t i = 0; i < view.size(); ++i) {
+        RowId r = view.row(i);
+        cells[packer.PackRowMasked(enc, r, mask)].push_back(r);
+      }
+      GroupedRows groups;
+      for (auto& [key, rows] : cells) {
+        groups.keys.push_back(key);
+        groups.rows.push_back(std::move(rows));
+      }
+      TABULA_RETURN_NOT_OK(emit_groups(groups));
+    }
+  }
+  result.table = std::move(out);
+  TABULA_RETURN_NOT_OK(ApplyOrderLimit(stmt, &result.table));
+  result.message = std::to_string(result.table->num_rows()) +
+                   (stmt.group_by_cube ? " cube cells" : " groups");
+  return result;
+}
+
+}  // namespace sql
+}  // namespace tabula

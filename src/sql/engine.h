@@ -1,0 +1,89 @@
+#ifndef TABULA_SQL_ENGINE_H_
+#define TABULA_SQL_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tabula.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace tabula {
+namespace sql {
+
+/// \brief The SQL front door of the middleware stack.
+///
+/// Owns named base tables, user-registered loss aggregates, and
+/// initialized sampling cubes, and executes the four statement forms of
+/// the dialect (see parser.h). This is how a dashboard that only speaks
+/// SQL drives Tabula end to end:
+///
+///   CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS
+///     BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END
+///   CREATE TABLE cube AS SELECT payment_type, rate_code,
+///       SAMPLING(*, 0.05) AS sample
+///     FROM rides GROUP BY CUBE(payment_type, rate_code)
+///     HAVING my_loss(fare_amount, SAM_GLOBAL) > 0.05
+///   SELECT sample FROM cube WHERE payment_type = 'Cash'
+class SqlEngine {
+ public:
+  SqlEngine();
+
+  /// Registers a base table under `name` (takes ownership).
+  Status RegisterTable(const std::string& name, std::unique_ptr<Table> table);
+
+  /// Registered table, or nullptr.
+  const Table* GetTable(const std::string& name) const;
+
+  /// Initialized sampling cube, or nullptr.
+  const Tabula* GetCube(const std::string& name) const;
+
+  /// Engine knobs applied to cubes created via SQL.
+  TabulaOptions* mutable_cube_defaults() { return &cube_defaults_; }
+
+  /// Result of one statement.
+  struct ExecResult {
+    /// Human-readable outcome ("sampling cube 'c' created: ...").
+    std::string message;
+    /// Plain-SELECT result rows (null otherwise).
+    std::unique_ptr<Table> table;
+    /// SELECT sample ... answer (valid when has_sample).
+    DatasetView sample;
+    bool has_sample = false;
+    bool from_local_sample = false;
+  };
+
+  /// Parses and executes one statement.
+  Result<ExecResult> Execute(const std::string& statement);
+
+ private:
+  Result<ExecResult> ExecCreateAggregate(CreateAggregateStmt stmt);
+  Result<ExecResult> ExecCreateCube(const CreateSamplingCubeStmt& stmt);
+  Result<ExecResult> ExecSelectSample(const SelectSampleStmt& stmt);
+  Result<ExecResult> ExecSelect(const SelectStmt& stmt);
+
+  /// Instantiates a loss by name: built-ins (mean_loss, heatmap_loss,
+  /// histogram_loss, regression_loss) or a CREATE AGGREGATE registration.
+  Result<std::unique_ptr<LossFunction>> MakeLoss(
+      const std::string& name, const std::vector<std::string>& attrs) const;
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::shared_ptr<const Expr>>
+      user_aggregates_;
+
+  struct CubeEntry {
+    std::unique_ptr<LossFunction> loss;  // must outlive the cube
+    std::unique_ptr<Tabula> cube;
+  };
+  std::unordered_map<std::string, CubeEntry> cubes_;
+  TabulaOptions cube_defaults_;
+};
+
+}  // namespace sql
+}  // namespace tabula
+
+#endif  // TABULA_SQL_ENGINE_H_

@@ -1,0 +1,258 @@
+#include "sql/expression.h"
+
+#include <cmath>
+
+namespace tabula {
+namespace sql {
+
+AggValues AggValues::From(const NumericAggState& num,
+                          const RegressionAggState& reg) {
+  AggValues v;
+  v.count = num.count;
+  v.sum = num.sum;
+  v.avg = num.Avg();
+  v.min = num.count > 0 ? num.min : 0.0;
+  v.max = num.count > 0 ? num.max : 0.0;
+  v.stddev = num.StdDev();
+  v.angle = reg.AngleDegrees();
+  return v;
+}
+
+namespace {
+double EvalAgg(AggFunc func, const AggValues& v) {
+  switch (func) {
+    case AggFunc::kAvg:
+      return v.avg;
+    case AggFunc::kSum:
+      return v.sum;
+    case AggFunc::kCount:
+      return v.count;
+    case AggFunc::kMin:
+      return v.min;
+    case AggFunc::kMax:
+      return v.max;
+    case AggFunc::kStdDev:
+      return v.stddev;
+    case AggFunc::kAngle:
+      return v.angle;
+  }
+  return 0.0;
+}
+
+double EvalNode(const Expr& e, const AggValues& raw, const AggValues& sam) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return e.number;
+    case Expr::Kind::kAggRef:
+      return EvalAgg(e.func, e.source == AggSource::kRaw ? raw : sam);
+    case Expr::Kind::kAbs:
+      return std::abs(EvalNode(*e.left, raw, sam));
+    case Expr::Kind::kNegate:
+      return -EvalNode(*e.left, raw, sam);
+    case Expr::Kind::kAdd:
+      return EvalNode(*e.left, raw, sam) + EvalNode(*e.right, raw, sam);
+    case Expr::Kind::kSub:
+      return EvalNode(*e.left, raw, sam) - EvalNode(*e.right, raw, sam);
+    case Expr::Kind::kMul:
+      return EvalNode(*e.left, raw, sam) * EvalNode(*e.right, raw, sam);
+    case Expr::Kind::kDiv:
+      return EvalNode(*e.left, raw, sam) / EvalNode(*e.right, raw, sam);
+  }
+  return 0.0;
+}
+}  // namespace
+
+double EvaluateExpr(const Expr& expr, const AggValues& raw,
+                    const AggValues& sam) {
+  double v = EvalNode(expr, raw, sam);
+  if (std::isnan(v)) return kInfiniteLoss;
+  return v;
+}
+
+bool UsesAngle(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kAggRef) return expr.func == AggFunc::kAngle;
+  if (expr.left != nullptr && UsesAngle(*expr.left)) return true;
+  if (expr.right != nullptr && UsesAngle(*expr.right)) return true;
+  return false;
+}
+
+namespace {
+
+class ExpressionBoundLoss final : public BoundLoss {
+ public:
+  ExpressionBoundLoss(std::shared_ptr<const Expr> body,
+                      const DoubleColumn* x_col, const DoubleColumn* y_col,
+                      AggValues sam_values, bool sam_empty)
+      : body_(std::move(body)),
+        x_col_(x_col),
+        y_col_(y_col),
+        sam_values_(sam_values),
+        sam_empty_(sam_empty) {}
+
+  void Accumulate(LossState* state, RowId row) const override {
+    double x = x_col_->At(row);
+    state->num.Add(x);
+    if (y_col_ != nullptr) state->reg.Add(x, y_col_->At(row));
+  }
+
+  double Finalize(const LossState& state) const override {
+    if (state.num.count == 0) return 0.0;  // empty cell loses nothing
+    if (sam_empty_) return kInfiniteLoss;
+    return EvaluateExpr(*body_, AggValues::From(state.num, state.reg),
+                        sam_values_);
+  }
+
+ private:
+  std::shared_ptr<const Expr> body_;
+  const DoubleColumn* x_col_;
+  const DoubleColumn* y_col_;
+  AggValues sam_values_;
+  bool sam_empty_;
+};
+
+class ExpressionGreedyEvaluator final : public GreedyLossEvaluator {
+ public:
+  ExpressionGreedyEvaluator(std::shared_ptr<const Expr> body,
+                            const DatasetView& raw, const DoubleColumn* x_col,
+                            const DoubleColumn* y_col, AggValues raw_values)
+      : body_(std::move(body)),
+        raw_(raw),
+        x_col_(x_col),
+        y_col_(y_col),
+        raw_values_(raw_values) {}
+
+  double CurrentLoss() const override {
+    if (chosen_num_.count == 0) return kInfiniteLoss;
+    return EvaluateExpr(*body_, raw_values_,
+                        AggValues::From(chosen_num_, chosen_reg_));
+  }
+
+  double LossWithCandidate(size_t candidate) const override {
+    RowId r = raw_.row(candidate);
+    NumericAggState num = chosen_num_;
+    RegressionAggState reg = chosen_reg_;
+    double x = x_col_->At(r);
+    num.Add(x);
+    if (y_col_ != nullptr) reg.Add(x, y_col_->At(r));
+    return EvaluateExpr(*body_, raw_values_, AggValues::From(num, reg));
+  }
+
+  void Add(size_t candidate) override {
+    RowId r = raw_.row(candidate);
+    double x = x_col_->At(r);
+    chosen_num_.Add(x);
+    if (y_col_ != nullptr) chosen_reg_.Add(x, y_col_->At(r));
+  }
+
+  size_t raw_size() const override { return raw_.size(); }
+
+ private:
+  std::shared_ptr<const Expr> body_;
+  DatasetView raw_;
+  const DoubleColumn* x_col_;
+  const DoubleColumn* y_col_;
+  AggValues raw_values_;
+  NumericAggState chosen_num_;
+  RegressionAggState chosen_reg_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ExpressionLoss>> ExpressionLoss::Make(
+    std::string name, std::shared_ptr<const Expr> body,
+    std::vector<std::string> attributes) {
+  if (body == nullptr) {
+    return Status::InvalidArgument("loss expression body is null");
+  }
+  if (attributes.empty() || attributes.size() > 2) {
+    return Status::InvalidArgument(
+        "expression loss takes 1 or 2 target attributes");
+  }
+  if (UsesAngle(*body) && attributes.size() != 2) {
+    return Status::InvalidArgument(
+        "ANGLE(...) requires two target attributes (x, y)");
+  }
+  return std::unique_ptr<ExpressionLoss>(new ExpressionLoss(
+      std::move(name), std::move(body), std::move(attributes)));
+}
+
+Result<std::pair<const DoubleColumn*, const DoubleColumn*>>
+ExpressionLoss::Columns(const Table& table) const {
+  TABULA_ASSIGN_OR_RETURN(const Column* xc,
+                          table.ColumnByName(attributes_[0]));
+  const auto* x_col = xc->As<DoubleColumn>();
+  if (x_col == nullptr) {
+    return Status::TypeMismatch("loss attribute '" + attributes_[0] +
+                                "' must be DOUBLE");
+  }
+  const DoubleColumn* y_col = nullptr;
+  if (attributes_.size() == 2) {
+    TABULA_ASSIGN_OR_RETURN(const Column* yc,
+                            table.ColumnByName(attributes_[1]));
+    y_col = yc->As<DoubleColumn>();
+    if (y_col == nullptr) {
+      return Status::TypeMismatch("loss attribute '" + attributes_[1] +
+                                  "' must be DOUBLE");
+    }
+  }
+  return std::make_pair(x_col, y_col);
+}
+
+Result<std::pair<NumericAggState, RegressionAggState>>
+ExpressionLoss::Accumulate(const DatasetView& view) const {
+  if (view.table() == nullptr) {
+    return Status::InvalidArgument("view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(auto cols, Columns(*view.table()));
+  NumericAggState num;
+  RegressionAggState reg;
+  for (size_t i = 0; i < view.size(); ++i) {
+    RowId r = view.row(i);
+    double x = cols.first->At(r);
+    num.Add(x);
+    if (cols.second != nullptr) reg.Add(x, cols.second->At(r));
+  }
+  return std::make_pair(num, reg);
+}
+
+Result<std::unique_ptr<BoundLoss>> ExpressionLoss::Bind(
+    const Table& table, const DatasetView& ref) const {
+  TABULA_ASSIGN_OR_RETURN(auto cols, Columns(table));
+  TABULA_ASSIGN_OR_RETURN(auto states, Accumulate(ref));
+  return std::unique_ptr<BoundLoss>(std::make_unique<ExpressionBoundLoss>(
+      body_, cols.first, cols.second,
+      AggValues::From(states.first, states.second), states.first.count == 0));
+}
+
+Result<double> ExpressionLoss::Loss(const DatasetView& raw,
+                                    const DatasetView& sample) const {
+  TABULA_ASSIGN_OR_RETURN(auto raw_states, Accumulate(raw));
+  TABULA_ASSIGN_OR_RETURN(auto sam_states, Accumulate(sample));
+  if (raw_states.first.count == 0) return 0.0;
+  if (sam_states.first.count == 0) return kInfiniteLoss;
+  return EvaluateExpr(*body_,
+                      AggValues::From(raw_states.first, raw_states.second),
+                      AggValues::From(sam_states.first, sam_states.second));
+}
+
+Result<std::unique_ptr<GreedyLossEvaluator>>
+ExpressionLoss::MakeGreedyEvaluator(const DatasetView& raw) const {
+  if (raw.table() == nullptr) {
+    return Status::InvalidArgument("raw view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(auto cols, Columns(*raw.table()));
+  TABULA_ASSIGN_OR_RETURN(auto states, Accumulate(raw));
+  return std::unique_ptr<GreedyLossEvaluator>(
+      std::make_unique<ExpressionGreedyEvaluator>(
+          body_, raw, cols.first, cols.second,
+          AggValues::From(states.first, states.second)));
+}
+
+std::vector<double> ExpressionLoss::Signature(const DatasetView& view) const {
+  auto states = Accumulate(view);
+  if (!states.ok()) return {0.0, 0.0};
+  return {states.value().first.Avg(), states.value().second.AngleDegrees()};
+}
+
+}  // namespace sql
+}  // namespace tabula

@@ -1,0 +1,89 @@
+#ifndef TABULA_SQL_EXPRESSION_H_
+#define TABULA_SQL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loss/loss_function.h"
+#include "sql/ast.h"
+
+namespace tabula {
+namespace sql {
+
+/// Aggregate values of one side (Raw or Sam) that a loss expression can
+/// reference.
+struct AggValues {
+  double avg = 0.0;
+  double sum = 0.0;
+  double count = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  double angle = 0.0;
+
+  static AggValues From(const NumericAggState& num,
+                        const RegressionAggState& reg);
+};
+
+/// Evaluates a loss expression; NaN (e.g. 0/0) maps to +inf so degenerate
+/// cells never silently pass a threshold.
+double EvaluateExpr(const Expr& expr, const AggValues& raw,
+                    const AggValues& sam);
+
+/// True iff the expression references ANGLE(...) — which needs two target
+/// attributes (x, y).
+bool UsesAngle(const Expr& expr);
+
+/// \brief A user-defined accuracy loss compiled from
+/// CREATE AGGREGATE ... BEGIN <expr> END (Section II).
+///
+/// The expression is a scalar over algebraic aggregates of Raw and Sam on
+/// the target attribute(s), so the compiled loss satisfies the paper's
+/// algebraic requirement by construction: its per-cell state is
+/// (NumericAggState, RegressionAggState), which merges along the cube
+/// lattice. The greedy evaluator is O(1) per candidate.
+class ExpressionLoss final : public LossFunction {
+ public:
+  /// \param attributes one column (scalar aggregates) or two (when the
+  ///        body uses ANGLE: x then y).
+  static Result<std::unique_ptr<ExpressionLoss>> Make(
+      std::string name, std::shared_ptr<const Expr> body,
+      std::vector<std::string> attributes);
+
+  std::string name() const override { return name_; }
+  Result<std::unique_ptr<BoundLoss>> Bind(
+      const Table& table, const DatasetView& ref) const override;
+  Result<double> Loss(const DatasetView& raw,
+                      const DatasetView& sample) const override;
+  Result<std::unique_ptr<GreedyLossEvaluator>> MakeGreedyEvaluator(
+      const DatasetView& raw) const override;
+  std::vector<std::string> InputColumns() const override {
+    return attributes_;
+  }
+  std::vector<double> Signature(const DatasetView& view) const override;
+
+ private:
+  ExpressionLoss(std::string name, std::shared_ptr<const Expr> body,
+                 std::vector<std::string> attributes)
+      : name_(std::move(name)),
+        body_(std::move(body)),
+        attributes_(std::move(attributes)) {}
+
+  /// Resolves the target column(s); y is null for 1-attribute losses.
+  Result<std::pair<const DoubleColumn*, const DoubleColumn*>> Columns(
+      const Table& table) const;
+
+  /// Accumulates states over a view.
+  Result<std::pair<NumericAggState, RegressionAggState>> Accumulate(
+      const DatasetView& view) const;
+
+  std::string name_;
+  std::shared_ptr<const Expr> body_;
+  std::vector<std::string> attributes_;
+};
+
+}  // namespace sql
+}  // namespace tabula
+
+#endif  // TABULA_SQL_EXPRESSION_H_

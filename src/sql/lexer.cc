@@ -1,0 +1,90 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace tabula {
+namespace sql {
+
+bool Token::IsWord(const char* word) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // SQL line comment.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = input.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !seen_dot) ||
+                       input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        if (input[i] == '.') seen_dot = true;
+        ++i;
+      }
+      token.type = TokenType::kNumber;
+      token.text = input.substr(start, i - start);
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && input[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(token.offset));
+      }
+      token.type = TokenType::kString;
+      token.text = input.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      // Multi-char comparison operators first.
+      if ((c == '<' && i + 1 < n &&
+           (input[i + 1] == '=' || input[i + 1] == '>')) ||
+          (c == '>' && i + 1 < n && input[i + 1] == '=')) {
+        token.text = input.substr(i, 2);
+        i += 2;
+      } else if (std::string("(),*=<>+-/.[]").find(c) != std::string::npos) {
+        token.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+      }
+      token.type = TokenType::kSymbol;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace tabula

@@ -1,0 +1,41 @@
+#ifndef TABULA_SQL_LEXER_H_
+#define TABULA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tabula {
+namespace sql {
+
+/// Token categories of the Tabula SQL dialect.
+enum class TokenType {
+  kIdentifier,  ///< bare word (keywords are identifiers; parser matches
+                ///< case-insensitively)
+  kString,      ///< 'single quoted'
+  kNumber,      ///< integer or decimal literal
+  kSymbol,      ///< punctuation: ( ) , * = < > <= >= <> + - / .
+  kEnd,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword/identifier match.
+  bool IsWord(const char* word) const;
+};
+
+/// Tokenizes `input`; fails on unterminated strings or stray characters.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace tabula
+
+#endif  // TABULA_SQL_LEXER_H_

@@ -1,0 +1,441 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace tabula {
+namespace sql {
+
+namespace {
+
+/// Token-stream cursor with convenience matchers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool MatchWord(const char* word) {
+    if (Peek().IsWord(word)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* symbol) {
+    if (Peek().IsSymbol(symbol)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectWord(const char* word) {
+    if (!MatchWord(word)) {
+      return Status::ParseError(std::string("expected '") + word +
+                                "' near offset " +
+                                std::to_string(Peek().offset) + " (got '" +
+                                Peek().text + "')");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* symbol) {
+    if (!MatchSymbol(symbol)) {
+      return Status::ParseError(std::string("expected '") + symbol +
+                                "' near offset " +
+                                std::to_string(Peek().offset) + " (got '" +
+                                Peek().text + "')");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected identifier near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Next().text;
+  }
+
+  Result<double> ExpectNumber() {
+    if (Peek().type != TokenType::kNumber) {
+      return Status::ParseError("expected number near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return std::strtod(Next().text.c_str(), nullptr);
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<AggFunc> AggFuncFromName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "AVG")) return AggFunc::kAvg;
+  if (EqualsIgnoreCase(name, "SUM")) return AggFunc::kSum;
+  if (EqualsIgnoreCase(name, "COUNT")) return AggFunc::kCount;
+  if (EqualsIgnoreCase(name, "MIN")) return AggFunc::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return AggFunc::kMax;
+  if (EqualsIgnoreCase(name, "STD_DEV") || EqualsIgnoreCase(name, "STDDEV")) {
+    return AggFunc::kStdDev;
+  }
+  if (EqualsIgnoreCase(name, "ANGLE")) return AggFunc::kAngle;
+  return Status::ParseError("unknown aggregate function '" + name + "'");
+}
+
+bool IsAggFuncName(const std::string& name) {
+  return AggFuncFromName(name).ok();
+}
+
+// ----- loss expression -----
+
+Result<ExprPtr> ParseExpr(Cursor* cur);
+
+Result<ExprPtr> ParseFactor(Cursor* cur) {
+  if (cur->Peek().type == TokenType::kNumber) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kNumber;
+    TABULA_ASSIGN_OR_RETURN(expr->number, cur->ExpectNumber());
+    return expr;
+  }
+  if (cur->MatchSymbol("-")) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kNegate;
+    TABULA_ASSIGN_OR_RETURN(expr->left, ParseFactor(cur));
+    return expr;
+  }
+  if (cur->MatchSymbol("(")) {
+    TABULA_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr(cur));
+    TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+    return inner;
+  }
+  if (cur->Peek().IsWord("ABS")) {
+    cur->Next();
+    TABULA_RETURN_NOT_OK(cur->ExpectSymbol("("));
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kAbs;
+    TABULA_ASSIGN_OR_RETURN(expr->left, ParseExpr(cur));
+    TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+    return expr;
+  }
+  if (cur->Peek().type == TokenType::kIdentifier &&
+      IsAggFuncName(cur->Peek().text)) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kAggRef;
+    TABULA_ASSIGN_OR_RETURN(std::string fname, cur->ExpectIdentifier());
+    TABULA_ASSIGN_OR_RETURN(expr->func, AggFuncFromName(fname));
+    TABULA_RETURN_NOT_OK(cur->ExpectSymbol("("));
+    TABULA_ASSIGN_OR_RETURN(std::string src, cur->ExpectIdentifier());
+    if (EqualsIgnoreCase(src, "Raw")) {
+      expr->source = AggSource::kRaw;
+    } else if (EqualsIgnoreCase(src, "Sam")) {
+      expr->source = AggSource::kSam;
+    } else {
+      return Status::ParseError("aggregate argument must be Raw or Sam, got '" +
+                                src + "'");
+    }
+    TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+    return expr;
+  }
+  return Status::ParseError("unexpected token '" + cur->Peek().text +
+                            "' in loss expression near offset " +
+                            std::to_string(cur->Peek().offset));
+}
+
+Result<ExprPtr> ParseTerm(Cursor* cur) {
+  TABULA_ASSIGN_OR_RETURN(ExprPtr left, ParseFactor(cur));
+  for (;;) {
+    Expr::Kind kind;
+    if (cur->Peek().IsSymbol("*")) {
+      kind = Expr::Kind::kMul;
+    } else if (cur->Peek().IsSymbol("/")) {
+      kind = Expr::Kind::kDiv;
+    } else {
+      return left;
+    }
+    cur->Next();
+    auto node = std::make_unique<Expr>();
+    node->kind = kind;
+    node->left = std::move(left);
+    TABULA_ASSIGN_OR_RETURN(node->right, ParseFactor(cur));
+    left = std::move(node);
+  }
+}
+
+Result<ExprPtr> ParseExpr(Cursor* cur) {
+  TABULA_ASSIGN_OR_RETURN(ExprPtr left, ParseTerm(cur));
+  for (;;) {
+    Expr::Kind kind;
+    if (cur->Peek().IsSymbol("+")) {
+      kind = Expr::Kind::kAdd;
+    } else if (cur->Peek().IsSymbol("-")) {
+      kind = Expr::Kind::kSub;
+    } else {
+      return left;
+    }
+    cur->Next();
+    auto node = std::make_unique<Expr>();
+    node->kind = kind;
+    node->left = std::move(left);
+    TABULA_ASSIGN_OR_RETURN(node->right, ParseTerm(cur));
+    left = std::move(node);
+  }
+}
+
+// ----- predicates -----
+
+Result<CompareOp> ParseCompareOp(Cursor* cur) {
+  const Token& token = cur->Peek();
+  if (token.type != TokenType::kSymbol) {
+    return Status::ParseError("expected comparison operator near offset " +
+                              std::to_string(token.offset));
+  }
+  CompareOp op;
+  if (token.text == "=") {
+    op = CompareOp::kEq;
+  } else if (token.text == "<>") {
+    op = CompareOp::kNe;
+  } else if (token.text == "<") {
+    op = CompareOp::kLt;
+  } else if (token.text == "<=") {
+    op = CompareOp::kLe;
+  } else if (token.text == ">") {
+    op = CompareOp::kGt;
+  } else if (token.text == ">=") {
+    op = CompareOp::kGe;
+  } else {
+    return Status::ParseError("unknown operator '" + token.text + "'");
+  }
+  cur->Next();
+  return op;
+}
+
+Result<Value> ParseLiteral(Cursor* cur) {
+  const Token& token = cur->Peek();
+  if (token.type == TokenType::kString) {
+    Value v(cur->Next().text);
+    return v;
+  }
+  if (token.type == TokenType::kNumber) {
+    std::string text = cur->Next().text;
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos &&
+        text.find('E') == std::string::npos) {
+      return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr,
+                                                     10)));
+    }
+    return Value(std::strtod(text.c_str(), nullptr));
+  }
+  return Status::ParseError("expected literal near offset " +
+                            std::to_string(token.offset));
+}
+
+Result<std::vector<PredicateTerm>> ParseWhere(Cursor* cur) {
+  std::vector<PredicateTerm> terms;
+  do {
+    PredicateTerm term;
+    TABULA_ASSIGN_OR_RETURN(term.column, cur->ExpectIdentifier());
+    TABULA_ASSIGN_OR_RETURN(term.op, ParseCompareOp(cur));
+    TABULA_ASSIGN_OR_RETURN(term.literal, ParseLiteral(cur));
+    terms.push_back(std::move(term));
+  } while (cur->MatchWord("AND"));
+  return terms;
+}
+
+// ----- statements -----
+
+Result<Statement> ParseCreateAggregate(Cursor* cur) {
+  CreateAggregateStmt stmt;
+  TABULA_ASSIGN_OR_RETURN(stmt.name, cur->ExpectIdentifier());
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol("("));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("Raw"));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol(","));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("Sam"));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("RETURN"));
+  TABULA_ASSIGN_OR_RETURN(std::string ret, cur->ExpectIdentifier());
+  (void)ret;  // "decimal_value" per the paper's syntax; informational
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("AS"));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("BEGIN"));
+  TABULA_ASSIGN_OR_RETURN(stmt.body, ParseExpr(cur));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("END"));
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> ParseCreateSamplingCube(Cursor* cur) {
+  CreateSamplingCubeStmt stmt;
+  TABULA_ASSIGN_OR_RETURN(stmt.cube_name, cur->ExpectIdentifier());
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("AS"));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("SELECT"));
+  // Projection: cubed attributes then SAMPLING(*, θ) AS sample.
+  for (;;) {
+    if (cur->Peek().IsWord("SAMPLING")) break;
+    TABULA_ASSIGN_OR_RETURN(std::string attr, cur->ExpectIdentifier());
+    stmt.cubed_attributes.push_back(std::move(attr));
+    TABULA_RETURN_NOT_OK(cur->ExpectSymbol(","));
+  }
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("SAMPLING"));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol("("));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol("*"));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol(","));
+  TABULA_ASSIGN_OR_RETURN(stmt.sampling_threshold, cur->ExpectNumber());
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("AS"));
+  TABULA_ASSIGN_OR_RETURN(std::string alias, cur->ExpectIdentifier());
+  (void)alias;
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("FROM"));
+  TABULA_ASSIGN_OR_RETURN(stmt.table_name, cur->ExpectIdentifier());
+  if (!cur->MatchWord("GROUPBY")) {
+    TABULA_RETURN_NOT_OK(cur->ExpectWord("GROUP"));
+    TABULA_RETURN_NOT_OK(cur->ExpectWord("BY"));
+  }
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("CUBE"));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol("("));
+  std::vector<std::string> cube_attrs;
+  do {
+    TABULA_ASSIGN_OR_RETURN(std::string attr, cur->ExpectIdentifier());
+    cube_attrs.push_back(std::move(attr));
+  } while (cur->MatchSymbol(","));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+  if (cube_attrs != stmt.cubed_attributes) {
+    return Status::ParseError(
+        "CUBE(...) attributes must match the SELECT projection list");
+  }
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("HAVING"));
+  TABULA_ASSIGN_OR_RETURN(stmt.loss_name, cur->ExpectIdentifier());
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol("("));
+  for (;;) {
+    TABULA_ASSIGN_OR_RETURN(std::string arg, cur->ExpectIdentifier());
+    if (EqualsIgnoreCase(arg, "SAM_GLOBAL") ||
+        EqualsIgnoreCase(arg, "Sam_global")) {
+      break;
+    }
+    stmt.loss_attributes.push_back(std::move(arg));
+    TABULA_RETURN_NOT_OK(cur->ExpectSymbol(","));
+  }
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+  TABULA_RETURN_NOT_OK(cur->ExpectSymbol(">"));
+  TABULA_ASSIGN_OR_RETURN(stmt.having_threshold, cur->ExpectNumber());
+  if (stmt.loss_attributes.empty()) {
+    return Status::ParseError(
+        "HAVING loss(...) needs at least one target attribute before "
+        "SAM_GLOBAL");
+  }
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> ParsePlainSelect(Cursor* cur, std::vector<SelectItem> items,
+                                   bool star) {
+  SelectStmt stmt;
+  stmt.items = std::move(items);
+  stmt.select_star = star;
+  TABULA_ASSIGN_OR_RETURN(stmt.table_name, cur->ExpectIdentifier());
+  if (cur->MatchWord("WHERE")) {
+    TABULA_ASSIGN_OR_RETURN(stmt.where, ParseWhere(cur));
+  }
+  bool has_group_by = cur->MatchWord("GROUPBY");
+  if (!has_group_by && cur->MatchWord("GROUP")) {
+    TABULA_RETURN_NOT_OK(cur->ExpectWord("BY"));
+    has_group_by = true;
+  }
+  if (has_group_by) {
+    if (cur->MatchWord("CUBE")) {
+      stmt.group_by_cube = true;
+      TABULA_RETURN_NOT_OK(cur->ExpectSymbol("("));
+    }
+    do {
+      TABULA_ASSIGN_OR_RETURN(std::string col, cur->ExpectIdentifier());
+      stmt.group_by.push_back(std::move(col));
+    } while (cur->MatchSymbol(","));
+    if (stmt.group_by_cube) {
+      TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+    }
+  }
+  if (cur->MatchWord("ORDER")) {
+    TABULA_RETURN_NOT_OK(cur->ExpectWord("BY"));
+    TABULA_ASSIGN_OR_RETURN(stmt.order_by, cur->ExpectIdentifier());
+    if (cur->MatchWord("DESC")) {
+      stmt.order_desc = true;
+    } else {
+      cur->MatchWord("ASC");
+    }
+  }
+  if (cur->MatchWord("LIMIT")) {
+    TABULA_ASSIGN_OR_RETURN(double n, cur->ExpectNumber());
+    if (n < 0) return Status::ParseError("LIMIT must be non-negative");
+    stmt.limit = static_cast<int64_t>(n);
+  }
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> ParseSelect(Cursor* cur) {
+  // Distinguish `SELECT sample FROM <cube>` from plain SELECTs.
+  if (cur->Peek().IsWord("sample")) {
+    cur->Next();
+    if (cur->Peek().IsWord("FROM")) {
+      cur->Next();
+      SelectSampleStmt stmt;
+      TABULA_ASSIGN_OR_RETURN(stmt.cube_name, cur->ExpectIdentifier());
+      if (cur->MatchWord("WHERE")) {
+        TABULA_ASSIGN_OR_RETURN(stmt.where, ParseWhere(cur));
+      }
+      return Statement(std::move(stmt));
+    }
+    return Status::ParseError("expected FROM after 'sample'");
+  }
+  if (cur->MatchSymbol("*")) {
+    TABULA_RETURN_NOT_OK(cur->ExpectWord("FROM"));
+    return ParsePlainSelect(cur, {}, /*star=*/true);
+  }
+  std::vector<SelectItem> items;
+  do {
+    SelectItem item;
+    TABULA_ASSIGN_OR_RETURN(std::string name, cur->ExpectIdentifier());
+    if (cur->MatchSymbol("(")) {
+      TABULA_ASSIGN_OR_RETURN(item.func, AggFuncFromName(name));
+      item.is_aggregate = true;
+      if (cur->MatchSymbol("*")) {
+        if (item.func != AggFunc::kCount) {
+          return Status::ParseError("only COUNT(*) supports '*'");
+        }
+      } else {
+        TABULA_ASSIGN_OR_RETURN(item.column, cur->ExpectIdentifier());
+      }
+      TABULA_RETURN_NOT_OK(cur->ExpectSymbol(")"));
+    } else {
+      item.column = std::move(name);
+    }
+    items.push_back(std::move(item));
+  } while (cur->MatchSymbol(","));
+  TABULA_RETURN_NOT_OK(cur->ExpectWord("FROM"));
+  return ParsePlainSelect(cur, std::move(items), /*star=*/false);
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& input) {
+  TABULA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Cursor cur(std::move(tokens));
+  Result<Statement> result = [&]() -> Result<Statement> {
+    if (cur.MatchWord("CREATE")) {
+      if (cur.MatchWord("AGGREGATE")) return ParseCreateAggregate(&cur);
+      if (cur.MatchWord("TABLE")) return ParseCreateSamplingCube(&cur);
+      return Status::ParseError("expected AGGREGATE or TABLE after CREATE");
+    }
+    if (cur.MatchWord("SELECT")) return ParseSelect(&cur);
+    return Status::ParseError("statement must start with CREATE or SELECT");
+  }();
+  TABULA_RETURN_NOT_OK(result.status());
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing tokens after statement: '" +
+                              cur.Peek().text + "'");
+  }
+  return result;
+}
+
+}  // namespace sql
+}  // namespace tabula

@@ -1,0 +1,44 @@
+#ifndef TABULA_SQL_PARSER_H_
+#define TABULA_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace tabula {
+namespace sql {
+
+/// \brief Recursive-descent parser for the Tabula SQL dialect.
+///
+/// Grammar (keywords case-insensitive):
+///
+///   stmt := create_aggregate | create_cube | select_sample | select
+///
+///   create_aggregate :=
+///     CREATE AGGREGATE ident '(' Raw ',' Sam ')'
+///     RETURN ident AS BEGIN expr END
+///
+///   create_cube :=
+///     CREATE TABLE ident AS SELECT ident (',' ident)* ','
+///       SAMPLING '(' '*' ',' number ')' AS ident
+///     FROM ident GROUP BY CUBE '(' ident (',' ident)* ')'
+///     HAVING ident '(' ident (',' ident)* ',' SAM_GLOBAL ')' '>' number
+///
+///   select_sample := SELECT sample FROM ident [WHERE conj]
+///   select := SELECT (item (',' item)* | '*') FROM ident
+///             [WHERE conj] [GROUP BY ident (',' ident)*]
+///   conj   := pred (AND pred)*
+///   pred   := ident op literal       op := = | <> | < | <= | > | >=
+///
+///   expr   := term (('+'|'-') term)*
+///   term   := factor (('*'|'/') factor)*
+///   factor := number | '(' expr ')' | ABS '(' expr ')' | '-' factor
+///           | aggfunc '(' (Raw|Sam) ')'
+///   aggfunc := AVG | SUM | COUNT | MIN | MAX | STD_DEV | ANGLE
+Result<Statement> ParseStatement(const std::string& input);
+
+}  // namespace sql
+}  // namespace tabula
+
+#endif  // TABULA_SQL_PARSER_H_

@@ -1,0 +1,94 @@
+#include "storage/column.h"
+
+namespace tabula {
+
+uint32_t Dictionary::GetOrAdd(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.push_back(s);
+  index_.emplace(s, code);
+  return code;
+}
+
+Result<uint32_t> Dictionary::Find(const std::string& s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) {
+    return Status::NotFound("dictionary has no value '" + s + "'");
+  }
+  return it->second;
+}
+
+uint64_t Dictionary::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& v : values_) bytes += v.size() + sizeof(std::string);
+  bytes += index_.size() * (sizeof(std::string) + sizeof(uint32_t) + 16);
+  return bytes;
+}
+
+Status CategoricalColumn::AppendValue(const Value& v) {
+  if (!v.is_string()) {
+    return Status::TypeMismatch("categorical column expects string values");
+  }
+  codes_.push_back(dict_->GetOrAdd(v.AsString()));
+  return Status::OK();
+}
+
+Status CategoricalColumn::AppendFrom(const Column& other, size_t row) {
+  const auto* col = other.As<CategoricalColumn>();
+  if (col == nullptr) return Status::TypeMismatch("expected categorical");
+  if (col->dict_.get() == dict_.get()) {
+    codes_.push_back(col->codes_[row]);
+  } else {
+    codes_.push_back(dict_->GetOrAdd(col->dict_->At(col->codes_[row])));
+  }
+  return Status::OK();
+}
+
+uint64_t CategoricalColumn::MemoryBytes() const {
+  return codes_.capacity() * sizeof(uint32_t) + dict_->MemoryBytes();
+}
+
+Status Int64Column::AppendValue(const Value& v) {
+  if (!v.is_int64()) {
+    return Status::TypeMismatch("int64 column expects integer values");
+  }
+  data_.push_back(v.AsInt64());
+  return Status::OK();
+}
+
+Status Int64Column::AppendFrom(const Column& other, size_t row) {
+  const auto* col = other.As<Int64Column>();
+  if (col == nullptr) return Status::TypeMismatch("expected int64");
+  data_.push_back(col->data_[row]);
+  return Status::OK();
+}
+
+Status DoubleColumn::AppendValue(const Value& v) {
+  if (!v.is_double() && !v.is_int64()) {
+    return Status::TypeMismatch("double column expects numeric values");
+  }
+  data_.push_back(v.AsDouble());
+  return Status::OK();
+}
+
+Status DoubleColumn::AppendFrom(const Column& other, size_t row) {
+  const auto* col = other.As<DoubleColumn>();
+  if (col == nullptr) return Status::TypeMismatch("expected double");
+  data_.push_back(col->data_[row]);
+  return Status::OK();
+}
+
+std::unique_ptr<Column> MakeColumn(DataType type) {
+  switch (type) {
+    case DataType::kCategorical:
+      return std::make_unique<CategoricalColumn>();
+    case DataType::kInt64:
+      return std::make_unique<Int64Column>();
+    case DataType::kDouble:
+      return std::make_unique<DoubleColumn>();
+  }
+  return nullptr;
+}
+
+}  // namespace tabula

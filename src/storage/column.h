@@ -1,0 +1,146 @@
+#ifndef TABULA_STORAGE_COLUMN_H_
+#define TABULA_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace tabula {
+
+/// \brief String <-> dense-code mapping for a categorical column.
+///
+/// Codes are assigned in first-seen order and are stable for the lifetime
+/// of the dictionary. Low-cardinality attributes (payment type, weekday,
+/// vendor, ...) store only a uint32 code per row.
+class Dictionary {
+ public:
+  /// Code of `s`, inserting it if absent.
+  uint32_t GetOrAdd(const std::string& s);
+
+  /// Code of `s`, or NotFound if it was never inserted.
+  Result<uint32_t> Find(const std::string& s) const;
+
+  /// The string for a valid code.
+  const std::string& At(uint32_t code) const { return values_[code]; }
+
+  /// Number of distinct values.
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// \brief Base class for in-memory columns.
+///
+/// Hot paths downcast via As<...>() and read the raw vectors; the virtual
+/// interface exists for schema-generic code (CSV import, result printing).
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  virtual DataType type() const = 0;
+  virtual size_t size() const = 0;
+  /// Boxed value at `row` (dictionary-decoded for categoricals).
+  virtual Value GetValue(size_t row) const = 0;
+  /// Appends a boxed value; TypeMismatch if incompatible.
+  virtual Status AppendValue(const Value& v) = 0;
+  /// Appends row `row` of `other` (same concrete type) to this column.
+  virtual Status AppendFrom(const Column& other, size_t row) = 0;
+  virtual uint64_t MemoryBytes() const = 0;
+  virtual void Reserve(size_t n) = 0;
+
+  template <typename T>
+  const T* As() const {
+    return dynamic_cast<const T*>(this);
+  }
+  template <typename T>
+  T* As() {
+    return dynamic_cast<T*>(this);
+  }
+};
+
+/// Dictionary-encoded string column.
+class CategoricalColumn final : public Column {
+ public:
+  CategoricalColumn() : dict_(std::make_shared<Dictionary>()) {}
+  explicit CategoricalColumn(std::shared_ptr<Dictionary> dict)
+      : dict_(std::move(dict)) {}
+
+  DataType type() const override { return DataType::kCategorical; }
+  size_t size() const override { return codes_.size(); }
+  Value GetValue(size_t row) const override {
+    return Value(dict_->At(codes_[row]));
+  }
+  Status AppendValue(const Value& v) override;
+  Status AppendFrom(const Column& other, size_t row) override;
+  uint64_t MemoryBytes() const override;
+  void Reserve(size_t n) override { codes_.reserve(n); }
+
+  void AppendCode(uint32_t code) { codes_.push_back(code); }
+  uint32_t CodeAt(size_t row) const { return codes_[row]; }
+  const std::vector<uint32_t>& codes() const { return codes_; }
+  const Dictionary& dict() const { return *dict_; }
+  Dictionary* mutable_dict() { return dict_.get(); }
+  std::shared_ptr<Dictionary> shared_dict() const { return dict_; }
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<uint32_t> codes_;
+};
+
+/// 64-bit integer column.
+class Int64Column final : public Column {
+ public:
+  DataType type() const override { return DataType::kInt64; }
+  size_t size() const override { return data_.size(); }
+  Value GetValue(size_t row) const override { return Value(data_[row]); }
+  Status AppendValue(const Value& v) override;
+  Status AppendFrom(const Column& other, size_t row) override;
+  uint64_t MemoryBytes() const override {
+    return data_.capacity() * sizeof(int64_t);
+  }
+  void Reserve(size_t n) override { data_.reserve(n); }
+
+  void Append(int64_t v) { data_.push_back(v); }
+  int64_t At(size_t row) const { return data_[row]; }
+  const std::vector<int64_t>& data() const { return data_; }
+
+ private:
+  std::vector<int64_t> data_;
+};
+
+/// IEEE double column.
+class DoubleColumn final : public Column {
+ public:
+  DataType type() const override { return DataType::kDouble; }
+  size_t size() const override { return data_.size(); }
+  Value GetValue(size_t row) const override { return Value(data_[row]); }
+  Status AppendValue(const Value& v) override;
+  Status AppendFrom(const Column& other, size_t row) override;
+  uint64_t MemoryBytes() const override {
+    return data_.capacity() * sizeof(double);
+  }
+  void Reserve(size_t n) override { data_.reserve(n); }
+
+  void Append(double v) { data_.push_back(v); }
+  double At(size_t row) const { return data_[row]; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Creates an empty column of the given type.
+std::unique_ptr<Column> MakeColumn(DataType type);
+
+}  // namespace tabula
+
+#endif  // TABULA_STORAGE_COLUMN_H_

@@ -1,0 +1,111 @@
+#include "storage/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace tabula {
+
+namespace {
+Status WriteRows(const Table& table, const DatasetView* view,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c != 0) out << ',';
+    out << schema.field(c).name;
+  }
+  out << '\n';
+  size_t n = view != nullptr ? view->size() : table.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    RowId r = view != nullptr ? view->row(i) : static_cast<RowId>(i);
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      if (c != 0) out << ',';
+      out << table.GetValue(c, r).ToString();
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  return WriteRows(table, nullptr, path);
+}
+
+Status WriteCsv(const DatasetView& view, const std::string& path) {
+  if (view.table() == nullptr) {
+    return Status::InvalidArgument("view has no table");
+  }
+  return WriteRows(*view.table(), &view, path);
+}
+
+Result<std::unique_ptr<Table>> ReadCsv(const Schema& schema,
+                                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("'" + path + "' is empty (no header)");
+  }
+  auto header = SplitString(line, ',');
+  if (header.size() != schema.num_fields()) {
+    return Status::ParseError("'" + path + "' header has " +
+                              std::to_string(header.size()) +
+                              " columns, schema expects " +
+                              std::to_string(schema.num_fields()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (std::string(TrimView(header[c])) != schema.field(c).name) {
+      return Status::ParseError("header column '" + header[c] +
+                                "' does not match schema field '" +
+                                schema.field(c).name + "'");
+    }
+  }
+  auto table = std::make_unique<Table>(schema);
+  size_t line_no = 1;
+  std::vector<Value> row(schema.num_fields());
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = SplitString(line, ',');
+    if (fields.size() != schema.num_fields()) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": wrong column count");
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      std::string cell(TrimView(fields[c]));
+      switch (schema.field(c).type) {
+        case DataType::kCategorical:
+          row[c] = Value(cell);
+          break;
+        case DataType::kInt64: {
+          char* end = nullptr;
+          long long v = std::strtoll(cell.c_str(), &end, 10);
+          if (end == cell.c_str()) {
+            return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                      ": '" + cell + "' is not an integer");
+          }
+          row[c] = Value(static_cast<int64_t>(v));
+          break;
+        }
+        case DataType::kDouble: {
+          char* end = nullptr;
+          double v = std::strtod(cell.c_str(), &end);
+          if (end == cell.c_str()) {
+            return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                      ": '" + cell + "' is not a number");
+          }
+          row[c] = Value(v);
+          break;
+        }
+      }
+    }
+    TABULA_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace tabula

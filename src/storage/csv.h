@@ -1,0 +1,23 @@
+#ifndef TABULA_STORAGE_CSV_H_
+#define TABULA_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Writes `table` (or the subset in `view`) as a header-first CSV file.
+Status WriteCsv(const Table& table, const std::string& path);
+Status WriteCsv(const DatasetView& view, const std::string& path);
+
+/// Reads a CSV with a header row into a table with the given schema.
+/// Column order must match the header; extra columns are an error.
+Result<std::unique_ptr<Table>> ReadCsv(const Schema& schema,
+                                       const std::string& path);
+
+}  // namespace tabula
+
+#endif  // TABULA_STORAGE_CSV_H_

@@ -1,0 +1,158 @@
+#include "storage/predicate.h"
+
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace tabula {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<BoundPredicate> BoundPredicate::Bind(
+    const Table& table, const std::vector<PredicateTerm>& terms) {
+  BoundPredicate pred;
+  pred.table_ = &table;
+  pred.bound_.reserve(terms.size());
+  for (const auto& term : terms) {
+    TABULA_ASSIGN_OR_RETURN(size_t idx,
+                            table.schema().FieldIndex(term.column));
+    BoundTerm bt;
+    bt.column = &table.column(idx);
+    bt.op = term.op;
+    bt.type = bt.column->type();
+    switch (bt.type) {
+      case DataType::kCategorical: {
+        if (!term.literal.is_string()) {
+          return Status::TypeMismatch("categorical column '" + term.column +
+                                      "' compared to non-string literal");
+        }
+        if (term.op != CompareOp::kEq && term.op != CompareOp::kNe) {
+          return Status::InvalidArgument(
+              "categorical column '" + term.column +
+              "' only supports = and <>");
+        }
+        auto code = bt.column->As<CategoricalColumn>()->dict().Find(
+            term.literal.AsString());
+        bt.code_valid = code.ok();
+        if (code.ok()) bt.code = code.value();
+        break;
+      }
+      case DataType::kInt64: {
+        if (!term.literal.is_int64() && !term.literal.is_double()) {
+          return Status::TypeMismatch("integer column '" + term.column +
+                                      "' compared to non-numeric literal");
+        }
+        bt.i64 = term.literal.is_int64()
+                     ? term.literal.AsInt64()
+                     : static_cast<int64_t>(term.literal.AsDouble());
+        break;
+      }
+      case DataType::kDouble: {
+        if (!term.literal.is_int64() && !term.literal.is_double()) {
+          return Status::TypeMismatch("double column '" + term.column +
+                                      "' compared to non-numeric literal");
+        }
+        bt.f64 = term.literal.AsDouble();
+        break;
+      }
+    }
+    pred.bound_.push_back(bt);
+  }
+  return pred;
+}
+
+namespace {
+template <typename T>
+bool Compare(CompareOp op, T lhs, T rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+}  // namespace
+
+bool BoundPredicate::MatchesTerm(const BoundTerm& t, RowId row) const {
+  switch (t.type) {
+    case DataType::kCategorical: {
+      const auto* col = static_cast<const CategoricalColumn*>(t.column);
+      if (!t.code_valid) return t.op == CompareOp::kNe;
+      bool eq = col->CodeAt(row) == t.code;
+      return t.op == CompareOp::kEq ? eq : !eq;
+    }
+    case DataType::kInt64: {
+      const auto* col = static_cast<const Int64Column*>(t.column);
+      return Compare<int64_t>(t.op, col->At(row), t.i64);
+    }
+    case DataType::kDouble: {
+      const auto* col = static_cast<const DoubleColumn*>(t.column);
+      return Compare<double>(t.op, col->At(row), t.f64);
+    }
+  }
+  return false;
+}
+
+bool BoundPredicate::Matches(RowId row) const {
+  for (const auto& t : bound_) {
+    if (!MatchesTerm(t, row)) return false;
+  }
+  return true;
+}
+
+std::vector<RowId> BoundPredicate::FilterAll() const {
+  size_t n = table_->num_rows();
+  auto& pool = ThreadPool::Global();
+  std::vector<std::vector<RowId>> partials(pool.num_threads() + 1);
+  pool.ParallelForChunked(n, [&](size_t chunk, size_t begin, size_t end) {
+    auto& out = partials[chunk];
+    for (size_t r = begin; r < end; ++r) {
+      if (Matches(static_cast<RowId>(r))) out.push_back(static_cast<RowId>(r));
+    }
+  });
+  std::vector<RowId> result;
+  size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  result.reserve(total);
+  for (const auto& p : partials) {
+    result.insert(result.end(), p.begin(), p.end());
+  }
+  return result;
+}
+
+std::vector<RowId> BoundPredicate::FilterRows(
+    const std::vector<RowId>& candidates) const {
+  std::vector<RowId> out;
+  out.reserve(candidates.size() / 4 + 1);
+  for (RowId r : candidates) {
+    if (Matches(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace tabula

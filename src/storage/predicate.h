@@ -1,0 +1,69 @@
+#ifndef TABULA_STORAGE_PREDICATE_H_
+#define TABULA_STORAGE_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Comparison operator for a predicate term.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// One `column <op> literal` term.
+struct PredicateTerm {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// \brief A conjunction of comparison terms, bound to a table.
+///
+/// Dashboard filters translate into conjunctive equality predicates on the
+/// cubed attributes (Section II); the data system also supports range
+/// operators for general SELECTs.
+class BoundPredicate {
+ public:
+  /// Resolves column names and (for categoricals) literal dictionary codes
+  /// against `table`. A categorical literal not present in the dictionary
+  /// yields a predicate that matches nothing for kEq (and everything for
+  /// kNe), which is the correct SQL semantics.
+  static Result<BoundPredicate> Bind(const Table& table,
+                                     const std::vector<PredicateTerm>& terms);
+
+  /// True iff the row satisfies every term.
+  bool Matches(RowId row) const;
+
+  /// All matching rows, scanned in parallel on the global thread pool.
+  std::vector<RowId> FilterAll() const;
+
+  /// Matching rows among `candidates`.
+  std::vector<RowId> FilterRows(const std::vector<RowId>& candidates) const;
+
+  size_t num_terms() const { return bound_.size(); }
+
+ private:
+  struct BoundTerm {
+    const Column* column;
+    CompareOp op;
+    // Pre-resolved comparison payloads per type.
+    DataType type;
+    uint32_t code = 0;       // categorical
+    bool code_valid = false; // literal present in dictionary
+    int64_t i64 = 0;
+    double f64 = 0.0;
+  };
+
+  bool MatchesTerm(const BoundTerm& t, RowId row) const;
+
+  const Table* table_ = nullptr;
+  std::vector<BoundTerm> bound_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_STORAGE_PREDICATE_H_

@@ -1,0 +1,47 @@
+#ifndef TABULA_STORAGE_SCHEMA_H_
+#define TABULA_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace tabula {
+
+/// A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// \brief Ordered collection of fields describing a table layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or a NotFound status.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True iff a column with this name exists.
+  bool HasField(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_STORAGE_SCHEMA_H_

@@ -1,0 +1,89 @@
+#include "storage/table.h"
+
+#include <numeric>
+
+namespace tabula {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    columns_.push_back(MakeColumn(schema_.field(i).type));
+  }
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  TABULA_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return columns_[idx].get();
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    TABULA_RETURN_NOT_OK(columns_[i]->AppendValue(values[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AppendRowFrom(const Table& other, RowId row) {
+  if (other.num_columns() != num_columns()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    TABULA_RETURN_NOT_OK(columns_[i]->AppendFrom(other.column(i), row));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+uint64_t Table::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->MemoryBytes();
+  return bytes;
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& c : columns_) c->Reserve(n);
+}
+
+std::unique_ptr<Table> Table::NewEmptyLike() const {
+  auto out = std::make_unique<Table>(schema_);
+  // Share dictionaries so categorical codes remain comparable.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const auto* cat = columns_[i]->As<CategoricalColumn>();
+    if (cat != nullptr) {
+      out->columns_[i] =
+          std::make_unique<CategoricalColumn>(cat->shared_dict());
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Table> Table::TakeRows(const std::vector<RowId>& rows) const {
+  auto out = NewEmptyLike();
+  out->Reserve(rows.size());
+  for (RowId r : rows) {
+    Status st = out->AppendRowFrom(*this, r);
+    TABULA_CHECK(st.ok());
+  }
+  return out;
+}
+
+DatasetView::DatasetView(const Table* table)
+    : table_(table), all_rows_(true) {}
+
+std::vector<RowId> DatasetView::ToRowIds() const {
+  if (!all_rows_) return rows_;
+  std::vector<RowId> out(table_ ? table_->num_rows() : 0);
+  std::iota(out.begin(), out.end(), 0u);
+  return out;
+}
+
+std::unique_ptr<Table> DatasetView::Materialize() const {
+  TABULA_CHECK(table_ != nullptr);
+  return table_->TakeRows(ToRowIds());
+}
+
+}  // namespace tabula

@@ -1,0 +1,109 @@
+#ifndef TABULA_STORAGE_TABLE_H_
+#define TABULA_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace tabula {
+
+/// Row identifier into a Table.
+using RowId = uint32_t;
+
+/// \brief Immutable-after-build, column-oriented in-memory table.
+///
+/// The embedded data system's storage unit; plays the role the cached
+/// Spark DataFrame plays in the paper's testbed.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column* mutable_column(size_t i) { return columns_[i].get(); }
+
+  /// Column by name (NotFound when absent).
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Boxed cell accessor (slow path; use typed columns in loops).
+  Value GetValue(size_t col, size_t row) const {
+    return columns_[col]->GetValue(row);
+  }
+
+  /// Appends one row of boxed values; must match the schema arity/types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Appends row `row` of `other`; schemas must be compatible.
+  Status AppendRowFrom(const Table& other, RowId row);
+
+  /// Total bytes held by all columns (capacity-based, like the paper's
+  /// "memory footprint" metric).
+  uint64_t MemoryBytes() const;
+
+  void Reserve(size_t n);
+
+  /// Creates an empty table with the same schema, sharing categorical
+  /// dictionaries so codes stay comparable across tables.
+  std::unique_ptr<Table> NewEmptyLike() const;
+
+  /// Materializes the given rows into a new table (shared dictionaries).
+  std::unique_ptr<Table> TakeRows(const std::vector<RowId>& rows) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// \brief A subset of a table's rows, without copying them.
+///
+/// Tabula stores "cell raw data" as row-id vectors into the base table
+/// (see DESIGN.md §5); DatasetView is the common currency between the
+/// cube builder, loss functions, and samplers.
+class DatasetView {
+ public:
+  DatasetView() : table_(nullptr) {}
+  /// View over all rows of `table`.
+  explicit DatasetView(const Table* table);
+  /// View over the listed rows of `table`.
+  DatasetView(const Table* table, std::vector<RowId> rows)
+      : table_(table), rows_(std::move(rows)), all_rows_(false) {}
+
+  const Table* table() const { return table_; }
+  bool covers_all_rows() const { return all_rows_; }
+  size_t size() const {
+    return all_rows_ ? (table_ ? table_->num_rows() : 0) : rows_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Base-table row id of the i-th row in this view.
+  RowId row(size_t i) const {
+    return all_rows_ ? static_cast<RowId>(i) : rows_[i];
+  }
+
+  /// The explicit row-id vector (materializes one for all-row views).
+  std::vector<RowId> ToRowIds() const;
+
+  /// Copies the viewed rows into a standalone table.
+  std::unique_ptr<Table> Materialize() const;
+
+  uint64_t MemoryBytes() const {
+    return all_rows_ ? 0 : rows_.capacity() * sizeof(RowId);
+  }
+
+ private:
+  const Table* table_;
+  std::vector<RowId> rows_;
+  bool all_rows_ = false;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_STORAGE_TABLE_H_

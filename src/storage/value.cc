@@ -1,0 +1,30 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace tabula {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kCategorical:
+      return "CATEGORICAL";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "(null)";
+  if (is_int64()) return std::to_string(AsInt64());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+    return buf;
+  }
+  return AsString();
+}
+
+}  // namespace tabula

@@ -1,0 +1,71 @@
+#ifndef TABULA_STORAGE_VALUE_H_
+#define TABULA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace tabula {
+
+/// Physical type of a column.
+enum class DataType {
+  /// Dictionary-encoded low-cardinality string (vendor, payment type, ...).
+  kCategorical,
+  /// 64-bit signed integer (passenger count, weekday, ...).
+  kInt64,
+  /// IEEE double (fare amount, coordinates, ...).
+  kDouble,
+};
+
+/// Returns the SQL-ish name of a DataType ("CATEGORICAL", "BIGINT",
+/// "DOUBLE").
+const char* DataTypeName(DataType type);
+
+/// \brief A dynamically typed cell value.
+///
+/// Used at API boundaries (predicates, query results, CSV import). The hot
+/// paths operate on raw column vectors instead.
+class Value {
+ public:
+  /// Null value ('*' in cube cell keys).
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}             // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}              // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  int64_t AsInt64() const {
+    TABULA_CHECK(is_int64());
+    return std::get<int64_t>(data_);
+  }
+  double AsDouble() const {
+    if (is_int64()) return static_cast<double>(std::get<int64_t>(data_));
+    TABULA_CHECK(is_double());
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const {
+    TABULA_CHECK(is_string());
+    return std::get<std::string>(data_);
+  }
+
+  /// Renders the value for display ("(null)" for nulls, matching the
+  /// paper's cube tables).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_STORAGE_VALUE_H_

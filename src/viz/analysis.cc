@@ -1,0 +1,128 @@
+#include "viz/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/aggregate.h"
+
+namespace tabula {
+
+namespace {
+Result<const DoubleColumn*> NumericColumn(const DatasetView& view,
+                                          const std::string& name) {
+  if (view.table() == nullptr) {
+    return Status::InvalidArgument("view has no table");
+  }
+  TABULA_ASSIGN_OR_RETURN(const Column* col,
+                          view.table()->ColumnByName(name));
+  const auto* dcol = col->As<DoubleColumn>();
+  if (dcol == nullptr) {
+    return Status::TypeMismatch("column '" + name + "' must be DOUBLE");
+  }
+  return dcol;
+}
+}  // namespace
+
+std::vector<double> Histogram::Normalized() const {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  std::vector<double> out(counts.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (size_t i = 0; i < counts.size(); ++i) out[i] = counts[i] / total;
+  return out;
+}
+
+Result<double> Histogram::ShapeDifference(const Histogram& a,
+                                          const Histogram& b) {
+  if (a.counts.size() != b.counts.size()) {
+    return Status::InvalidArgument("histogram bin counts differ");
+  }
+  auto na = a.Normalized();
+  auto nb = b.Normalized();
+  double sum = 0.0;
+  for (size_t i = 0; i < na.size(); ++i) sum += std::abs(na[i] - nb[i]);
+  return sum;
+}
+
+std::string Histogram::Render(size_t bar_width) const {
+  double max_count = 0.0;
+  for (double c : counts) max_count = std::max(max_count, c);
+  std::string out;
+  double bin_width =
+      counts.empty() ? 0.0 : (max_value - min_value) / counts.size();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "[%8.2f, %8.2f) ",
+                  min_value + i * bin_width, min_value + (i + 1) * bin_width);
+    out += label;
+    size_t bar = max_count > 0 ? static_cast<size_t>(
+                                     counts[i] / max_count * bar_width)
+                               : 0;
+    out.append(bar, '#');
+    out += " " + std::to_string(static_cast<long long>(counts[i]));
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Histogram> BuildHistogram(const DatasetView& view,
+                                 const std::string& column, size_t bins,
+                                 double min, double max) {
+  if (bins == 0) return Status::InvalidArgument("bins must be > 0");
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col,
+                          NumericColumn(view, column));
+  Histogram hist;
+  if (min >= max) {
+    min = std::numeric_limits<double>::infinity();
+    max = -min;
+    for (size_t i = 0; i < view.size(); ++i) {
+      double v = col->At(view.row(i));
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    if (view.empty()) min = max = 0.0;
+    if (min == max) max = min + 1.0;
+  }
+  hist.min_value = min;
+  hist.max_value = max;
+  hist.counts.assign(bins, 0.0);
+  double scale = bins / (max - min);
+  for (size_t i = 0; i < view.size(); ++i) {
+    double v = col->At(view.row(i));
+    auto bin = static_cast<int64_t>((v - min) * scale);
+    bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(bins) - 1);
+    hist.counts[static_cast<size_t>(bin)] += 1.0;
+  }
+  return hist;
+}
+
+Result<RegressionLine> FitRegression(const DatasetView& view,
+                                     const std::string& x_column,
+                                     const std::string& y_column) {
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* x_col,
+                          NumericColumn(view, x_column));
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* y_col,
+                          NumericColumn(view, y_column));
+  RegressionAggState state;
+  for (size_t i = 0; i < view.size(); ++i) {
+    RowId r = view.row(i);
+    state.Add(x_col->At(r), y_col->At(r));
+  }
+  RegressionLine line;
+  line.slope = state.Slope();
+  line.intercept = state.Intercept();
+  line.angle_degrees = state.AngleDegrees();
+  line.n = static_cast<size_t>(state.n);
+  return line;
+}
+
+Result<double> ComputeMean(const DatasetView& view,
+                           const std::string& column) {
+  TABULA_ASSIGN_OR_RETURN(const DoubleColumn* col,
+                          NumericColumn(view, column));
+  NumericAggState state;
+  for (size_t i = 0; i < view.size(); ++i) state.Add(col->At(view.row(i)));
+  return state.Avg();
+}
+
+}  // namespace tabula

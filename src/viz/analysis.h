@@ -1,0 +1,57 @@
+#ifndef TABULA_VIZ_ANALYSIS_H_
+#define TABULA_VIZ_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// \brief Histogram of one numeric column — the dashboard's distribution
+/// visual effect (the paper's histogram analysis runs in Matlab).
+struct Histogram {
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::vector<double> counts;  ///< per-bin tuple counts
+
+  /// Normalized bin weights (sum 1), for comparing shapes across
+  /// different-size inputs.
+  std::vector<double> Normalized() const;
+
+  /// L1 distance between two normalized histograms in [0,2].
+  static Result<double> ShapeDifference(const Histogram& a,
+                                        const Histogram& b);
+
+  /// ASCII bar rendering for console dashboards.
+  std::string Render(size_t bar_width = 40) const;
+};
+
+/// Builds a histogram with `bins` equal-width bins over [min, max]
+/// (auto-ranged from the data when min >= max).
+Result<Histogram> BuildHistogram(const DatasetView& view,
+                                 const std::string& column, size_t bins,
+                                 double min = 0.0, double max = 0.0);
+
+/// \brief Fitted regression line — the dashboard's trend visual effect
+/// (the paper regresses tip amount on fare amount via scikit-learn).
+struct RegressionLine {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double angle_degrees = 0.0;
+  size_t n = 0;
+};
+
+/// Least-squares fit of y_column on x_column over `view`.
+Result<RegressionLine> FitRegression(const DatasetView& view,
+                                     const std::string& x_column,
+                                     const std::string& y_column);
+
+/// Statistical mean of a column over `view` (the AVG analysis task).
+Result<double> ComputeMean(const DatasetView& view,
+                           const std::string& column);
+
+}  // namespace tabula
+
+#endif  // TABULA_VIZ_ANALYSIS_H_

@@ -1,0 +1,172 @@
+#include "viz/dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "viz/analysis.h"
+#include "viz/heatmap.h"
+
+namespace tabula {
+
+const char* VisualTaskName(VisualTask task) {
+  switch (task) {
+    case VisualTask::kHeatmap:
+      return "heatmap";
+    case VisualTask::kHistogram:
+      return "histogram";
+    case VisualTask::kRegression:
+      return "regression";
+    case VisualTask::kMean:
+      return "mean";
+  }
+  return "unknown";
+}
+
+namespace {
+/// Runs the dashboard's visual analysis on an answer; returns elapsed ms.
+Result<double> RunVisualTask(const DatasetView& answer,
+                             const DashboardOptions& options) {
+  Stopwatch timer;
+  switch (options.task) {
+    case VisualTask::kHeatmap: {
+      Heatmap heatmap;
+      TABULA_RETURN_NOT_OK(
+          heatmap.Render(answer, options.x_column, options.y_column));
+      break;
+    }
+    case VisualTask::kHistogram: {
+      TABULA_ASSIGN_OR_RETURN(
+          Histogram hist,
+          BuildHistogram(answer, options.target_column,
+                         options.histogram_bins));
+      (void)hist;
+      break;
+    }
+    case VisualTask::kRegression: {
+      TABULA_ASSIGN_OR_RETURN(
+          RegressionLine line,
+          FitRegression(answer, options.x_column, options.y_column));
+      (void)line;
+      break;
+    }
+    case VisualTask::kMean: {
+      TABULA_ASSIGN_OR_RETURN(double mean,
+                              ComputeMean(answer, options.target_column));
+      (void)mean;
+      break;
+    }
+  }
+  return timer.ElapsedMillis();
+}
+}  // namespace
+
+double DashboardReport::AvgDataSystemMillis() const {
+  if (queries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& q : queries) sum += q.data_system_millis;
+  return sum / queries.size();
+}
+
+double DashboardReport::AvgVizMillis() const {
+  if (queries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& q : queries) sum += q.viz_millis;
+  return sum / queries.size();
+}
+
+double DashboardReport::AvgAnswerTuples() const {
+  if (queries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& q : queries) sum += q.answer_tuples;
+  return sum / queries.size();
+}
+
+double DashboardReport::MinActualLoss() const {
+  double v = kInfiniteLoss;
+  for (const auto& q : queries) v = std::min(v, q.actual_loss);
+  return queries.empty() ? 0.0 : v;
+}
+
+double DashboardReport::AvgActualLoss() const {
+  if (queries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& q : queries) sum += q.actual_loss;
+  return sum / queries.size();
+}
+
+double DashboardReport::MaxActualLoss() const {
+  double v = 0.0;
+  for (const auto& q : queries) v = std::max(v, q.actual_loss);
+  return v;
+}
+
+size_t DashboardReport::LossViolations(double theta) const {
+  size_t count = 0;
+  for (const auto& q : queries) {
+    if (q.actual_loss > theta) ++count;
+  }
+  return count;
+}
+
+Result<DashboardReport> RunDashboard(Approach* approach, const Table& table,
+                                     const std::vector<WorkloadQuery>& workload,
+                                     const DashboardOptions& options) {
+  DashboardReport report;
+  report.approach = approach->name();
+  report.queries.reserve(workload.size());
+
+  for (const auto& query : workload) {
+    QueryRecord record;
+
+    if (approach->ReturnsScalarAnswer()) {
+      // AQP-style approach (SnappyData): the answer is a certified AVG,
+      // there is no sample to visualize (Table II's "-" cells), and the
+      // actual loss is the scalar's relative error vs the exact AVG.
+      Stopwatch data_system;
+      TABULA_ASSIGN_OR_RETURN(double scalar,
+                              approach->ExecuteScalar(query.where));
+      record.data_system_millis = data_system.ElapsedMillis();
+      TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                              BoundPredicate::Bind(table, query.where));
+      DatasetView truth(&table, pred.FilterAll());
+      record.population_tuples = truth.size();
+      if (!truth.empty()) {
+        TABULA_ASSIGN_OR_RETURN(
+            double exact, ComputeMean(truth, options.target_column));
+        record.actual_loss =
+            std::abs(exact) > 1e-12
+                ? std::abs(scalar - exact) / std::abs(exact)
+                : std::abs(scalar - exact);
+      }
+      report.queries.push_back(record);
+      continue;
+    }
+
+    Stopwatch data_system;
+    TABULA_ASSIGN_OR_RETURN(DatasetView answer,
+                            approach->Execute(query.where));
+    record.data_system_millis = data_system.ElapsedMillis();
+    record.answer_tuples = answer.size();
+
+    TABULA_ASSIGN_OR_RETURN(record.viz_millis,
+                            RunVisualTask(answer, options));
+
+    if (options.loss != nullptr) {
+      // Ground truth (untimed): the actual query result from the raw
+      // table, compared under the session's loss function.
+      TABULA_ASSIGN_OR_RETURN(BoundPredicate pred,
+                              BoundPredicate::Bind(table, query.where));
+      DatasetView truth(&table, pred.FilterAll());
+      record.population_tuples = truth.size();
+      if (!truth.empty()) {
+        TABULA_ASSIGN_OR_RETURN(record.actual_loss,
+                                options.loss->Loss(truth, answer));
+      }
+    }
+    report.queries.push_back(record);
+  }
+  return report;
+}
+
+}  // namespace tabula

@@ -1,0 +1,68 @@
+#ifndef TABULA_VIZ_DASHBOARD_H_
+#define TABULA_VIZ_DASHBOARD_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/approach.h"
+#include "common/status.h"
+#include "data/workload.h"
+#include "loss/loss_function.h"
+
+namespace tabula {
+
+/// The visual analysis the dashboard performs on each returned sample —
+/// the paper's four evaluated effects (Section V).
+enum class VisualTask { kHeatmap, kHistogram, kRegression, kMean };
+
+const char* VisualTaskName(VisualTask task);
+
+/// Configuration of a simulated dashboard session.
+struct DashboardOptions {
+  VisualTask task = VisualTask::kHeatmap;
+  /// Columns per task: heat map uses (x, y); histogram/mean use target;
+  /// regression uses (x, y).
+  std::string x_column = "pickup_x";
+  std::string y_column = "pickup_y";
+  std::string target_column = "fare_amount";
+  /// Loss used to measure the *actual* accuracy loss of each answer vs
+  /// the true query result (Figures 11b–14b). May be null to skip.
+  const LossFunction* loss = nullptr;
+  size_t histogram_bins = 32;
+};
+
+/// Measurements of one dashboard interaction.
+struct QueryRecord {
+  double data_system_millis = 0.0;
+  double viz_millis = 0.0;
+  double actual_loss = 0.0;
+  size_t answer_tuples = 0;
+  size_t population_tuples = 0;
+};
+
+/// Aggregated session results — the rows of Figures 11–14 and Table II.
+struct DashboardReport {
+  std::string approach;
+  std::vector<QueryRecord> queries;
+
+  double AvgDataSystemMillis() const;
+  double AvgVizMillis() const;
+  double AvgAnswerTuples() const;
+  double MinActualLoss() const;
+  double AvgActualLoss() const;
+  double MaxActualLoss() const;
+  /// Queries whose actual loss exceeded `theta`.
+  size_t LossViolations(double theta) const;
+};
+
+/// \brief Runs a full dashboard session: every workload query through
+/// `approach`, with the data-system and visualization stages timed
+/// separately (the two components of data-to-visualization time).
+/// Ground-truth loss evaluation happens outside both timers.
+Result<DashboardReport> RunDashboard(Approach* approach, const Table& table,
+                                     const std::vector<WorkloadQuery>& workload,
+                                     const DashboardOptions& options);
+
+}  // namespace tabula
+
+#endif  // TABULA_VIZ_DASHBOARD_H_

@@ -1,0 +1,106 @@
+#include "viz/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace tabula {
+
+Heatmap::Heatmap(HeatmapOptions options) : options_(options) {
+  density_.assign(options_.width * options_.height, 0.0);
+}
+
+Status Heatmap::Render(const DatasetView& view, const std::string& x_column,
+                       const std::string& y_column) {
+  if (view.table() == nullptr) {
+    return Status::InvalidArgument("view has no table");
+  }
+  const Table& table = *view.table();
+  TABULA_ASSIGN_OR_RETURN(const Column* xc, table.ColumnByName(x_column));
+  TABULA_ASSIGN_OR_RETURN(const Column* yc, table.ColumnByName(y_column));
+  const auto* x_col = xc->As<DoubleColumn>();
+  const auto* y_col = yc->As<DoubleColumn>();
+  if (x_col == nullptr || y_col == nullptr) {
+    return Status::TypeMismatch("heat map coordinates must be DOUBLE");
+  }
+  std::fill(density_.begin(), density_.end(), 0.0);
+
+  const int w = static_cast<int>(options_.width);
+  const int h = static_cast<int>(options_.height);
+  const double sx = (w - 1) / std::max(options_.max_x - options_.min_x, 1e-12);
+  const double sy = (h - 1) / std::max(options_.max_y - options_.min_y, 1e-12);
+  const int r = options_.splat_radius;
+  const double sigma2 = std::max(1.0, static_cast<double>(r * r)) / 2.0;
+
+  for (size_t i = 0; i < view.size(); ++i) {
+    RowId row = view.row(i);
+    int px = static_cast<int>((x_col->At(row) - options_.min_x) * sx);
+    int py = static_cast<int>((y_col->At(row) - options_.min_y) * sy);
+    for (int dy = -r; dy <= r; ++dy) {
+      int y = py + dy;
+      if (y < 0 || y >= h) continue;
+      for (int dx = -r; dx <= r; ++dx) {
+        int x = px + dx;
+        if (x < 0 || x >= w) continue;
+        double weight = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma2));
+        density_[static_cast<size_t>(y) * w + x] += weight;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> Heatmap::ToneMapped() const {
+  double max_d = 0.0;
+  for (double d : density_) max_d = std::max(max_d, d);
+  std::vector<double> out(density_.size(), 0.0);
+  if (max_d <= 0.0) return out;
+  double denom = std::log1p(max_d);
+  for (size_t i = 0; i < density_.size(); ++i) {
+    out[i] = std::log1p(density_[i]) / denom;
+  }
+  return out;
+}
+
+Result<double> Heatmap::VisualDifference(const Heatmap& a, const Heatmap& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return Status::InvalidArgument("heat map dimensions differ");
+  }
+  auto ta = a.ToneMapped();
+  auto tb = b.ToneMapped();
+  double sum = 0.0;
+  for (size_t i = 0; i < ta.size(); ++i) sum += std::abs(ta[i] - tb[i]);
+  return sum / static_cast<double>(ta.size());
+}
+
+Status Heatmap::WritePgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "'");
+  out << "P5\n" << options_.width << " " << options_.height << "\n255\n";
+  auto tone = ToneMapped();
+  for (double v : tone) {
+    out.put(static_cast<char>(static_cast<int>(v * 255.0)));
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Status Heatmap::WritePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "'");
+  out << "P6\n" << options_.width << " " << options_.height << "\n255\n";
+  auto tone = ToneMapped();
+  for (double v : tone) {
+    // Blue → yellow → red ramp.
+    double r = std::clamp(v * 2.0, 0.0, 1.0);
+    double g = std::clamp(v < 0.5 ? v * 2.0 : 2.0 - v * 2.0, 0.0, 1.0);
+    double b = std::clamp(1.0 - v * 2.0, 0.0, 1.0);
+    out.put(static_cast<char>(static_cast<int>(r * 255.0)));
+    out.put(static_cast<char>(static_cast<int>(g * 255.0)));
+    out.put(static_cast<char>(static_cast<int>(b * 255.0)));
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace tabula

@@ -1,0 +1,65 @@
+#ifndef TABULA_VIZ_HEATMAP_H_
+#define TABULA_VIZ_HEATMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Options for the heat-map rasterizer.
+struct HeatmapOptions {
+  size_t width = 256;
+  size_t height = 256;
+  /// Gaussian-ish splat radius in pixels (dashboards blur density maps).
+  int splat_radius = 2;
+  /// Canvas extent in data coordinates.
+  double min_x = 0.0, max_x = 1.0, min_y = 0.0, max_y = 1.0;
+};
+
+/// \brief Density heat map — the dashboard's geospatial visual effect.
+///
+/// Renders point sets the way the paper's Tableau/Matlab dashboards do:
+/// each tuple splats into a density raster that is then tone-mapped. The
+/// render is the measured "sample visualization time" for the heat-map
+/// task in Table II, and raster-vs-raster comparison quantifies what the
+/// user visually loses with a sample (the Figure 2 effect).
+class Heatmap {
+ public:
+  explicit Heatmap(HeatmapOptions options = {});
+
+  /// Rasterizes the (x_column, y_column) points of `view`.
+  Status Render(const DatasetView& view, const std::string& x_column,
+                const std::string& y_column);
+
+  size_t width() const { return options_.width; }
+  size_t height() const { return options_.height; }
+  /// Raw accumulated density at a pixel.
+  double density(size_t x, size_t y) const {
+    return density_[y * options_.width + x];
+  }
+
+  /// Mean absolute difference between two tone-mapped rasters in [0,1] —
+  /// a dashboard-visible divergence measure.
+  static Result<double> VisualDifference(const Heatmap& a, const Heatmap& b);
+
+  /// Writes a grayscale PGM (portable graymap) of the tone-mapped raster.
+  Status WritePgm(const std::string& path) const;
+
+  /// Writes a color PPM using a blue→yellow→red ramp.
+  Status WritePpm(const std::string& path) const;
+
+ private:
+  /// Log tone-mapping to [0,1] (heat maps are log-scaled in practice).
+  std::vector<double> ToneMapped() const;
+
+  HeatmapOptions options_;
+  std::vector<double> density_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_VIZ_HEATMAP_H_

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "baselines/poisam.h"
+#include "baselines/sample_cube.h"
+#include "baselines/sample_first.h"
+#include "baselines/sample_on_the_fly.h"
+#include "baselines/snappy_like.h"
+#include "baselines/tabula_approach.h"
+#include "data/taxi_gen.h"
+#include "data/workload.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+#include "sampling/random_sampler.h"
+
+namespace tabula {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TaxiGeneratorOptions gen;
+    gen.num_rows = 30000;
+    gen.seed = 6;
+    table_ = TaxiGenerator(gen).Generate().release();
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+
+  static std::vector<std::string> Attrs() {
+    return {"payment_type", "rate_code"};
+  }
+  static std::vector<PredicateTerm> JfkQuery() {
+    return {{"rate_code", CompareOp::kEq, Value("JFK")}};
+  }
+
+  static const Table* table_;
+};
+
+const Table* BaselinesTest::table_ = nullptr;
+
+TEST_F(BaselinesTest, SampleFirstRespectsBudgetAndFilters) {
+  uint64_t budget = 200 * TupleBytes(*table_);
+  SampleFirst approach(*table_, budget, "SamFirst-test");
+  ASSERT_TRUE(approach.Prepare().ok());
+  EXPECT_EQ(approach.sample_size(), 200u);
+  EXPECT_LE(approach.MemoryBytes(), budget + TupleBytes(*table_));
+
+  auto answer = approach.Execute(JfkQuery());
+  ASSERT_TRUE(answer.ok());
+  // Every returned tuple really satisfies the filter.
+  auto rate_col = table_->ColumnByName("rate_code");
+  ASSERT_TRUE(rate_col.ok());
+  for (size_t i = 0; i < answer->size(); ++i) {
+    EXPECT_EQ(rate_col.value()->GetValue(answer->row(i)).AsString(), "JFK");
+  }
+  // JFK is ~5.5% of rides: a 200-tuple sample returns only a handful.
+  EXPECT_LT(answer->size(), 50u);
+}
+
+TEST_F(BaselinesTest, SampleFirstRequiresPrepare) {
+  SampleFirst approach(*table_, 1000, "SamFirst");
+  EXPECT_FALSE(approach.Execute(JfkQuery()).ok());
+}
+
+TEST_F(BaselinesTest, SampleOnTheFlyGuaranteesLoss) {
+  MeanLoss loss("fare_amount");
+  SampleOnTheFly approach(*table_, &loss, 0.05);
+  ASSERT_TRUE(approach.Prepare().ok());
+  EXPECT_EQ(approach.MemoryBytes(), 0u);
+  auto answer = approach.Execute(JfkQuery());
+  ASSERT_TRUE(answer.ok());
+
+  auto pred = BoundPredicate::Bind(*table_, JfkQuery());
+  DatasetView truth(table_, pred->FilterAll());
+  EXPECT_LE(loss.Loss(truth, *answer).value(), 0.05);
+}
+
+TEST_F(BaselinesTest, PoiSamReturnsSmallSamples) {
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  PoiSam approach(*table_, loss.get(), 0.01);
+  ASSERT_TRUE(approach.Prepare().ok());
+  auto answer = approach.Execute(JfkQuery());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer->size(), 0u);
+  // POIsam samples from a ~150-tuple random pre-sample (ε=5%, δ=10%).
+  EXPECT_LE(answer->size(), SerflingSampleSize(0.05, 0.10));
+}
+
+TEST_F(BaselinesTest, PoiSamFixedSizeModeReturnsExactSize) {
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  PoiSam original(*table_, loss.get(), /*theta=*/0.01, 0.05, 0.10, {},
+                  /*seed=*/42, PoiSam::Mode::kFixedSize, /*fixed_size=*/50);
+  ASSERT_TRUE(original.Prepare().ok());
+  auto answer = original.Execute(JfkQuery());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 50u);
+
+  // Tiny population: size capped by the population itself.
+  auto tiny = original.Execute(
+      {{"payment_type", CompareOp::kEq, Value("Dispute")},
+       {"rate_code", CompareOp::kEq, Value("Nassau")}});
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_LE(tiny->size(), 50u);
+}
+
+TEST_F(BaselinesTest, SnappyLikeCertifiesOrFallsBack) {
+  SnappyLike approach(*table_, "fare_amount", Attrs(),
+                      /*sample_bytes=*/500 * TupleBytes(*table_),
+                      /*error_bound=*/0.05, "SnappyData-test");
+  ASSERT_TRUE(approach.Prepare().ok());
+  EXPECT_GT(approach.MemoryBytes(), 0u);
+
+  auto avg = approach.ExecuteAvg(JfkQuery());
+  ASSERT_TRUE(avg.ok());
+  // Ground truth.
+  auto pred = BoundPredicate::Bind(*table_, JfkQuery());
+  DatasetView truth(table_, pred->FilterAll());
+  auto fare = table_->ColumnByName("fare_amount");
+  NumericAggState exact;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    exact.Add(fare.value()->As<DoubleColumn>()->At(truth.row(i)));
+  }
+  double rel_err = std::abs(avg->avg - exact.Avg()) / exact.Avg();
+  if (avg->fell_back_to_raw) {
+    EXPECT_NEAR(rel_err, 0.0, 1e-9);  // fallback computes the exact answer
+  } else {
+    // Certified: the CLT bound must hold comfortably on this data.
+    EXPECT_LE(rel_err, 0.05);
+  }
+}
+
+TEST_F(BaselinesTest, SnappyLikeUnknownValueIsEmpty) {
+  SnappyLike approach(*table_, "fare_amount", Attrs(), 100000, 0.05,
+                      "SnappyData-test");
+  ASSERT_TRUE(approach.Prepare().ok());
+  auto avg = approach.ExecuteAvg(
+      {{"rate_code", CompareOp::kEq, Value("Hyperloop")}});
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->avg, 0.0);
+}
+
+TEST_F(BaselinesTest, FullCubeMaterializesEveryCell) {
+  MeanLoss loss("fare_amount");
+  MaterializedSampleCube full(*table_, Attrs(), &loss, 0.05,
+                              MaterializedSampleCube::Mode::kFull);
+  ASSERT_TRUE(full.Prepare().ok());
+  EXPECT_EQ(full.num_materialized_cells(), full.total_cells());
+  auto answer = full.Execute(JfkQuery());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer->size(), 0u);
+
+  auto pred = BoundPredicate::Bind(*table_, JfkQuery());
+  DatasetView truth(table_, pred->FilterAll());
+  EXPECT_LE(loss.Loss(truth, *answer).value(), 0.05);
+}
+
+TEST_F(BaselinesTest, PartialCubeMaterializesOnlyIcebergCells) {
+  MeanLoss loss("fare_amount");
+  MaterializedSampleCube partial(*table_, Attrs(), &loss, 0.05,
+                                 MaterializedSampleCube::Mode::kPartial);
+  ASSERT_TRUE(partial.Prepare().ok());
+  EXPECT_LT(partial.num_materialized_cells(), partial.total_cells());
+
+  MaterializedSampleCube full(*table_, Attrs(), &loss, 0.05,
+                              MaterializedSampleCube::Mode::kFull);
+  ASSERT_TRUE(full.Prepare().ok());
+  EXPECT_LT(partial.MemoryBytes(), full.MemoryBytes());
+
+  // The guarantee holds on both paths (local or global answer).
+  for (const auto& where :
+       {JfkQuery(),
+        std::vector<PredicateTerm>{
+            {"payment_type", CompareOp::kEq, Value("Cash")}}}) {
+    auto answer = partial.Execute(where);
+    ASSERT_TRUE(answer.ok());
+    auto pred = BoundPredicate::Bind(*table_, where);
+    DatasetView truth(table_, pred->FilterAll());
+    EXPECT_LE(loss.Loss(truth, *answer).value(), 0.05);
+  }
+}
+
+TEST_F(BaselinesTest, CubeApproachesAgreeWithTabula) {
+  // Tabula and the naive cubes must produce threshold-satisfying answers
+  // for the same workload; Tabula just gets there cheaper.
+  MeanLoss loss("fare_amount");
+  TabulaOptions opts;
+  opts.cubed_attributes = Attrs();
+  opts.loss = &loss;
+  opts.threshold = 0.05;
+  TabulaApproach tabula(*table_, opts);
+  ASSERT_TRUE(tabula.Prepare().ok());
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 25;
+  auto workload = GenerateWorkload(*table_, Attrs(), wopts);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& q : workload.value()) {
+    auto answer = tabula.Execute(q.where);
+    ASSERT_TRUE(answer.ok());
+    auto pred = BoundPredicate::Bind(*table_, q.where);
+    DatasetView truth(table_, pred->FilterAll());
+    if (truth.empty()) continue;
+    EXPECT_LE(loss.Loss(truth, *answer).value(), 0.05) << q.ToString();
+  }
+}
+
+TEST_F(BaselinesTest, NoSamplingReturnsWholePopulation) {
+  NoSampling approach(*table_);
+  ASSERT_TRUE(approach.Prepare().ok());
+  auto answer = approach.Execute(JfkQuery());
+  ASSERT_TRUE(answer.ok());
+  auto pred = BoundPredicate::Bind(*table_, JfkQuery());
+  EXPECT_EQ(answer->size(), pred->FilterAll().size());
+}
+
+TEST_F(BaselinesTest, TabulaStarNameAndBehaviour) {
+  MeanLoss loss("fare_amount");
+  TabulaOptions opts;
+  opts.cubed_attributes = Attrs();
+  opts.loss = &loss;
+  opts.threshold = 0.05;
+  TabulaApproach star(*table_, opts, /*enable_selection=*/false);
+  EXPECT_EQ(star.name(), "Tabula*");
+  ASSERT_TRUE(star.Prepare().ok());
+  TabulaApproach normal(*table_, opts);
+  EXPECT_EQ(normal.name(), "Tabula");
+  ASSERT_TRUE(normal.Prepare().ok());
+  EXPECT_GE(star.MemoryBytes(), normal.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace tabula {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> weights{0.9, 0.1};
+  size_t zeros = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Discrete(weights) == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 1600u);
+  EXPECT_LT(zeros, 1990u);
+}
+
+TEST(RngTest, SampleWithoutReplacementSparse) {
+  Rng rng(5);
+  auto picks = rng.SampleWithoutReplacement(1000000, 50);
+  std::set<uint32_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (uint32_t p : picks) EXPECT_LT(p, 1000000u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDense) {
+  Rng rng(5);
+  auto picks = rng.SampleWithoutReplacement(100, 80);
+  std::set<uint32_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 80u);
+}
+
+TEST(RngTest, SampleAllWhenKExceedsN) {
+  Rng rng(5);
+  auto picks = rng.SampleWithoutReplacement(10, 100);
+  EXPECT_EQ(picks.size(), 10u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkIndicesDisjoint) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<size_t> chunks;
+  pool.ParallelForChunked(100, [&](size_t chunk, size_t, size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.insert(chunk);
+  });
+  EXPECT_GE(chunks.size(), 1u);
+  EXPECT_LE(chunks.size(), 5u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor issued from inside a worker must not deadlock.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ThreadPool::Global().ParallelFor(10, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsCompletableFuture) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto fut = pool.Submit([&] { ran = true; });
+  fut.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// ---------- string_util ----------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, TrimView) {
+  EXPECT_EQ(TrimView("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimView(""), "");
+  EXPECT_EQ(TrimView("   "), "");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(EqualsIgnoreCase("GROUP", "groups"));
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(3u * 1024 * 1024), "3.00 MB");
+}
+
+TEST(StringUtilTest, HumanMillis) {
+  EXPECT_EQ(HumanMillis(2500.0), "2.50 s");
+  EXPECT_EQ(HumanMillis(42.0), "42.0 ms");
+  EXPECT_EQ(HumanMillis(0.5), "0.500 ms");
+}
+
+// ---------- env ----------
+
+TEST(EnvTest, FallbacksAndParses) {
+  unsetenv("TABULA_TEST_ENV");
+  EXPECT_EQ(EnvInt64("TABULA_TEST_ENV", 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("TABULA_TEST_ENV", 1.5), 1.5);
+  EXPECT_EQ(EnvString("TABULA_TEST_ENV", "x"), "x");
+  setenv("TABULA_TEST_ENV", "123", 1);
+  EXPECT_EQ(EnvInt64("TABULA_TEST_ENV", 42), 123);
+  setenv("TABULA_TEST_ENV", "2.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("TABULA_TEST_ENV", 1.5), 2.25);
+  setenv("TABULA_TEST_ENV", "garbage", 1);
+  EXPECT_EQ(EnvInt64("TABULA_TEST_ENV", 42), 42);
+  unsetenv("TABULA_TEST_ENV");
+}
+
+// ---------- Stopwatch ----------
+
+TEST(StopwatchTest, MonotoneAndRestartable) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedMillis();
+  double t2 = sw.ElapsedMillis();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 1000.0);
+  EXPECT_NEAR(sw.ElapsedSeconds() * 1000.0, sw.ElapsedMillis(), 1.0);
+}
+
+// ---------- binary_io ----------
+
+TEST(BinaryIoTest, RoundTripAllTypes) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x1122334455667788ull);
+  w.WriteDouble(3.14159);
+  w.WriteString("hello cube");
+  w.WriteVector(std::vector<uint32_t>{1, 2, 3});
+  ASSERT_TRUE(w.ok());
+
+  BinaryReader r(&ss);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x1122334455667788ull);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.14159);
+  EXPECT_EQ(r.ReadString().value(), "hello cube");
+  EXPECT_EQ(r.ReadVector<uint32_t>().value(),
+            (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(BinaryIoTest, TruncatedReadFails) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU32(7);
+  BinaryReader r(&ss);
+  EXPECT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+TEST(BinaryIoTest, HostileLengthRejected) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU64(~0ull);  // absurd string length
+  BinaryReader r(&ss);
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "data/taxi_gen.h"
+#include "data/workload.h"
+#include "exec/key_encoder.h"
+#include "loss/spatial.h"
+#include "storage/predicate.h"
+
+namespace tabula {
+namespace {
+
+class TaxiGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TaxiGeneratorOptions gen;
+    gen.num_rows = 50000;
+    gen.seed = 123;
+    table_ = TaxiGenerator(gen).Generate().release();
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+  static const Table* table_;
+};
+
+const Table* TaxiGenTest::table_ = nullptr;
+
+TEST_F(TaxiGenTest, SchemaAndCardinalities) {
+  EXPECT_EQ(table_->num_rows(), 50000u);
+  auto enc = KeyEncoder::Make(*table_, TaxiGenerator::ExperimentAttributes());
+  ASSERT_TRUE(enc.ok());
+  // The paper's attribute cardinalities are small categoricals; full
+  // cubes over 4..7 attributes land in the thousands-to-150k cell range.
+  EXPECT_EQ(enc->Cardinality(0), 3u);  // vendor
+  EXPECT_EQ(enc->Cardinality(1), 7u);  // pickup weekday
+  EXPECT_EQ(enc->Cardinality(2), 6u);  // passenger count
+  EXPECT_EQ(enc->Cardinality(3), 4u);  // payment type
+  EXPECT_EQ(enc->Cardinality(4), 5u);  // rate code
+  EXPECT_EQ(enc->Cardinality(5), 2u);  // store and forward
+  EXPECT_EQ(enc->Cardinality(6), 7u);  // dropoff weekday
+}
+
+TEST_F(TaxiGenTest, DeterministicForSameSeed) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 500;
+  gen.seed = 77;
+  auto a = TaxiGenerator(gen).Generate();
+  auto b = TaxiGenerator(gen).Generate();
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (RowId r = 0; r < a->num_rows(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      ASSERT_EQ(a->GetValue(c, r), b->GetValue(c, r)) << r << "," << c;
+    }
+  }
+}
+
+TEST_F(TaxiGenTest, FareTracksDistance) {
+  auto dist = table_->ColumnByName("trip_distance");
+  auto fare = table_->ColumnByName("fare_amount");
+  ASSERT_TRUE(dist.ok());
+  ASSERT_TRUE(fare.ok());
+  // Correlation between distance and fare must be strongly positive.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  size_t n = table_->num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    double x = dist.value()->As<DoubleColumn>()->At(r);
+    double y = fare.value()->As<DoubleColumn>()->At(r);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  double corr = (n * sxy - sx * sy) /
+                std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST_F(TaxiGenTest, AirportHotspotExists) {
+  // JFK-rate rides must cluster around the JFK hotspot (0.82, 0.18) far
+  // from Manhattan — the Figure 2 "red circle" pattern.
+  auto pred = BoundPredicate::Bind(
+      *table_, {{"rate_code", CompareOp::kEq, Value("JFK")}});
+  ASSERT_TRUE(pred.ok());
+  auto rows = pred->FilterAll();
+  ASSERT_GT(rows.size(), 500u);
+  auto px = table_->ColumnByName("pickup_x");
+  auto py = table_->ColumnByName("pickup_y");
+  size_t near_airport = 0;
+  for (RowId r : rows) {
+    double dx = px.value()->As<DoubleColumn>()->At(r) - 0.82;
+    double dy = py.value()->As<DoubleColumn>()->At(r) - 0.18;
+    if (std::sqrt(dx * dx + dy * dy) < 0.08) ++near_airport;
+  }
+  EXPECT_GT(static_cast<double>(near_airport) / rows.size(), 0.6);
+}
+
+TEST_F(TaxiGenTest, TipsDependOnPaymentType) {
+  auto tip = table_->ColumnByName("tip_amount");
+  auto fare = table_->ColumnByName("fare_amount");
+  for (const char* payment : {"Credit", "Cash"}) {
+    auto pred = BoundPredicate::Bind(
+        *table_, {{"payment_type", CompareOp::kEq, Value(payment)}});
+    auto rows = pred->FilterAll();
+    double tip_rate = 0.0;
+    for (RowId r : rows) {
+      tip_rate += tip.value()->As<DoubleColumn>()->At(r) /
+                  fare.value()->As<DoubleColumn>()->At(r);
+    }
+    tip_rate /= rows.size();
+    if (std::string(payment) == "Credit") {
+      EXPECT_GT(tip_rate, 0.15);
+    } else {
+      EXPECT_LT(tip_rate, 0.05);
+    }
+  }
+}
+
+TEST_F(TaxiGenTest, DistanceBinMatchesDistance) {
+  auto bin = table_->ColumnByName("trip_distance_bin");
+  auto dist = table_->ColumnByName("trip_distance");
+  for (RowId r = 0; r < 2000; ++r) {
+    double d = dist.value()->As<DoubleColumn>()->At(r);
+    std::string b = bin.value()->GetValue(r).AsString();
+    if (d < 5) {
+      EXPECT_EQ(b, "[0,5)");
+    } else if (d < 10) {
+      EXPECT_EQ(b, "[5,10)");
+    }
+  }
+}
+
+TEST_F(TaxiGenTest, CoordinatesNormalized) {
+  auto px = table_->ColumnByName("pickup_x");
+  auto py = table_->ColumnByName("pickup_y");
+  for (RowId r = 0; r < table_->num_rows(); ++r) {
+    double x = px.value()->As<DoubleColumn>()->At(r);
+    double y = py.value()->As<DoubleColumn>()->At(r);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    ASSERT_GE(y, 0.0);
+    ASSERT_LE(y, 1.0);
+  }
+}
+
+TEST_F(TaxiGenTest, UnitConversionMatchesPaper) {
+  // Figure 11: "0.25 kilo meter ≈ 0.004 (normalized distance)".
+  EXPECT_NEAR(0.25 * kNormalizedUnitsPerKm, 0.004, 1e-12);
+}
+
+// ---------- Workload ----------
+
+TEST(WorkloadTest, QueriesAreNonEmptyCells) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 10000;
+  auto table = TaxiGenerator(gen).Generate();
+  WorkloadOptions opts;
+  opts.num_queries = 100;
+  auto attrs = std::vector<std::string>{"payment_type", "rate_code",
+                                        "passenger_count"};
+  auto workload = GenerateWorkload(*table, attrs, opts);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->size(), 100u);
+  for (const auto& q : *workload) {
+    auto pred = BoundPredicate::Bind(*table, q.where);
+    ASSERT_TRUE(pred.ok());
+    EXPECT_FALSE(pred->FilterAll().empty()) << q.ToString();
+    // Only cubed attributes appear.
+    for (const auto& term : q.where) {
+      EXPECT_NE(std::find(attrs.begin(), attrs.end(), term.column),
+                attrs.end());
+    }
+  }
+}
+
+TEST(WorkloadTest, CoversMultipleCuboids) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 5000;
+  auto table = TaxiGenerator(gen).Generate();
+  WorkloadOptions opts;
+  opts.num_queries = 60;
+  auto workload =
+      GenerateWorkload(*table, {"payment_type", "rate_code"}, opts);
+  ASSERT_TRUE(workload.ok());
+  std::set<size_t> arities;
+  for (const auto& q : *workload) arities.insert(q.where.size());
+  // 0, 1 and 2 predicate queries must all occur.
+  EXPECT_EQ(arities, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 2000;
+  auto table = TaxiGenerator(gen).Generate();
+  WorkloadOptions opts;
+  opts.num_queries = 10;
+  opts.seed = 5;
+  auto a = GenerateWorkload(*table, {"payment_type"}, opts);
+  auto b = GenerateWorkload(*table, {"payment_type"}, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].ToString(), (*b)[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace tabula

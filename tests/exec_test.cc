@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/aggregate.h"
+#include "exec/group_by.h"
+#include "exec/key_encoder.h"
+#include "storage/table.h"
+
+namespace tabula {
+namespace {
+
+std::unique_ptr<Table> MakeTable() {
+  Schema schema({{"a", DataType::kCategorical},
+                 {"b", DataType::kCategorical},
+                 {"n", DataType::kInt64},
+                 {"v", DataType::kDouble}});
+  auto table = std::make_unique<Table>(schema);
+  auto add = [&](const char* a, const char* b, int64_t n, double v) {
+    ASSERT_TRUE(table->AppendRow({Value(a), Value(b), Value(n), Value(v)}).ok());
+  };
+  add("x", "p", 1, 1.0);
+  add("x", "q", 1, 2.0);
+  add("y", "p", 2, 3.0);
+  add("y", "q", 2, 4.0);
+  add("x", "p", 3, 5.0);
+  add("y", "p", 1, 6.0);
+  return table;
+}
+
+TEST(NumericAggStateTest, BasicStats) {
+  NumericAggState s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.count, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_DOUBLE_EQ(s.Avg(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(NumericAggStateTest, MergeEqualsDirectAccumulation) {
+  NumericAggState a, b, direct;
+  for (double v : {1.0, 5.0, 9.0}) {
+    a.Add(v);
+    direct.Add(v);
+  }
+  for (double v : {2.0, 4.0}) {
+    b.Add(v);
+    direct.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Avg(), direct.Avg());
+  EXPECT_DOUBLE_EQ(a.StdDev(), direct.StdDev());
+  EXPECT_DOUBLE_EQ(a.min, direct.min);
+  EXPECT_DOUBLE_EQ(a.max, direct.max);
+}
+
+TEST(RegressionAggStateTest, PerfectLine) {
+  RegressionAggState s;
+  for (double x : {0.0, 1.0, 2.0, 3.0}) s.Add(x, 2.0 * x + 1.0);
+  EXPECT_NEAR(s.Slope(), 2.0, 1e-12);
+  EXPECT_NEAR(s.Intercept(), 1.0, 1e-12);
+  EXPECT_NEAR(s.AngleDegrees(), std::atan(2.0) * 180.0 / M_PI, 1e-12);
+}
+
+TEST(RegressionAggStateTest, MergeMatchesDirect) {
+  RegressionAggState a, b, direct;
+  auto add = [](RegressionAggState* s, double x, double y) { s->Add(x, y); };
+  for (int i = 0; i < 5; ++i) {
+    add(&a, i, 3.0 * i - 2.0 + (i % 2));
+    add(&direct, i, 3.0 * i - 2.0 + (i % 2));
+  }
+  for (int i = 5; i < 9; ++i) {
+    add(&b, i, 3.0 * i - 2.0);
+    add(&direct, i, 3.0 * i - 2.0);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Slope(), direct.Slope(), 1e-12);
+}
+
+TEST(RegressionAggStateTest, DegenerateSlopeIsZero) {
+  RegressionAggState s;
+  s.Add(1.0, 5.0);
+  s.Add(1.0, 9.0);  // vertical: undefined slope
+  EXPECT_DOUBLE_EQ(s.Slope(), 0.0);
+  RegressionAggState empty;
+  EXPECT_DOUBLE_EQ(empty.Slope(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Intercept(), 0.0);
+}
+
+TEST(KeyEncoderTest, CategoricalAndIntColumns) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "n"});
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->num_columns(), 2u);
+  EXPECT_EQ(enc->Cardinality(0), 2u);  // x, y
+  EXPECT_EQ(enc->Cardinality(1), 3u);  // 1, 2, 3
+  // Row 2 is ("y", ..., 2, ...).
+  EXPECT_EQ(enc->Decode(0, enc->Encode(0, 2)).AsString(), "y");
+  EXPECT_EQ(enc->Decode(1, enc->Encode(1, 2)).AsInt64(), 2);
+  EXPECT_TRUE(enc->Decode(0, kNullCode).is_null());
+}
+
+TEST(KeyEncoderTest, CodeForValueRoundTrip) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "n"});
+  ASSERT_TRUE(enc.ok());
+  auto code = enc->CodeForValue(0, Value("y"));
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(enc->Decode(0, code.value()).AsString(), "y");
+  EXPECT_FALSE(enc->CodeForValue(0, Value("zzz")).ok());
+  EXPECT_FALSE(enc->CodeForValue(1, Value(int64_t{42})).ok());
+}
+
+TEST(KeyEncoderTest, RejectsDoubleColumns) {
+  auto table = MakeTable();
+  EXPECT_FALSE(KeyEncoder::Make(*table, {"v"}).ok());
+}
+
+TEST(KeyEncoderTest, KeySpaceSize) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "b", "n"});
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->KeySpaceSize(), 2u * 2u * 3u);
+}
+
+TEST(KeyPackerTest, PackUnpackWithNulls) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "b", "n"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0, 1, 2});
+  ASSERT_TRUE(packer.ok());
+
+  std::vector<uint32_t> codes{1, kNullCode, 2};
+  uint64_t key = packer->PackCodes(codes);
+  EXPECT_EQ(packer->Unpack(key), codes);
+  EXPECT_EQ(packer->CodeAt(key, 1), kNullCode);
+
+  uint64_t rolled = packer->WithNull(key, 0);
+  auto rolled_codes = packer->Unpack(rolled);
+  EXPECT_EQ(rolled_codes[0], kNullCode);
+  EXPECT_EQ(rolled_codes[2], 2u);
+}
+
+TEST(KeyPackerTest, PackRowMatchesPackCodes) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "b"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0, 1});
+  ASSERT_TRUE(packer.ok());
+  for (RowId r = 0; r < table->num_rows(); ++r) {
+    std::vector<uint32_t> codes{enc->Encode(0, r), enc->Encode(1, r)};
+    EXPECT_EQ(packer->PackRow(*enc, r), packer->PackCodes(codes));
+  }
+}
+
+TEST(KeyPackerTest, PackRowMaskedRollsUp) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "b"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0, 1});
+  ASSERT_TRUE(packer.ok());
+  // Mask keeps only column 0; column 1 must be '*'.
+  uint64_t key = packer->PackRowMasked(*enc, 0, 0b01);
+  auto codes = packer->Unpack(key);
+  EXPECT_EQ(codes[0], enc->Encode(0, 0));
+  EXPECT_EQ(codes[1], kNullCode);
+}
+
+TEST(GroupByTest, GroupRowsPartitionsTable) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0});
+  ASSERT_TRUE(packer.ok());
+  GroupedRows groups = GroupRows(*enc, *packer, DatasetView(table.get()));
+  ASSERT_EQ(groups.keys.size(), 2u);
+  size_t total = 0;
+  std::set<RowId> seen;
+  for (const auto& rows : groups.rows) {
+    total += rows.size();
+    seen.insert(rows.begin(), rows.end());
+  }
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(GroupByTest, GroupAccumulateMatchesManualAggregation) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"b"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0});
+  ASSERT_TRUE(packer.ok());
+  const auto* v = table->column(3).As<DoubleColumn>();
+  auto map = GroupAccumulate<NumericAggState>(
+      *enc, *packer, DatasetView(table.get()),
+      [&](NumericAggState* s, RowId r) { s->Add(v->At(r)); });
+  ASSERT_EQ(map.size(), 2u);
+  // Group p: rows 0,2,4,5 → values 1,3,5,6. Group q: rows 1,3 → 2,4.
+  double sum_p = 0.0, sum_q = 0.0;
+  for (const auto& [key, state] : map) {
+    uint32_t code = packer->CodeAt(key, 0);
+    if (enc->Decode(0, code).AsString() == "p") {
+      sum_p = state.sum;
+    } else {
+      sum_q = state.sum;
+    }
+  }
+  EXPECT_DOUBLE_EQ(sum_p, 15.0);
+  EXPECT_DOUBLE_EQ(sum_q, 6.0);
+}
+
+TEST(GroupByTest, GroupRowsOnSubsetView) {
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0});
+  ASSERT_TRUE(packer.ok());
+  DatasetView view(table.get(), {0, 1, 4});  // all "x" rows
+  GroupedRows groups = GroupRows(*enc, *packer, view);
+  ASSERT_EQ(groups.keys.size(), 1u);
+  EXPECT_EQ(groups.rows[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace tabula

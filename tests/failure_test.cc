@@ -1,0 +1,231 @@
+/// Failure-injection and edge-condition coverage: a loss function that
+/// errors mid-pipeline must surface a Status (never crash or silently
+/// drop the guarantee), and every component must cope with degenerate
+/// inputs (empty tables, single rows, constant columns).
+
+#include <gtest/gtest.h>
+
+#include "baselines/sample_cube.h"
+#include "baselines/sample_on_the_fly.h"
+#include "core/tabula.h"
+#include "data/taxi_gen.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+#include "sampling/greedy_sampler.h"
+#include "selection/rep_selection.h"
+
+namespace tabula {
+namespace {
+
+/// A loss that fails at a chosen pipeline stage.
+class FailingLoss final : public LossFunction {
+ public:
+  enum class FailAt { kBind, kLoss, kEvaluator, kNever };
+
+  explicit FailingLoss(FailAt fail_at)
+      : fail_at_(fail_at), inner_("fare_amount") {}
+
+  std::string name() const override { return "failing_loss"; }
+
+  Result<std::unique_ptr<BoundLoss>> Bind(
+      const Table& table, const DatasetView& ref) const override {
+    if (fail_at_ == FailAt::kBind) {
+      return Status::Internal("injected Bind failure");
+    }
+    return inner_.Bind(table, ref);
+  }
+
+  Result<double> Loss(const DatasetView& raw,
+                      const DatasetView& sample) const override {
+    if (fail_at_ == FailAt::kLoss) {
+      return Status::Internal("injected Loss failure");
+    }
+    return inner_.Loss(raw, sample);
+  }
+
+  Result<std::unique_ptr<GreedyLossEvaluator>> MakeGreedyEvaluator(
+      const DatasetView& raw) const override {
+    if (fail_at_ == FailAt::kEvaluator) {
+      return Status::Internal("injected evaluator failure");
+    }
+    return inner_.MakeGreedyEvaluator(raw);
+  }
+
+  std::vector<std::string> InputColumns() const override {
+    return inner_.InputColumns();
+  }
+
+ private:
+  FailAt fail_at_;
+  MeanLoss inner_;
+};
+
+std::unique_ptr<Table> SmallTaxi() {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 5000;
+  gen.seed = 4;
+  return TaxiGenerator(gen).Generate();
+}
+
+TabulaOptions OptionsFor(const LossFunction* loss) {
+  TabulaOptions opts;
+  opts.cubed_attributes = {"payment_type", "rate_code"};
+  opts.loss = loss;
+  opts.threshold = 0.05;
+  return opts;
+}
+
+TEST(FailureInjectionTest, BindFailurePropagatesFromInitialize) {
+  auto table = SmallTaxi();
+  FailingLoss loss(FailingLoss::FailAt::kBind);
+  auto tabula = Tabula::Initialize(*table, OptionsFor(&loss));
+  ASSERT_FALSE(tabula.ok());
+  EXPECT_EQ(tabula.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, EvaluatorFailurePropagatesFromRealRun) {
+  auto table = SmallTaxi();
+  FailingLoss loss(FailingLoss::FailAt::kEvaluator);
+  auto tabula = Tabula::Initialize(*table, OptionsFor(&loss));
+  ASSERT_FALSE(tabula.ok());
+  EXPECT_EQ(tabula.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, EvaluatorFailurePropagatesFromSampler) {
+  auto table = SmallTaxi();
+  FailingLoss loss(FailingLoss::FailAt::kEvaluator);
+  GreedySampler sampler(&loss, 0.05);
+  DatasetView raw(table.get());
+  EXPECT_FALSE(sampler.Sample(raw).ok());
+}
+
+TEST(FailureInjectionTest, LossFailurePropagatesFromBaselines) {
+  auto table = SmallTaxi();
+  FailingLoss loss(FailingLoss::FailAt::kLoss);
+  MaterializedSampleCube partial(*table, {"payment_type"}, &loss, 0.05,
+                                 MaterializedSampleCube::Mode::kPartial);
+  EXPECT_FALSE(partial.Prepare().ok());
+}
+
+TEST(FailureInjectionTest, NeverFailingWrapperWorksEndToEnd) {
+  // Sanity: the wrapper itself is sound when not failing.
+  auto table = SmallTaxi();
+  FailingLoss loss(FailingLoss::FailAt::kNever);
+  auto tabula = Tabula::Initialize(*table, OptionsFor(&loss));
+  ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+}
+
+// ---------- degenerate inputs ----------
+
+TEST(DegenerateInputTest, EmptyTableInitializes) {
+  Table empty(TaxiGenerator::MakeSchema());
+  MeanLoss loss("fare_amount");
+  auto tabula = Tabula::Initialize(empty, OptionsFor(&loss));
+  ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+  EXPECT_EQ(tabula.value()->init_stats().total_cells, 0u);
+  EXPECT_EQ(tabula.value()->init_stats().iceberg_cells, 0u);
+  // Queries on an empty cube return the (empty) global sample.
+  auto answer = tabula.value()->Query({});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->sample.size(), 0u);
+}
+
+TEST(DegenerateInputTest, SingleRowTable) {
+  Table table(TaxiGenerator::MakeSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({Value("CMT"), Value("Mon"), Value("1"),
+                              Value("Cash"), Value("Standard"), Value("N"),
+                              Value("Mon"), Value("[0,5)"), Value(1.0),
+                              Value(5.0), Value(0.0), Value(0.5),
+                              Value(0.5)})
+                  .ok());
+  MeanLoss loss("fare_amount");
+  auto tabula = Tabula::Initialize(table, OptionsFor(&loss));
+  ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+  auto answer = tabula.value()->Query(
+      {{"payment_type", CompareOp::kEq, Value("Cash")}});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->sample.size(), 1u);
+  DatasetView truth(&table);
+  EXPECT_LE(loss.Loss(truth, answer->sample).value(), 0.05);
+}
+
+TEST(DegenerateInputTest, ConstantTargetColumn) {
+  // All fares identical: every loss is exactly 0, nothing is iceberg.
+  Table table(TaxiGenerator::MakeSchema());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRow({Value(i % 2 == 0 ? "CMT" : "VTS"),
+                                Value("Mon"), Value("1"), Value("Cash"),
+                                Value("Standard"), Value("N"), Value("Mon"),
+                                Value("[0,5)"), Value(1.0), Value(10.0),
+                                Value(0.0), Value(0.5), Value(0.5)})
+                    .ok());
+  }
+  MeanLoss loss("fare_amount");
+  TabulaOptions opts = OptionsFor(&loss);
+  opts.cubed_attributes = {"vendor_name"};
+  auto tabula = Tabula::Initialize(table, opts);
+  ASSERT_TRUE(tabula.ok());
+  EXPECT_EQ(tabula.value()->init_stats().iceberg_cells, 0u);
+}
+
+TEST(DegenerateInputTest, SamplerOnIdenticalPoints) {
+  // All pickups at one point: a single tuple must satisfy any θ.
+  Table table(TaxiGenerator::MakeSchema());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRow({Value("CMT"), Value("Mon"), Value("1"),
+                                Value("Cash"), Value("Standard"), Value("N"),
+                                Value("Mon"), Value("[0,5)"), Value(1.0),
+                                Value(5.0), Value(0.0), Value(0.25),
+                                Value(0.75)})
+                    .ok());
+  }
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  GreedySampler sampler(loss.get(), 1e-9);
+  DatasetView raw(&table);
+  auto sample = sampler.Sample(raw);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 1u);
+}
+
+TEST(DegenerateInputTest, SelectionWithSingleIcebergCell) {
+  auto table = SmallTaxi();
+  MeanLoss loss("fare_amount");
+  CubeTable cube;
+  IcebergCell cell;
+  cell.key = 1;
+  cell.cuboid = 0b1;
+  for (RowId r = 0; r < 100; ++r) cell.raw_rows.push_back(r);
+  cell.local_sample = {0, 1, 2};
+  // Make the "sample" actually satisfy θ for its raw data.
+  GreedySampler sampler(&loss, 0.05);
+  DatasetView raw(table.get(), cell.raw_rows);
+  cell.local_sample = sampler.Sample(raw).value();
+  cube.Add(std::move(cell));
+
+  SampleTable samples;
+  SelectionOptions opts;
+  auto sel = SelectRepresentativeSamples(*table, loss, 0.05, opts, &cube,
+                                         &samples);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->representatives, 1u);
+  EXPECT_EQ(cube.cells()[0].sample_id, 0u);
+}
+
+TEST(DegenerateInputTest, SampleOnTheFlyEmptyPopulation) {
+  auto table = SmallTaxi();
+  MeanLoss loss("fare_amount");
+  SampleOnTheFly fly(*table, &loss, 0.05);
+  ASSERT_TRUE(fly.Prepare().ok());
+  // A contradiction-free but unmatched filter.
+  auto answer = fly.Execute(
+      {{"payment_type", CompareOp::kEq, Value("Cash")},
+       {"payment_type", CompareOp::kNe, Value("Cash")}});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 0u);
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/tabula.h"
+#include "data/taxi_gen.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+
+namespace tabula {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TaxiGeneratorOptions gen;
+    gen.num_rows = 20000;
+    gen.seed = 31;
+    table_ = TaxiGenerator(gen).Generate();
+    loss_ = std::make_unique<MeanLoss>("fare_amount");
+    options_.cubed_attributes = {"payment_type", "rate_code"};
+    options_.loss = loss_.get();
+    options_.threshold = 0.05;
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<MeanLoss> loss_;
+  TabulaOptions options_;
+};
+
+TEST_F(PersistenceTest, SaveLoadRoundTripAnswersIdentically) {
+  auto original = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("tabula_cube.bin");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+
+  auto loaded = Tabula::Load(*table_, options_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Identical structure...
+  EXPECT_EQ(loaded.value()->cube_table().size(),
+            original.value()->cube_table().size());
+  EXPECT_EQ(loaded.value()->sample_table().size(),
+            original.value()->sample_table().size());
+  EXPECT_EQ(loaded.value()->global_sample().size(),
+            original.value()->global_sample().size());
+
+  // ...and identical answers for a spread of queries.
+  std::vector<std::vector<PredicateTerm>> queries = {
+      {},
+      {{"payment_type", CompareOp::kEq, Value("Cash")}},
+      {{"rate_code", CompareOp::kEq, Value("JFK")}},
+      {{"payment_type", CompareOp::kEq, Value("Dispute")},
+       {"rate_code", CompareOp::kEq, Value("Standard")}},
+  };
+  for (const auto& where : queries) {
+    auto a = original.value()->Query(where);
+    auto b = loaded.value()->Query(where);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->from_local_sample, b->from_local_sample);
+    EXPECT_EQ(a->sample.ToRowIds(), b->sample.ToRowIds());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, LoadIsFasterThanInitialize) {
+  auto original = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("tabula_cube_fast.bin");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+  auto loaded = Tabula::Load(*table_, options_, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_LT(loaded.value()->init_stats().total_millis,
+            original.value()->init_stats().total_millis);
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, RejectsWrongTable) {
+  auto original = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("tabula_cube_wrong.bin");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 20000;
+  gen.seed = 99;  // different content, same shape
+  auto other_table = TaxiGenerator(gen).Generate();
+  auto loaded = Tabula::Load(*other_table, options_, path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, RejectsMismatchedConfiguration) {
+  auto original = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("tabula_cube_cfg.bin");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+
+  TabulaOptions wrong_theta = options_;
+  wrong_theta.threshold = 0.10;
+  EXPECT_FALSE(Tabula::Load(*table_, wrong_theta, path).ok());
+
+  // A loss with a different registry name is rejected.
+  auto other_loss = MakeHistogramLoss("fare_amount");
+  TabulaOptions wrong_loss = options_;
+  wrong_loss.loss = other_loss.get();
+  EXPECT_FALSE(Tabula::Load(*table_, wrong_loss, path).ok());
+
+  TabulaOptions wrong_attrs = options_;
+  wrong_attrs.cubed_attributes = {"payment_type"};
+  EXPECT_FALSE(Tabula::Load(*table_, wrong_attrs, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, RejectsCorruptFiles) {
+  std::string path = TempPath("tabula_cube_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a cube file at all, sorry";
+  }
+  EXPECT_FALSE(Tabula::Load(*table_, options_, path).ok());
+
+  // Truncated real file.
+  auto original = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(original.value()->Save(path).ok());
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_FALSE(Tabula::Load(*table_, options_, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, MissingFileIsIOError) {
+  auto loaded = Tabula::Load(*table_, options_, "/nonexistent/cube.bin");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+#include "sampling/greedy_sampler.h"
+#include "sampling/random_sampler.h"
+#include "sampling/stratified_sampler.h"
+#include "storage/table.h"
+
+namespace tabula {
+namespace {
+
+std::unique_ptr<Table> NumericTable(size_t n, uint64_t seed = 1) {
+  Schema schema({{"g", DataType::kCategorical},
+                 {"x", DataType::kDouble},
+                 {"y", DataType::kDouble},
+                 {"v", DataType::kDouble}});
+  auto table = std::make_unique<Table>(schema);
+  Rng rng(seed);
+  const char* groups[] = {"a", "b", "c"};
+  for (size_t i = 0; i < n; ++i) {
+    const char* g = groups[rng.Discrete({0.8, 0.15, 0.05})];
+    EXPECT_TRUE(table
+                    ->AppendRow({Value(g), Value(rng.UniformDouble(0, 1)),
+                                 Value(rng.UniformDouble(0, 1)),
+                                 Value(rng.Normal(50, 10))})
+                    .ok());
+  }
+  return table;
+}
+
+TEST(RandomSamplerTest, SampleSizeAndUniqueness) {
+  auto table = NumericTable(1000);
+  Rng rng(2);
+  DatasetView all(table.get());
+  auto sample = RandomSample(all, 100, &rng);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<RowId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(RandomSamplerTest, OversampleReturnsAll) {
+  auto table = NumericTable(10);
+  Rng rng(2);
+  DatasetView all(table.get());
+  EXPECT_EQ(RandomSample(all, 50, &rng).size(), 10u);
+}
+
+TEST(RandomSamplerTest, SampleFromSubsetView) {
+  auto table = NumericTable(100);
+  Rng rng(2);
+  std::vector<RowId> subset{5, 10, 15, 20, 25};
+  DatasetView view(table.get(), subset);
+  auto sample = RandomSample(view, 3, &rng);
+  EXPECT_EQ(sample.size(), 3u);
+  for (RowId r : sample) {
+    EXPECT_TRUE(std::find(subset.begin(), subset.end(), r) != subset.end());
+  }
+}
+
+TEST(SerflingTest, PaperDefaultsGiveAboutAThousand) {
+  // ε=0.05, δ=0.01 → k ≈ ln(200)/0.005 ≈ 1060 ("around 1000 tuples").
+  size_t k = SerflingSampleSize();
+  EXPECT_GE(k, 1000u);
+  EXPECT_LE(k, 1100u);
+}
+
+TEST(SerflingTest, TighterErrorNeedsMoreSamples) {
+  EXPECT_GT(SerflingSampleSize(0.01, 0.01), SerflingSampleSize(0.05, 0.01));
+  EXPECT_GT(SerflingSampleSize(0.05, 0.001), SerflingSampleSize(0.05, 0.01));
+}
+
+TEST(SerflingTest, DegenerateParamsAreSafe) {
+  EXPECT_EQ(SerflingSampleSize(0.0, 0.01), 1u);
+  EXPECT_EQ(SerflingSampleSize(0.05, 0.0), 1u);
+}
+
+// ---------- GreedySampler (Algorithm 1) ----------
+
+TEST(GreedySamplerTest, MeetsThresholdMeanLoss) {
+  auto table = NumericTable(2000);
+  MeanLoss loss("v");
+  GreedySampler sampler(&loss, 0.01);
+  DatasetView raw(table.get());
+  auto sample = sampler.Sample(raw);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_FALSE(sample.value().empty());
+  DatasetView sample_view(table.get(), sample.value());
+  EXPECT_LE(loss.Loss(raw, sample_view).value(), 0.01);
+}
+
+TEST(GreedySamplerTest, MeetsThresholdHeatmapLoss) {
+  auto table = NumericTable(1500);
+  auto loss = MakeHeatmapLoss("x", "y");
+  GreedySampler sampler(loss.get(), 0.05);
+  DatasetView raw(table.get());
+  auto sample = sampler.Sample(raw);
+  ASSERT_TRUE(sample.ok());
+  DatasetView sample_view(table.get(), sample.value());
+  EXPECT_LE(loss->Loss(raw, sample_view).value(), 0.05);
+  // A 5% average-min-distance budget over [0,1]² needs far fewer points
+  // than the raw data.
+  EXPECT_LT(sample->size(), 200u);
+}
+
+TEST(GreedySamplerTest, LazyForwardMatchesExhaustiveQuality) {
+  auto table = NumericTable(400, 9);
+  auto loss = MakeHeatmapLoss("x", "y");
+  DatasetView raw(table.get());
+
+  GreedySamplerOptions lazy_opts;
+  lazy_opts.lazy_forward = true;
+  lazy_opts.max_candidates = 0;
+  GreedySampler lazy(loss.get(), 0.03, lazy_opts);
+  auto lazy_sample = lazy.Sample(raw);
+  ASSERT_TRUE(lazy_sample.ok());
+
+  GreedySamplerOptions plain_opts;
+  plain_opts.lazy_forward = false;
+  plain_opts.max_candidates = 0;
+  GreedySampler plain(loss.get(), 0.03, plain_opts);
+  auto plain_sample = plain.Sample(raw);
+  ASSERT_TRUE(plain_sample.ok());
+
+  // Both meet the bound; lazy-forward must not inflate the sample much
+  // (it is exact for submodular gains — sizes should match).
+  EXPECT_EQ(lazy_sample->size(), plain_sample->size());
+}
+
+TEST(GreedySamplerTest, LazyForwardDoesFewerEvaluations) {
+  auto table = NumericTable(600, 12);
+  auto loss = MakeHeatmapLoss("x", "y");
+  DatasetView raw(table.get());
+
+  GreedySamplerOptions lazy_opts;
+  lazy_opts.lazy_forward = true;
+  lazy_opts.max_candidates = 0;
+  GreedySamplerStats lazy_stats;
+  GreedySampler lazy(loss.get(), 0.02, lazy_opts);
+  ASSERT_TRUE(lazy.Sample(raw, &lazy_stats).ok());
+
+  GreedySamplerOptions plain_opts;
+  plain_opts.lazy_forward = false;
+  plain_opts.max_candidates = 0;
+  GreedySamplerStats plain_stats;
+  GreedySampler plain(loss.get(), 0.02, plain_opts);
+  ASSERT_TRUE(plain.Sample(raw, &plain_stats).ok());
+
+  EXPECT_LT(lazy_stats.loss_evaluations, plain_stats.loss_evaluations);
+}
+
+TEST(GreedySamplerTest, CandidateCapStillGuarantees) {
+  auto table = NumericTable(3000, 21);
+  auto loss = MakeHeatmapLoss("x", "y");
+  GreedySamplerOptions opts;
+  opts.max_candidates = 64;
+  GreedySamplerStats stats;
+  GreedySampler sampler(loss.get(), 0.04, opts);
+  DatasetView raw(table.get());
+  auto sample = sampler.Sample(raw, &stats);
+  ASSERT_TRUE(sample.ok());
+  DatasetView sample_view(table.get(), sample.value());
+  EXPECT_LE(loss->Loss(raw, sample_view).value(), 0.04);
+}
+
+TEST(GreedySamplerTest, EmptyInputGivesEmptySample) {
+  auto table = NumericTable(10);
+  MeanLoss loss("v");
+  GreedySampler sampler(&loss, 0.1);
+  DatasetView empty(table.get(), {});
+  auto sample = sampler.Sample(empty);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(sample->empty());
+}
+
+TEST(GreedySamplerTest, SingleTupleCell) {
+  auto table = NumericTable(1);
+  MeanLoss loss("v");
+  GreedySampler sampler(&loss, 0.001);
+  DatasetView raw(table.get());
+  auto sample = sampler.Sample(raw);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 1u);
+}
+
+TEST(GreedySamplerTest, TinyThresholdStillTerminates) {
+  auto table = NumericTable(200, 4);
+  auto loss = MakeHeatmapLoss("x", "y");
+  GreedySampler sampler(loss.get(), 1e-9);
+  DatasetView raw(table.get());
+  auto sample = sampler.Sample(raw);
+  ASSERT_TRUE(sample.ok());
+  DatasetView sample_view(table.get(), sample.value());
+  EXPECT_LE(loss->Loss(raw, sample_view).value(), 1e-9);
+}
+
+TEST(GreedySamplerTest, MaxSampleSizeCapsGrowth) {
+  auto table = NumericTable(500, 8);
+  auto loss = MakeHeatmapLoss("x", "y");
+  GreedySamplerOptions opts;
+  opts.max_sample_size = 5;
+  GreedySampler sampler(loss.get(), 1e-6, opts);
+  DatasetView raw(table.get());
+  auto sample = sampler.Sample(raw);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 5u);
+}
+
+TEST(GreedySamplerTest, SampleSizeShrinksWithLooserThreshold) {
+  auto table = NumericTable(800, 30);
+  auto loss = MakeHeatmapLoss("x", "y");
+  DatasetView raw(table.get());
+  GreedySampler tight(loss.get(), 0.01);
+  GreedySampler loose(loss.get(), 0.08);
+  auto tight_sample = tight.Sample(raw);
+  auto loose_sample = loose.Sample(raw);
+  ASSERT_TRUE(tight_sample.ok());
+  ASSERT_TRUE(loose_sample.ok());
+  EXPECT_GT(tight_sample->size(), loose_sample->size());
+}
+
+// ---------- StratifiedSample ----------
+
+TEST(StratifiedSamplerTest, EveryStratumRepresented) {
+  auto table = NumericTable(5000, 2);
+  StratifiedSamplerOptions opts;
+  opts.total_budget = 300;
+  opts.min_per_stratum = 10;
+  auto sample = StratifiedSample::Build(*table, {"g"}, opts);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->strata().size(), 3u);  // a, b, c
+  for (const auto& stratum : sample->strata()) {
+    EXPECT_GE(stratum.rows.size(), std::min<size_t>(10, stratum.population));
+    EXPECT_GT(stratum.population, 0u);
+  }
+}
+
+TEST(StratifiedSamplerTest, RareStratumGetsFloor) {
+  auto table = NumericTable(10000, 3);
+  StratifiedSamplerOptions opts;
+  opts.total_budget = 100;
+  opts.min_per_stratum = 25;
+  auto sample = StratifiedSample::Build(*table, {"g"}, opts);
+  ASSERT_TRUE(sample.ok());
+  // Stratum "c" (~5%) would get ~5 proportionally; the floor lifts it.
+  for (const auto& stratum : sample->strata()) {
+    EXPECT_GE(stratum.rows.size(),
+              std::min<size_t>(opts.min_per_stratum, stratum.population));
+  }
+}
+
+TEST(StratifiedSamplerTest, FindByKey) {
+  auto table = NumericTable(1000, 4);
+  StratifiedSamplerOptions opts;
+  auto sample = StratifiedSample::Build(*table, {"g"}, opts);
+  ASSERT_TRUE(sample.ok());
+  const Stratum& s0 = sample->strata()[0];
+  const Stratum* found = sample->Find(s0.key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->population, s0.population);
+  EXPECT_EQ(sample->Find(0xDEADBEEFull), nullptr);
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include "data/taxi_gen.h"
+#include "loss/mean_loss.h"
+#include "sql/engine.h"
+#include "sql/expression.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace tabula {
+namespace sql {
+namespace {
+
+// ---------- Lexer ----------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, AVG(b) FROM t WHERE c = 'x[0,5)' AND d >= 2.5");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_TRUE(t[0].IsWord("select"));
+  EXPECT_TRUE(t[1].IsWord("A"));
+  EXPECT_TRUE(t[2].IsSymbol(","));
+  EXPECT_EQ(t[12].type, TokenType::kString);
+  EXPECT_EQ(t[12].text, "x[0,5)");
+  EXPECT_TRUE(t[15].IsSymbol(">="));
+  EXPECT_EQ(t[16].text, "2.5");
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, CommentsAndWhitespace) {
+  auto tokens = Tokenize("SELECT -- a comment\n  x FROM t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens.value()[1].IsWord("x"));
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, ScientificNumbers) {
+  auto tokens = Tokenize("0.004 1e-3 2.5E+2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "0.004");
+  EXPECT_EQ(tokens.value()[1].text, "1e-3");
+  EXPECT_EQ(tokens.value()[2].text, "2.5E+2");
+}
+
+// ---------- Parser ----------
+
+TEST(ParserTest, CreateSamplingCube) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE SamplingCube AS "
+      "SELECT D, C, M, SAMPLING(*, 0.05) AS sample "
+      "FROM nyctaxi GROUPBY CUBE(D, C, M) "
+      "HAVING mean_loss(fare, SAM_GLOBAL) > 0.05");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& cube = std::get<CreateSamplingCubeStmt>(stmt.value());
+  EXPECT_EQ(cube.cube_name, "SamplingCube");
+  EXPECT_EQ(cube.table_name, "nyctaxi");
+  EXPECT_EQ(cube.cubed_attributes,
+            (std::vector<std::string>{"D", "C", "M"}));
+  EXPECT_DOUBLE_EQ(cube.sampling_threshold, 0.05);
+  EXPECT_EQ(cube.loss_name, "mean_loss");
+  EXPECT_EQ(cube.loss_attributes, (std::vector<std::string>{"fare"}));
+  EXPECT_DOUBLE_EQ(cube.having_threshold, 0.05);
+}
+
+TEST(ParserTest, CreateCubeWithTwoLossAttributes) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE c AS SELECT a, SAMPLING(*, 0.004) AS sample "
+      "FROM t GROUP BY CUBE(a) "
+      "HAVING heatmap_loss(px, py, Sam_global) > 0.004");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& cube = std::get<CreateSamplingCubeStmt>(stmt.value());
+  EXPECT_EQ(cube.loss_attributes, (std::vector<std::string>{"px", "py"}));
+}
+
+TEST(ParserTest, CubeAttributesMustMatchProjection) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE c AS SELECT a, b, SAMPLING(*, 0.1) AS sample "
+      "FROM t GROUP BY CUBE(a) HAVING mean_loss(v, SAM_GLOBAL) > 0.1");
+  EXPECT_FALSE(stmt.ok());
+}
+
+TEST(ParserTest, SelectSample) {
+  auto stmt = ParseStatement(
+      "SELECT sample FROM SamplingCube WHERE D = '[0, 5)' AND C = 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& sel = std::get<SelectSampleStmt>(stmt.value());
+  EXPECT_EQ(sel.cube_name, "SamplingCube");
+  ASSERT_EQ(sel.where.size(), 2u);
+  EXPECT_EQ(sel.where[0].column, "D");
+  EXPECT_EQ(sel.where[0].literal.AsString(), "[0, 5)");
+  EXPECT_EQ(sel.where[1].literal.AsInt64(), 1);
+}
+
+TEST(ParserTest, CreateAggregateFunction1) {
+  // The paper's Function 1 body.
+  auto stmt = ParseStatement(
+      "CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS "
+      "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& agg = std::get<CreateAggregateStmt>(stmt.value());
+  EXPECT_EQ(agg.name, "my_loss");
+  ASSERT_NE(agg.body, nullptr);
+  EXPECT_EQ(agg.body->kind, Expr::Kind::kAbs);
+}
+
+TEST(ParserTest, CreateAggregateAngle) {
+  auto stmt = ParseStatement(
+      "CREATE AGGREGATE reg_loss(Raw, Sam) RETURN decimal_value AS "
+      "BEGIN ABS(ANGLE(Raw) - ANGLE(Sam)) END");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& agg = std::get<CreateAggregateStmt>(stmt.value());
+  EXPECT_TRUE(UsesAngle(*agg.body));
+}
+
+TEST(ParserTest, PlainSelect) {
+  auto stmt = ParseStatement(
+      "SELECT payment_type, AVG(fare_amount), COUNT(*) FROM rides "
+      "WHERE rate_code = 'JFK' GROUP BY payment_type");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& sel = std::get<SelectStmt>(stmt.value());
+  EXPECT_EQ(sel.items.size(), 3u);
+  EXPECT_FALSE(sel.items[0].is_aggregate);
+  EXPECT_TRUE(sel.items[1].is_aggregate);
+  EXPECT_EQ(sel.items[1].func, AggFunc::kAvg);
+  EXPECT_TRUE(sel.items[2].column.empty());  // COUNT(*)
+  EXPECT_EQ(sel.group_by, (std::vector<std::string>{"payment_type"}));
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM rides WHERE vendor_name = 'CMT'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(stmt.value()).select_star);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseStatement("DROP TABLE x").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t extra junk !").ok());
+}
+
+// ---------- Expression loss ----------
+
+TEST(ExpressionTest, EvaluatesArithmetic) {
+  auto stmt = ParseStatement(
+      "CREATE AGGREGATE f(Raw, Sam) RETURN d AS "
+      "BEGIN (AVG(Raw) - AVG(Sam)) * 2 + 1 END");
+  ASSERT_TRUE(stmt.ok());
+  auto body = std::shared_ptr<const Expr>(
+      std::move(std::get<CreateAggregateStmt>(stmt.value()).body));
+  AggValues raw, sam;
+  raw.avg = 5.0;
+  sam.avg = 3.0;
+  EXPECT_DOUBLE_EQ(EvaluateExpr(*body, raw, sam), 5.0);
+}
+
+TEST(ExpressionTest, DivisionByZeroIsInfinite) {
+  auto stmt = ParseStatement(
+      "CREATE AGGREGATE f(Raw, Sam) RETURN d AS "
+      "BEGIN (AVG(Raw) - AVG(Sam)) / AVG(Raw) END");
+  ASSERT_TRUE(stmt.ok());
+  auto body = std::shared_ptr<const Expr>(
+      std::move(std::get<CreateAggregateStmt>(stmt.value()).body));
+  AggValues raw, sam;  // both zero
+  EXPECT_EQ(EvaluateExpr(*body, raw, sam), kInfiniteLoss);  // 0/0 → NaN → inf
+}
+
+TEST(ExpressionTest, CompiledLossMatchesBuiltinMeanLoss) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 3000;
+  auto table = TaxiGenerator(gen).Generate();
+
+  auto stmt = ParseStatement(
+      "CREATE AGGREGATE f(Raw, Sam) RETURN d AS "
+      "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END");
+  ASSERT_TRUE(stmt.ok());
+  auto body = std::shared_ptr<const Expr>(
+      std::move(std::get<CreateAggregateStmt>(stmt.value()).body));
+  auto loss = ExpressionLoss::Make("f", body, {"fare_amount"});
+  ASSERT_TRUE(loss.ok());
+
+  DatasetView raw(table.get());
+  DatasetView sample(table.get(), {0, 10, 20, 30, 40});
+  // Compare against the hand-written MeanLoss result.
+  MeanLoss builtin("fare_amount");
+  EXPECT_NEAR(loss.value()->Loss(raw, sample).value(),
+              builtin.Loss(raw, sample).value(), 1e-12);
+}
+
+TEST(ExpressionTest, AngleNeedsTwoAttributes) {
+  auto stmt = ParseStatement(
+      "CREATE AGGREGATE f(Raw, Sam) RETURN d AS "
+      "BEGIN ABS(ANGLE(Raw) - ANGLE(Sam)) END");
+  ASSERT_TRUE(stmt.ok());
+  auto body = std::shared_ptr<const Expr>(
+      std::move(std::get<CreateAggregateStmt>(stmt.value()).body));
+  EXPECT_FALSE(ExpressionLoss::Make("f", body, {"fare_amount"}).ok());
+  EXPECT_TRUE(
+      ExpressionLoss::Make("f", body, {"fare_amount", "tip_amount"}).ok());
+}
+
+// ---------- Engine ----------
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TaxiGeneratorOptions gen;
+    gen.num_rows = 20000;
+    gen.seed = 8;
+    ASSERT_TRUE(
+        engine_.RegisterTable("rides", TaxiGenerator(gen).Generate()).ok());
+  }
+  SqlEngine engine_;
+};
+
+TEST_F(SqlEngineTest, PlainSelectProjection) {
+  auto result = engine_.Execute(
+      "SELECT payment_type, fare_amount FROM rides WHERE rate_code = 'JFK'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->table, nullptr);
+  EXPECT_GT(result->table->num_rows(), 0u);
+  EXPECT_EQ(result->table->schema().num_fields(), 2u);
+}
+
+TEST_F(SqlEngineTest, GroupedAggregation) {
+  auto result = engine_.Execute(
+      "SELECT payment_type, AVG(fare_amount), COUNT(*) FROM rides "
+      "GROUP BY payment_type");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->table, nullptr);
+  EXPECT_EQ(result->table->num_rows(), 4u);  // Cash, Credit, No Charge, Dispute
+  // Counts must sum to the table cardinality.
+  double total = 0.0;
+  auto count_col = result->table->ColumnByName("count");
+  ASSERT_TRUE(count_col.ok());
+  for (size_t r = 0; r < result->table->num_rows(); ++r) {
+    total += count_col.value()->As<DoubleColumn>()->At(r);
+  }
+  EXPECT_DOUBLE_EQ(total, 20000.0);
+}
+
+TEST_F(SqlEngineTest, GroupByCubeOperator) {
+  auto result = engine_.Execute(
+      "SELECT payment_type, rate_code, COUNT(*) FROM rides "
+      "GROUP BY CUBE(payment_type, rate_code)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->table, nullptr);
+  const Table& t = *result->table;
+
+  // Every cuboid contributes: finest cells, two 1-attr roll-ups, and the
+  // all-null "(null),(null)" grand total.
+  size_t grand_total_rows = 0;
+  double grand_total_count = 0.0;
+  auto count_col = t.ColumnByName("count");
+  ASSERT_TRUE(count_col.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    bool p_null = t.GetValue(0, r).AsString() == "(null)";
+    bool rc_null = t.GetValue(1, r).AsString() == "(null)";
+    if (p_null && rc_null) {
+      ++grand_total_rows;
+      grand_total_count = count_col.value()->As<DoubleColumn>()->At(r);
+    }
+  }
+  EXPECT_EQ(grand_total_rows, 1u);
+  EXPECT_DOUBLE_EQ(grand_total_count, 20000.0);
+
+  // The cube has strictly more rows than the finest GroupBy alone.
+  auto plain = engine_.Execute(
+      "SELECT payment_type, rate_code, COUNT(*) FROM rides "
+      "GROUP BY payment_type, rate_code");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_GT(t.num_rows(), plain->table->num_rows());
+}
+
+TEST_F(SqlEngineTest, CubeRollUpSumsAreConsistent) {
+  auto result = engine_.Execute(
+      "SELECT payment_type, SUM(fare_amount) FROM rides "
+      "GROUP BY CUBE(payment_type)");
+  ASSERT_TRUE(result.ok());
+  const Table& t = *result->table;
+  double total = 0.0, rolled = 0.0;
+  auto sum_col = t.ColumnByName("sum_fare_amount");
+  ASSERT_TRUE(sum_col.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    double v = sum_col.value()->As<DoubleColumn>()->At(r);
+    if (t.GetValue(0, r).AsString() == "(null)") {
+      rolled = v;
+    } else {
+      total += v;
+    }
+  }
+  // SUM is distributive: the '*' cell equals the sum of its descendants.
+  EXPECT_NEAR(rolled, total, 1e-6);
+}
+
+TEST_F(SqlEngineTest, AggregateWithoutGroupBy) {
+  auto result = engine_.Execute("SELECT COUNT(*), AVG(fare_amount) FROM rides");
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->table, nullptr);
+  EXPECT_EQ(result->table->num_rows(), 1u);
+}
+
+TEST_F(SqlEngineTest, OrderByAndLimit) {
+  auto result = engine_.Execute(
+      "SELECT payment_type, AVG(fare_amount) FROM rides "
+      "GROUP BY payment_type ORDER BY avg_fare_amount DESC LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->table, nullptr);
+  ASSERT_EQ(result->table->num_rows(), 2u);
+  const auto* avg = result->table->column(1).As<DoubleColumn>();
+  EXPECT_GE(avg->At(0), avg->At(1));
+}
+
+TEST_F(SqlEngineTest, OrderByCategoricalAscending) {
+  auto result = engine_.Execute(
+      "SELECT payment_type, COUNT(*) FROM rides GROUP BY payment_type "
+      "ORDER BY payment_type");
+  ASSERT_TRUE(result.ok());
+  const Table& t = *result->table;
+  for (size_t r = 1; r < t.num_rows(); ++r) {
+    EXPECT_LE(t.GetValue(0, r - 1).AsString(), t.GetValue(0, r).AsString());
+  }
+}
+
+TEST_F(SqlEngineTest, LimitOnRowProjection) {
+  auto result = engine_.Execute(
+      "SELECT fare_amount FROM rides WHERE payment_type = 'Cash' LIMIT 7");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table->num_rows(), 7u);
+}
+
+TEST_F(SqlEngineTest, OrderByUnknownColumnFails) {
+  auto result = engine_.Execute(
+      "SELECT payment_type, COUNT(*) FROM rides GROUP BY payment_type "
+      "ORDER BY nonexistent");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SqlEngineTest, EndToEndSamplingCubeViaSql) {
+  auto create = engine_.Execute(
+      "CREATE TABLE cube1 AS "
+      "SELECT payment_type, rate_code, SAMPLING(*, 0.05) AS sample "
+      "FROM rides GROUP BY CUBE(payment_type, rate_code) "
+      "HAVING mean_loss(fare_amount, SAM_GLOBAL) > 0.05");
+  ASSERT_TRUE(create.ok()) << create.status().ToString();
+  EXPECT_NE(engine_.GetCube("cube1"), nullptr);
+
+  auto query = engine_.Execute(
+      "SELECT sample FROM cube1 WHERE rate_code = 'JFK'");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(query->has_sample);
+  EXPECT_GT(query->sample.size(), 0u);
+
+  // The deterministic guarantee through the SQL path.
+  const Table* rides = engine_.GetTable("rides");
+  auto pred = BoundPredicate::Bind(
+      *rides, {{"rate_code", CompareOp::kEq, Value("JFK")}});
+  ASSERT_TRUE(pred.ok());
+  DatasetView truth(rides, pred->FilterAll());
+  MeanLoss loss("fare_amount");
+  EXPECT_LE(loss.Loss(truth, query->sample).value(), 0.05);
+}
+
+TEST_F(SqlEngineTest, UserDefinedLossDrivesCube) {
+  ASSERT_TRUE(engine_
+                  .Execute("CREATE AGGREGATE tail_loss(Raw, Sam) RETURN d AS "
+                           "BEGIN ABS((MAX(Raw) - MAX(Sam)) / MAX(Raw)) END")
+                  .ok());
+  auto create = engine_.Execute(
+      "CREATE TABLE cube2 AS "
+      "SELECT payment_type, SAMPLING(*, 0.2) AS sample "
+      "FROM rides GROUP BY CUBE(payment_type) "
+      "HAVING tail_loss(fare_amount, SAM_GLOBAL) > 0.2");
+  ASSERT_TRUE(create.ok()) << create.status().ToString();
+  auto query =
+      engine_.Execute("SELECT sample FROM cube2 WHERE payment_type = 'Cash'");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->has_sample);
+}
+
+TEST_F(SqlEngineTest, ErrorsAreStatuses) {
+  EXPECT_EQ(engine_.Execute("SELECT * FROM missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.Execute("SELECT sample FROM missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_
+                .Execute("CREATE TABLE c AS SELECT a, SAMPLING(*, 0.1) AS s "
+                         "FROM rides GROUP BY CUBE(a) "
+                         "HAVING nosuch(fare_amount, SAM_GLOBAL) > 0.1")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Mismatched thresholds.
+  EXPECT_EQ(engine_
+                .Execute("CREATE TABLE c AS SELECT payment_type, "
+                         "SAMPLING(*, 0.1) AS s FROM rides "
+                         "GROUP BY CUBE(payment_type) "
+                         "HAVING mean_loss(fare_amount, SAM_GLOBAL) > 0.2")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate registration.
+  EXPECT_TRUE(engine_
+                  .Execute("CREATE AGGREGATE dup(Raw, Sam) RETURN d AS "
+                           "BEGIN AVG(Raw) END")
+                  .ok());
+  EXPECT_EQ(engine_
+                .Execute("CREATE AGGREGATE dup(Raw, Sam) RETURN d AS "
+                         "BEGIN AVG(Sam) END")
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace tabula

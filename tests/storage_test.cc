@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/csv.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace tabula {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"payment", DataType::kCategorical},
+                 {"count", DataType::kInt64},
+                 {"fare", DataType::kDouble}});
+}
+
+std::unique_ptr<Table> TestTable() {
+  auto table = std::make_unique<Table>(TestSchema());
+  auto add = [&](const char* p, int64_t c, double f) {
+    Status st = table->AppendRow({Value(p), Value(c), Value(f)});
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  };
+  add("cash", 1, 10.0);
+  add("credit", 2, 20.0);
+  add("cash", 1, 30.0);
+  add("dispute", 3, 40.0);
+  add("credit", 1, 50.0);
+  return table;
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  auto idx = s.FieldIndex("count");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_FALSE(s.FieldIndex("missing").ok());
+  EXPECT_TRUE(s.HasField("fare"));
+  EXPECT_FALSE(s.HasField("tip"));
+}
+
+TEST(DictionaryTest, CodesAreStableAndDense) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("b"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.At(1), "b");
+  ASSERT_TRUE(dict.Find("b").ok());
+  EXPECT_FALSE(dict.Find("zzz").ok());
+}
+
+TEST(TableTest, AppendAndRead) {
+  auto table = TestTable();
+  EXPECT_EQ(table->num_rows(), 5u);
+  EXPECT_EQ(table->GetValue(0, 0).AsString(), "cash");
+  EXPECT_EQ(table->GetValue(1, 3).AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(table->GetValue(2, 4).AsDouble(), 50.0);
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  auto table = TestTable();
+  Status st = table->AppendRow({Value("cash")});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AppendRowTypeMismatch) {
+  auto table = TestTable();
+  Status st = table->AppendRow({Value(3.0), Value(int64_t{1}), Value(1.0)});
+  EXPECT_EQ(st.code(), StatusCode::kTypeMismatch);
+}
+
+TEST(TableTest, TakeRowsSharesDictionary) {
+  auto table = TestTable();
+  auto subset = table->TakeRows({0, 2, 4});
+  EXPECT_EQ(subset->num_rows(), 3u);
+  EXPECT_EQ(subset->GetValue(0, 2).AsString(), "credit");
+  // Codes must be comparable across the two tables.
+  const auto* orig = table->column(0).As<CategoricalColumn>();
+  const auto* sub = subset->column(0).As<CategoricalColumn>();
+  EXPECT_EQ(orig->CodeAt(4), sub->CodeAt(2));
+}
+
+TEST(TableTest, AppendRowFromForeignDictionaryRemapsCodes) {
+  // Two tables built independently assign different codes to the same
+  // strings; AppendFrom must remap through the dictionaries.
+  auto a = TestTable();
+  Table b(TestSchema());
+  ASSERT_TRUE(b.AppendRow({Value("zelle"), Value(int64_t{9}), Value(1.0)})
+                  .ok());  // "zelle" gets code 0 in b's dictionary
+  ASSERT_TRUE(b.AppendRowFrom(*a, 3).ok());  // "dispute"
+  EXPECT_EQ(b.GetValue(0, 1).AsString(), "dispute");
+  EXPECT_EQ(b.GetValue(1, 1).AsInt64(), 3);
+}
+
+TEST(TableTest, MemoryBytesGrowsWithRows) {
+  Table t(TestSchema());
+  uint64_t empty = t.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value("x"), Value(int64_t{i}), Value(1.0 * i)}).ok());
+  }
+  EXPECT_GT(t.MemoryBytes(), empty);
+}
+
+TEST(DatasetViewTest, AllRowsAndSubset) {
+  auto table = TestTable();
+  DatasetView all(table.get());
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(all.covers_all_rows());
+  EXPECT_EQ(all.row(3), 3u);
+
+  DatasetView sub(table.get(), {4, 1});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.row(0), 4u);
+  auto ids = sub.ToRowIds();
+  EXPECT_EQ(ids, (std::vector<RowId>{4, 1}));
+}
+
+TEST(DatasetViewTest, MaterializeCopiesRows) {
+  auto table = TestTable();
+  DatasetView sub(table.get(), {3});
+  auto copy = sub.Materialize();
+  EXPECT_EQ(copy->num_rows(), 1u);
+  EXPECT_EQ(copy->GetValue(0, 0).AsString(), "dispute");
+}
+
+TEST(PredicateTest, EqualityOnCategorical) {
+  auto table = TestTable();
+  auto pred = BoundPredicate::Bind(
+      *table, {{"payment", CompareOp::kEq, Value("cash")}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->FilterAll(), (std::vector<RowId>{0, 2}));
+}
+
+TEST(PredicateTest, ConjunctionAcrossTypes) {
+  auto table = TestTable();
+  auto pred = BoundPredicate::Bind(
+      *table, {{"payment", CompareOp::kEq, Value("cash")},
+               {"fare", CompareOp::kGt, Value(15.0)}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->FilterAll(), (std::vector<RowId>{2}));
+}
+
+TEST(PredicateTest, UnknownCategoricalLiteralMatchesNothing) {
+  auto table = TestTable();
+  auto pred = BoundPredicate::Bind(
+      *table, {{"payment", CompareOp::kEq, Value("bitcoin")}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(pred->FilterAll().empty());
+}
+
+TEST(PredicateTest, NotEqualsUnknownLiteralMatchesAll) {
+  auto table = TestTable();
+  auto pred = BoundPredicate::Bind(
+      *table, {{"payment", CompareOp::kNe, Value("bitcoin")}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->FilterAll().size(), 5u);
+}
+
+TEST(PredicateTest, RangeOnInt) {
+  auto table = TestTable();
+  auto pred = BoundPredicate::Bind(
+      *table, {{"count", CompareOp::kGe, Value(int64_t{2})}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->FilterAll(), (std::vector<RowId>{1, 3}));
+}
+
+TEST(PredicateTest, RejectsRangeOnCategorical) {
+  auto table = TestTable();
+  auto pred = BoundPredicate::Bind(
+      *table, {{"payment", CompareOp::kLt, Value("cash")}});
+  EXPECT_FALSE(pred.ok());
+}
+
+TEST(PredicateTest, RejectsUnknownColumn) {
+  auto table = TestTable();
+  auto pred =
+      BoundPredicate::Bind(*table, {{"nope", CompareOp::kEq, Value(1.0)}});
+  EXPECT_EQ(pred.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PredicateTest, FilterRowsOnCandidates) {
+  auto table = TestTable();
+  auto pred = BoundPredicate::Bind(
+      *table, {{"payment", CompareOp::kEq, Value("credit")}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->FilterRows({0, 1, 2}), (std::vector<RowId>{1}));
+}
+
+TEST(CsvTest, RoundTrip) {
+  auto table = TestTable();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "tabula_csv_test.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(*table, path).ok());
+  auto read = ReadCsv(TestSchema(), path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value()->num_rows(), 5u);
+  EXPECT_EQ(read.value()->GetValue(0, 3).AsString(), "dispute");
+  EXPECT_DOUBLE_EQ(read.value()->GetValue(2, 1).AsDouble(), 20.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, HeaderMismatchIsError) {
+  auto table = TestTable();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "tabula_csv_test2.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(*table, path).ok());
+  Schema other({{"zzz", DataType::kCategorical},
+                {"count", DataType::kInt64},
+                {"fare", DataType::kDouble}});
+  EXPECT_EQ(ReadCsv(other, path).status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/tabula.h"
+#include "data/synthetic_gen.h"
+#include "data/workload.h"
+#include "exec/key_encoder.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+
+namespace tabula {
+namespace {
+
+TEST(SyntheticGenTest, DefaultSchemaAndCardinalities) {
+  SyntheticGeneratorOptions opts;
+  opts.num_rows = 5000;
+  SyntheticGenerator gen(opts);
+  auto table = gen.Generate();
+  EXPECT_EQ(table->num_rows(), 5000u);
+  EXPECT_EQ(table->schema().num_fields(), 7u);  // 4 dims + value + x + y
+  auto enc = KeyEncoder::Make(*table, gen.CategoricalColumns());
+  ASSERT_TRUE(enc.ok());
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(enc->Cardinality(k), 4u);
+  }
+}
+
+TEST(SyntheticGenTest, DeterministicForSeed) {
+  SyntheticGeneratorOptions opts;
+  opts.num_rows = 300;
+  opts.seed = 21;
+  auto a = SyntheticGenerator(opts).Generate();
+  auto b = SyntheticGenerator(opts).Generate();
+  for (RowId r = 0; r < a->num_rows(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      ASSERT_EQ(a->GetValue(c, r), b->GetValue(c, r));
+    }
+  }
+}
+
+TEST(SyntheticGenTest, ZipfSkewConcentratesMass) {
+  SyntheticGeneratorOptions opts;
+  opts.num_rows = 20000;
+  opts.columns = {{"d", 8, 1.2}};
+  SyntheticGenerator gen(opts);
+  auto table = gen.Generate();
+  // "d_0" must dominate "d_7" by a wide margin.
+  const auto* col = table->column(0).As<CategoricalColumn>();
+  size_t first = 0, last = 0;
+  auto code0 = col->dict().Find("d_0");
+  auto code7 = col->dict().Find("d_7");
+  ASSERT_TRUE(code0.ok());
+  ASSERT_TRUE(code7.ok());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (col->CodeAt(r) == code0.value()) ++first;
+    if (col->CodeAt(r) == code7.value()) ++last;
+  }
+  EXPECT_GT(first, 4 * last);
+}
+
+TEST(SyntheticGenTest, CellSpreadControlsIcebergCells) {
+  MeanLoss loss("value");
+  auto count_icebergs = [&](double spread) {
+    SyntheticGeneratorOptions opts;
+    opts.num_rows = 20000;
+    opts.cell_spread = spread;
+    opts.noise = 0.05;
+    SyntheticGenerator gen(opts);
+    auto table = gen.Generate();
+    TabulaOptions topts;
+    topts.cubed_attributes = gen.CategoricalColumns();
+    topts.loss = &loss;
+    topts.threshold = 0.05;
+    auto tabula = Tabula::Initialize(*table, topts);
+    EXPECT_TRUE(tabula.ok());
+    return tabula.ok() ? tabula.value()->init_stats().iceberg_cells
+                       : size_t{0};
+  };
+  // Identical cells → no iceberg cells; spread cells → many.
+  EXPECT_EQ(count_icebergs(0.0), 0u);
+  EXPECT_GT(count_icebergs(1.0), 50u);
+}
+
+TEST(SyntheticGenTest, TabulaGuaranteeOnNonTaxiData) {
+  // Eight 3-ary dimensions — a shape very unlike NYC taxi.
+  SyntheticGeneratorOptions opts;
+  opts.num_rows = 15000;
+  opts.columns.clear();
+  for (int d = 0; d < 8; ++d) {
+    opts.columns.push_back(
+        {"dim" + std::to_string(d), 3, d % 2 == 0 ? 0.8 : 0.0});
+  }
+  opts.cell_spread = 0.8;
+  SyntheticGenerator gen(opts);
+  auto table = gen.Generate();
+
+  auto loss = MakeHeatmapLoss("x", "y");
+  TabulaOptions topts;
+  topts.cubed_attributes = gen.CategoricalColumns();
+  topts.loss = loss.get();
+  topts.threshold = 0.02;
+  auto tabula = Tabula::Initialize(*table, topts);
+  ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  auto workload = GenerateWorkload(*table, topts.cubed_attributes, wopts);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& q : workload.value()) {
+    auto answer = tabula.value()->Query(q.where);
+    ASSERT_TRUE(answer.ok());
+    auto pred = BoundPredicate::Bind(*table, q.where);
+    DatasetView truth(table.get(), pred->FilterAll());
+    if (truth.empty()) continue;
+    EXPECT_LE(loss->Loss(truth, answer->sample).value(), 0.02)
+        << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/tabula.h"
+#include "data/taxi_gen.h"
+#include "data/workload.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+
+namespace tabula {
+namespace {
+
+class TabulaEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TaxiGeneratorOptions gen;
+    gen.num_rows = 60000;
+    gen.seed = 3;
+    table_ = TaxiGenerator(gen).Generate().release();
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+
+  static TabulaOptions BaseOptions(const LossFunction* loss, double theta) {
+    TabulaOptions opts;
+    opts.cubed_attributes = {"payment_type", "rate_code", "passenger_count"};
+    opts.loss = loss;
+    opts.threshold = theta;
+    return opts;
+  }
+
+  static const Table* table_;
+};
+
+const Table* TabulaEndToEnd::table_ = nullptr;
+
+TEST_F(TabulaEndToEnd, InitializeProducesPartialCube) {
+  MeanLoss loss("fare_amount");
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(tab.ok()) << tab.status().ToString();
+  const auto& stats = tab.value()->init_stats();
+  EXPECT_GT(stats.total_cells, 0u);
+  EXPECT_GT(stats.iceberg_cells, 0u);
+  // Partial materialization: not every cell is iceberg.
+  EXPECT_LT(stats.iceberg_cells, stats.total_cells);
+  EXPECT_GT(stats.global_sample_tuples, 1000u);
+  EXPECT_LE(stats.global_sample_tuples, 1100u);
+  EXPECT_GT(stats.representative_samples, 0u);
+  EXPECT_LE(stats.representative_samples, stats.iceberg_cells);
+  EXPECT_GT(stats.dry_run_millis, 0.0);
+}
+
+TEST_F(TabulaEndToEnd, DeterministicGuaranteeOnWorkload) {
+  // The headline property (Sections II–IV): for EVERY query, the loss of
+  // the returned sample vs the true query answer is <= θ.
+  MeanLoss loss("fare_amount");
+  const double theta = 0.05;
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, theta));
+  ASSERT_TRUE(tab.ok());
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 60;
+  auto workload = GenerateWorkload(
+      *table_, tab.value()->options().cubed_attributes, wopts);
+  ASSERT_TRUE(workload.ok());
+
+  for (const auto& query : workload.value()) {
+    auto answer = tab.value()->Query(query.where);
+    ASSERT_TRUE(answer.ok()) << query.ToString();
+    // True query answer by scanning the raw table.
+    auto pred = BoundPredicate::Bind(*table_, query.where);
+    ASSERT_TRUE(pred.ok());
+    DatasetView raw(table_, pred->FilterAll());
+    ASSERT_FALSE(raw.empty()) << query.ToString();
+    double actual = loss.Loss(raw, answer->sample).value();
+    EXPECT_LE(actual, theta) << query.ToString();
+  }
+}
+
+TEST_F(TabulaEndToEnd, HeatmapLossGuarantee) {
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  const double theta = 1.0 * kNormalizedUnitsPerKm;  // 1 km
+  auto tab = Tabula::Initialize(*table_, BaseOptions(loss.get(), theta));
+  ASSERT_TRUE(tab.ok()) << tab.status().ToString();
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  wopts.seed = 5;
+  auto workload = GenerateWorkload(
+      *table_, tab.value()->options().cubed_attributes, wopts);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& query : workload.value()) {
+    auto answer = tab.value()->Query(query.where);
+    ASSERT_TRUE(answer.ok());
+    auto pred = BoundPredicate::Bind(*table_, query.where);
+    ASSERT_TRUE(pred.ok());
+    DatasetView raw(table_, pred->FilterAll());
+    ASSERT_FALSE(raw.empty());
+    EXPECT_LE(loss->Loss(raw, answer->sample).value(), theta)
+        << query.ToString();
+  }
+}
+
+TEST_F(TabulaEndToEnd, IcebergQueriesReturnLocalSamples) {
+  // At the paper's tightest heat-map threshold (0.25 km ≈ 0.004
+  // normalized) the ~1000-tuple global sample cannot cover every cell's
+  // spatial footprint, so iceberg cells must exist and queries hitting
+  // them must be served from materialized local samples.
+  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  const double theta = 0.25 * kNormalizedUnitsPerKm;
+  auto tab = Tabula::Initialize(*table_, BaseOptions(loss.get(), theta));
+  ASSERT_TRUE(tab.ok());
+  EXPECT_GT(tab.value()->init_stats().iceberg_cells, 0u);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 40;
+  wopts.seed = 77;
+  auto workload = GenerateWorkload(
+      *table_, tab.value()->options().cubed_attributes, wopts);
+  ASSERT_TRUE(workload.ok());
+  size_t local_hits = 0;
+  for (const auto& query : workload.value()) {
+    auto answer = tab.value()->Query(query.where);
+    ASSERT_TRUE(answer.ok());
+    if (answer->from_local_sample) ++local_hits;
+  }
+  EXPECT_GT(local_hits, 0u);
+}
+
+TEST_F(TabulaEndToEnd, NonIcebergQueryReturnsGlobalSample) {
+  MeanLoss loss("fare_amount");
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(tab.ok());
+  // The unfiltered query ("All" cell) matches the global distribution.
+  auto answer = tab.value()->Query({});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->from_local_sample);
+  EXPECT_EQ(answer->sample.size(), tab.value()->global_sample().size());
+}
+
+TEST_F(TabulaEndToEnd, UnknownFilterValueIsEmptyCell) {
+  MeanLoss loss("fare_amount");
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(tab.ok());
+  auto answer = tab.value()->Query(
+      {{"payment_type", CompareOp::kEq, Value("Barter")}});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty_cell);
+  EXPECT_EQ(answer->sample.size(), 0u);
+}
+
+TEST_F(TabulaEndToEnd, RejectsNonCubedAttribute) {
+  MeanLoss loss("fare_amount");
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(tab.ok());
+  auto answer = tab.value()->Query(
+      {{"vendor_name", CompareOp::kEq, Value("CMT")}});
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TabulaEndToEnd, RejectsNonEqualityPredicate) {
+  MeanLoss loss("fare_amount");
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(tab.ok());
+  auto answer = tab.value()->Query(
+      {{"payment_type", CompareOp::kNe, Value("Cash")}});
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TabulaEndToEnd, RejectsDuplicatePredicate) {
+  MeanLoss loss("fare_amount");
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(tab.ok());
+  auto answer =
+      tab.value()->Query({{"payment_type", CompareOp::kEq, Value("Cash")},
+                          {"payment_type", CompareOp::kEq, Value("Credit")}});
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TabulaEndToEnd, InvalidOptionsAreRejected) {
+  MeanLoss loss("fare_amount");
+  TabulaOptions no_loss = BaseOptions(&loss, 0.05);
+  no_loss.loss = nullptr;
+  EXPECT_FALSE(Tabula::Initialize(*table_, no_loss).ok());
+
+  TabulaOptions no_attrs = BaseOptions(&loss, 0.05);
+  no_attrs.cubed_attributes.clear();
+  EXPECT_FALSE(Tabula::Initialize(*table_, no_attrs).ok());
+
+  TabulaOptions bad_theta = BaseOptions(&loss, -1.0);
+  EXPECT_FALSE(Tabula::Initialize(*table_, bad_theta).ok());
+
+  MeanLoss bad_col("no_such_column");
+  EXPECT_FALSE(Tabula::Initialize(*table_, BaseOptions(&bad_col, 0.05)).ok());
+}
+
+TEST_F(TabulaEndToEnd, TabulaStarUsesMoreMemory) {
+  MeanLoss loss("fare_amount");
+  auto with_sel = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(with_sel.ok());
+  TabulaOptions star = BaseOptions(&loss, 0.05);
+  star.enable_sample_selection = false;
+  auto without_sel = Tabula::Initialize(*table_, star);
+  ASSERT_TRUE(without_sel.ok());
+  EXPECT_LE(with_sel.value()->init_stats().sample_table_bytes,
+            without_sel.value()->init_stats().sample_table_bytes);
+  EXPECT_EQ(without_sel.value()->init_stats().representative_samples,
+            without_sel.value()->init_stats().iceberg_cells);
+}
+
+TEST_F(TabulaEndToEnd, SmallerThresholdMoreIcebergCells) {
+  MeanLoss loss("fare_amount");
+  auto strict = Tabula::Initialize(*table_, BaseOptions(&loss, 0.02));
+  auto loose = Tabula::Initialize(*table_, BaseOptions(&loss, 0.20));
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GE(strict.value()->init_stats().iceberg_cells,
+            loose.value()->init_stats().iceberg_cells);
+  EXPECT_GE(strict.value()->init_stats().TotalBytes(),
+            loose.value()->init_stats().TotalBytes());
+}
+
+TEST_F(TabulaEndToEnd, Int64CubedAttributeWorksEndToEnd) {
+  // Cubed attributes may be integers, not just categoricals; the key
+  // encoder builds a value→code map for them.
+  Schema schema({{"bucket", DataType::kInt64},
+                 {"flag", DataType::kCategorical},
+                 {"v", DataType::kDouble}});
+  Table table(schema);
+  Rng rng(2);
+  for (int i = 0; i < 8000; ++i) {
+    int64_t bucket = rng.UniformInt(0, 9);
+    const char* flag = rng.Bernoulli(0.5) ? "on" : "off";
+    // Bucket-dependent mean creates iceberg cells.
+    double v = rng.Normal(10.0 * static_cast<double>(bucket + 1), 1.0);
+    ASSERT_TRUE(table.AppendRow({Value(bucket), Value(flag), Value(v)}).ok());
+  }
+  MeanLoss loss("v");
+  TabulaOptions opts;
+  opts.cubed_attributes = {"bucket", "flag"};
+  opts.loss = &loss;
+  opts.threshold = 0.05;
+  auto tabula = Tabula::Initialize(table, opts);
+  ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+  EXPECT_GT(tabula.value()->init_stats().iceberg_cells, 0u);
+
+  auto answer = tabula.value()->Query(
+      {{"bucket", CompareOp::kEq, Value(int64_t{7})}});
+  ASSERT_TRUE(answer.ok());
+  auto pred = BoundPredicate::Bind(
+      table, {{"bucket", CompareOp::kEq, Value(int64_t{7})}});
+  DatasetView truth(&table, pred->FilterAll());
+  EXPECT_LE(loss.Loss(truth, answer->sample).value(), 0.05);
+
+  // Unknown integer value → provably empty cell.
+  auto missing = tabula.value()->Query(
+      {{"bucket", CompareOp::kEq, Value(int64_t{99})}});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty_cell);
+}
+
+TEST_F(TabulaEndToEnd, QueryIsFast) {
+  MeanLoss loss("fare_amount");
+  auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
+  ASSERT_TRUE(tab.ok());
+  auto answer = tab.value()->Query(
+      {{"payment_type", CompareOp::kEq, Value("Cash")}});
+  ASSERT_TRUE(answer.ok());
+  // A cube lookup is a hash probe: sub-millisecond on any hardware.
+  EXPECT_LT(answer->data_system_millis, 5.0);
+}
+
+}  // namespace
+}  // namespace tabula

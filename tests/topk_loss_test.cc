@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/tabula.h"
+#include "data/taxi_gen.h"
+#include "data/workload.h"
+#include "loss/topk_loss.h"
+#include "sampling/greedy_sampler.h"
+#include "sql/engine.h"
+
+namespace tabula {
+namespace {
+
+std::unique_ptr<Table> ValuesTable(const std::vector<double>& values) {
+  Schema schema({{"v", DataType::kDouble}});
+  auto table = std::make_unique<Table>(schema);
+  for (double v : values) EXPECT_TRUE(table->AppendRow({Value(v)}).ok());
+  return table;
+}
+
+TEST(TopKLossTest, TopKAvgOfKnownValues) {
+  auto table = ValuesTable({1, 9, 3, 7, 5});
+  TopKLoss loss("v", 2);
+  DatasetView raw(table.get());
+  // Top-2 of raw = {9, 7} → avg 8. Sample {9} → top-2 avg 9.
+  DatasetView sample(table.get(), {1});
+  EXPECT_NEAR(loss.Loss(raw, sample).value(), std::abs((8.0 - 9.0) / 8.0),
+              1e-12);
+  // A sample containing the true top-2 has zero loss.
+  DatasetView perfect(table.get(), {1, 3});
+  EXPECT_DOUBLE_EQ(loss.Loss(raw, perfect).value(), 0.0);
+}
+
+TEST(TopKLossTest, EmptySampleIsInfinite) {
+  auto table = ValuesTable({1, 2, 3});
+  TopKLoss loss("v", 2);
+  DatasetView raw(table.get());
+  DatasetView empty(table.get(), {});
+  EXPECT_EQ(loss.Loss(raw, empty).value(), kInfiniteLoss);
+}
+
+TEST(TopKLossTest, StateMergeKeepsKLargest) {
+  auto table = ValuesTable({10, 40, 20, 50, 30, 60});
+  TopKLoss loss("v", 3);
+  DatasetView ref(table.get(), {0});
+  auto bound = loss.Bind(*table, ref);
+  ASSERT_TRUE(bound.ok());
+
+  LossState a, b, whole;
+  for (RowId r : {0u, 1u, 2u}) bound.value()->Accumulate(&a, r);
+  for (RowId r : {3u, 4u, 5u}) bound.value()->Accumulate(&b, r);
+  for (RowId r = 0; r < 6; ++r) bound.value()->Accumulate(&whole, r);
+  a.Merge(b);
+  EXPECT_EQ(a.topk, (std::vector<double>{60, 50, 40}));
+  EXPECT_EQ(a.topk, whole.topk);
+  EXPECT_NEAR(bound.value()->Finalize(a), bound.value()->Finalize(whole),
+              1e-12);
+}
+
+TEST(TopKLossTest, MergeWithPartiallyFilledSides) {
+  // One side saw fewer than k values; the merge must keep all ≤ k.
+  auto table = ValuesTable({10, 90, 20});
+  TopKLoss loss("v", 5);
+  DatasetView ref(table.get(), {0});
+  auto bound = loss.Bind(*table, ref);
+  ASSERT_TRUE(bound.ok());
+  LossState a, b;
+  bound.value()->Accumulate(&a, 0);
+  bound.value()->Accumulate(&b, 1);
+  bound.value()->Accumulate(&b, 2);
+  a.Merge(b);
+  EXPECT_EQ(a.topk, (std::vector<double>{90, 20, 10}));
+}
+
+TEST(TopKLossTest, GreedySamplerMeetsThreshold) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 5000;
+  gen.seed = 14;
+  auto table = TaxiGenerator(gen).Generate();
+  TopKLoss loss("fare_amount", 10);
+  GreedySampler sampler(&loss, 0.02);
+  DatasetView raw(table.get());
+  auto sample = sampler.Sample(raw);
+  ASSERT_TRUE(sample.ok());
+  DatasetView sample_view(table.get(), sample.value());
+  EXPECT_LE(loss.Loss(raw, sample_view).value(), 0.02);
+  // Matching the top-k needs only a handful of tuples.
+  EXPECT_LE(sample->size(), 20u);
+}
+
+TEST(TopKLossTest, TabulaEndToEndGuarantee) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 20000;
+  gen.seed = 15;
+  auto table = TaxiGenerator(gen).Generate();
+  TopKLoss loss("fare_amount", 10);
+  TabulaOptions opts;
+  opts.cubed_attributes = {"payment_type", "rate_code"};
+  opts.loss = &loss;
+  opts.threshold = 0.05;
+  auto tabula = Tabula::Initialize(*table, opts);
+  ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+  EXPECT_GT(tabula.value()->init_stats().iceberg_cells, 0u);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  auto workload = GenerateWorkload(*table, opts.cubed_attributes, wopts);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& q : workload.value()) {
+    auto answer = tabula.value()->Query(q.where);
+    ASSERT_TRUE(answer.ok());
+    auto pred = BoundPredicate::Bind(*table, q.where);
+    DatasetView truth(table.get(), pred->FilterAll());
+    if (truth.empty()) continue;
+    EXPECT_LE(loss.Loss(truth, answer->sample).value(), 0.05)
+        << q.ToString();
+  }
+}
+
+TEST(TopKLossTest, AvailableThroughSql) {
+  sql::SqlEngine engine;
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 8000;
+  ASSERT_TRUE(
+      engine.RegisterTable("rides", TaxiGenerator(gen).Generate()).ok());
+  auto create = engine.Execute(
+      "CREATE TABLE tk AS SELECT payment_type, SAMPLING(*, 0.05) AS sample "
+      "FROM rides GROUP BY CUBE(payment_type) "
+      "HAVING topk_loss(fare_amount, SAM_GLOBAL) > 0.05");
+  ASSERT_TRUE(create.ok()) << create.status().ToString();
+  auto query =
+      engine.Execute("SELECT sample FROM tk WHERE payment_type = 'Credit'");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->has_sample);
+}
+
+}  // namespace
+}  // namespace tabula
