@@ -1,0 +1,192 @@
+/// Dashboard-serving throughput: N client threads hammer a QueryServer
+/// with a Zipf-skewed cell workload (dashboards revisit hot filters —
+/// the skew GeoBlocks exploits), with and without the sharded result
+/// cache, reporting QPS and p50/p95/p99 serving latency plus the cache
+/// hit rate. A second section measures a heatmap pan answered as N
+/// serial Query() calls (what viz/dashboard.cc used to do) vs one
+/// BatchQuery() fan-out.
+///
+///   TABULA_SCALE   table rows            (default 60000)
+///   TABULA_CLIENTS client threads        (default 8)
+///   TABULA_SERVE_QUERIES queries/thread  (default 4000)
+///   TABULA_CELLS   distinct workload cells (default 120)
+
+#include <cmath>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/tabula.h"
+#include "loss/mean_loss.h"
+#include "serve/query_server.h"
+
+namespace tabula {
+namespace bench {
+namespace {
+
+struct LoadReport {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double hit_rate = 0.0;
+  uint64_t degraded = 0;
+};
+
+/// Runs `clients` threads, each issuing `queries_per_thread` queries
+/// drawn Zipf-style from `workload`.
+LoadReport RunLoad(QueryServer* server,
+                   const std::vector<WorkloadQuery>& workload,
+                   size_t clients, size_t queries_per_thread,
+                   uint64_t seed) {
+  // Zipf weights over the workload cells: cell at rank r gets 1/r^s.
+  // Dashboards concentrate on a few hot filters; s ≈ 1 mirrors the
+  // skew web-traffic studies report.
+  std::vector<double> weights(workload.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 1.0);
+  }
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed + t);
+      for (size_t i = 0; i < queries_per_thread; ++i) {
+        size_t pick = rng.Discrete(weights);
+        auto answer = server->Query(workload[pick].where);
+        if (!answer.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       answer.status().ToString().c_str());
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = wall.ElapsedSeconds();
+
+  LoadReport report;
+  MetricsSnapshot snap = server->metrics().Snapshot();
+  report.qps = static_cast<double>(clients * queries_per_thread) / seconds;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "serve_latency") {
+      report.p50_us = hist.P50Micros();
+      report.p95_us = hist.P95Micros();
+      report.p99_us = hist.P99Micros();
+    }
+  }
+  report.hit_rate = server->cache().Stats().HitRate();
+  report.degraded = snap.CounterValue("serve_degraded");
+  return report;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tabula
+
+int main() {
+  using namespace tabula;
+  using namespace tabula::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  const size_t clients =
+      static_cast<size_t>(EnvInt64("TABULA_CLIENTS", 8));
+  const size_t queries_per_thread =
+      static_cast<size_t>(EnvInt64("TABULA_SERVE_QUERIES", 4000));
+  const size_t num_cells = static_cast<size_t>(EnvInt64("TABULA_CELLS", 120));
+
+  const Table& table = TaxiTable(config);
+  auto attrs = Attributes(4);
+  MeanLoss loss("fare_amount");
+  TabulaOptions options;
+  options.cubed_attributes = attrs;
+  options.loss = &loss;
+  options.threshold = 0.05;
+  std::fprintf(stderr, "[bench] initializing Tabula...\n");
+  auto tabula = Tabula::Initialize(table, options);
+  if (!tabula.ok()) {
+    std::fprintf(stderr, "init failed: %s\n",
+                 tabula.status().ToString().c_str());
+    return 1;
+  }
+
+  WorkloadOptions wopts;
+  wopts.num_queries = num_cells;
+  wopts.seed = config.seed;
+  auto workload = GenerateWorkload(table, attrs, wopts);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintHeader("Serving throughput: " + std::to_string(clients) +
+              " clients, Zipf(1.0) over " +
+              std::to_string(workload->size()) + " cells");
+  PrintCsvHeader("cache,clients,queries,qps,p50_us,p95_us,p99_us,hit_rate");
+
+  double qps_off = 0.0;
+  for (bool cache_on : {false, true}) {
+    QueryServerOptions sopts;
+    sopts.enable_cache = cache_on;
+    QueryServer server(tabula.value().get(), sopts);
+    LoadReport report = RunLoad(&server, *workload, clients,
+                                queries_per_thread, config.seed);
+    if (!cache_on) qps_off = report.qps;
+    std::printf("%-9s qps %10.0f   p50 %7.1f us   p95 %7.1f us   "
+                "p99 %7.1f us   hit rate %.1f%%\n",
+                cache_on ? "cache-on" : "cache-off", report.qps,
+                report.p50_us, report.p95_us, report.p99_us,
+                report.hit_rate * 100.0);
+    char row[256];
+    std::snprintf(row, sizeof(row), "%s,%zu,%zu,%.0f,%.1f,%.1f,%.1f,%.3f",
+                  cache_on ? "on" : "off", clients,
+                  clients * queries_per_thread, report.qps, report.p50_us,
+                  report.p95_us, report.p99_us, report.hit_rate);
+    PrintCsvRow(row);
+    if (cache_on && qps_off > 0.0) {
+      std::printf("          cache speedup: %.2fx\n", report.qps / qps_off);
+    }
+  }
+
+  // Heatmap pan: every visible tile is one cell query. Serial loop
+  // (the pre-serve dashboard behaviour) vs one BatchQuery fan-out.
+  PrintHeader("Heatmap pan: serial Query loop vs BatchQuery fan-out");
+  const size_t kPanTiles = std::min<size_t>(32, workload->size());
+  std::vector<std::vector<PredicateTerm>> tiles;
+  for (size_t i = 0; i < kPanTiles; ++i) {
+    tiles.push_back((*workload)[i].where);
+  }
+  QueryServerOptions pan_opts;
+  pan_opts.enable_cache = false;  // measure the fan-out, not the cache
+  QueryServer pan_server(tabula.value().get(), pan_opts);
+  const int kReps = 50;
+
+  Stopwatch serial;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const auto& tile : tiles) {
+      auto answer = pan_server.Query(tile);
+      if (!answer.ok()) return 1;
+    }
+  }
+  double serial_ms = serial.ElapsedMillis() / kReps;
+
+  Stopwatch batched;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto batch = pan_server.BatchQuery(tiles);
+    if (!batch.ok()) return 1;
+  }
+  double batch_ms = batched.ElapsedMillis() / kReps;
+
+  std::printf("%zu tiles: serial %8.3f ms   batched %8.3f ms   (%.2fx)\n",
+              kPanTiles, serial_ms, batch_ms, serial_ms / batch_ms);
+  PrintCsvHeader("pan_tiles,serial_ms,batch_ms");
+  char row[128];
+  std::snprintf(row, sizeof(row), "%zu,%.3f,%.3f", kPanTiles, serial_ms,
+                batch_ms);
+  PrintCsvRow(row);
+  return 0;
+}

@@ -25,6 +25,8 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kTypeMismatch:
       return "TypeMismatch";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,9 @@ enum class StatusCode {
   kIOError,
   kParseError,
   kTypeMismatch,
+  /// Transient overload (e.g. an admission queue at capacity); the
+  /// caller may retry after backing off.
+  kUnavailable,
 };
 
 /// \brief Operation outcome, RocksDB/Arrow style.
@@ -59,6 +62,9 @@ class Status {
   }
   static Status TypeMismatch(std::string msg) {
     return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

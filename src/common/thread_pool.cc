@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 
 namespace tabula {
 
@@ -10,6 +11,12 @@ namespace {
 /// worker threads execute inline to avoid self-deadlock (all workers
 /// blocked waiting on tasks that can never be scheduled).
 thread_local bool t_inside_worker = false;
+
+/// RAII flag so the marker resets even if a task unwinds.
+struct InsideWorkerScope {
+  InsideWorkerScope() { t_inside_worker = true; }
+  ~InsideWorkerScope() { t_inside_worker = false; }
+};
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -43,9 +50,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    t_inside_worker = true;
+    InsideWorkerScope scope;
     task();
-    t_inside_worker = false;
   }
 }
 
@@ -84,7 +90,18 @@ void ThreadPool::ParallelForChunked(
     if (begin >= end) break;
     futures.push_back(Submit([&fn, c, begin, end] { fn(c, begin, end); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing: abandoning in-flight chunks
+  // on the first error would leave workers running a lambda whose
+  // captured fn reference dies with this frame.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::Global() {

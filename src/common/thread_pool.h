@@ -25,16 +25,22 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Schedules a task; returns a future for its completion.
+  /// Schedules a task; returns a future for its completion. An
+  /// exception thrown by the task does not kill the worker — it is
+  /// captured into the future and rethrown from future::get().
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs fn(chunk_begin, chunk_end) over [0, n) split into roughly equal
   /// contiguous chunks, one per worker, and blocks until all complete.
+  /// n == 0 returns immediately without invoking fn.
   void ParallelFor(size_t n,
                    const std::function<void(size_t, size_t)>& fn);
 
   /// Like ParallelFor but also passes the chunk index, for per-chunk
-  /// accumulator state: fn(chunk_index, begin, end).
+  /// accumulator state: fn(chunk_index, begin, end). If any chunk
+  /// throws, every chunk still runs to completion (they reference the
+  /// caller's fn, which must stay alive) and the first exception is
+  /// rethrown afterwards.
   void ParallelForChunked(
       size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
 

@@ -62,13 +62,22 @@ Status Tabula::Refresh(RefreshStats* stats) {
   }
   if (layout_changed) {
     // A new attribute value shifts the packed-key layout: every stored
-    // key would be stale. Rebuild the cube from scratch.
+    // key would be stale. Rebuild the cube from scratch. The generation
+    // counter and registered listeners survive the wholesale
+    // move-assignment — a rebuild is a cube mutation like any other.
     TabulaOptions opts = options_;
     TABULA_ASSIGN_OR_RETURN(std::unique_ptr<Tabula> fresh,
                             Initialize(*table_, std::move(opts)));
+    auto listeners = std::move(refresh_listeners_);
+    uint64_t next_id = next_listener_id_;
+    uint64_t generation = generation_;
     *this = std::move(*fresh);
+    refresh_listeners_ = std::move(listeners);
+    next_listener_id_ = next_id;
+    generation_ = generation + 1;
     out->full_rebuild = true;
     out->millis = timer.ElapsedMillis();
+    NotifyRefreshListeners();
     return Status::OK();
   }
   encoder_ = std::move(new_encoder);
@@ -206,7 +215,9 @@ Status Tabula::Refresh(RefreshStats* stats) {
   stats_.cube_table_bytes = cube_.MemoryBytes();
   stats_.sample_table_bytes = samples_.MemoryBytes(tuple_bytes);
   stats_.iceberg_cells = cube_.size();
+  ++generation_;
   out->millis = timer.ElapsedMillis();
+  NotifyRefreshListeners();
   return Status::OK();
 }
 

@@ -108,6 +108,26 @@ Result<std::unique_ptr<Tabula>> Tabula::Initialize(const Table& table,
   return tabula;
 }
 
+uint64_t Tabula::AddRefreshListener(std::function<void()> listener) {
+  uint64_t id = next_listener_id_++;
+  refresh_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Tabula::RemoveRefreshListener(uint64_t id) {
+  for (auto it = refresh_listeners_.begin(); it != refresh_listeners_.end();
+       ++it) {
+    if (it->first == id) {
+      refresh_listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void Tabula::NotifyRefreshListeners() {
+  for (auto& [id, listener] : refresh_listeners_) listener();
+}
+
 uint64_t Tabula::BytesPerTuple() const {
   if (table_ == nullptr || table_->num_rows() == 0) return sizeof(RowId);
   return std::max<uint64_t>(table_->MemoryBytes() / table_->num_rows(), 1);

@@ -1,6 +1,7 @@
 #ifndef TABULA_CORE_TABULA_H_
 #define TABULA_CORE_TABULA_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,6 +110,16 @@ class Tabula {
   /// Answers a dashboard query. Every term must be an equality predicate
   /// on a cubed attribute (the paper's WHERE-clause contract); attributes
   /// not mentioned roll up to '*'.
+  ///
+  /// Thread-safety contract (const ⇒ safe for concurrent readers):
+  /// Query() reads only state that is immutable after
+  /// Initialize()/Load() — the key encoder/packer, cube table, sample
+  /// table, and global-sample row list — through genuinely const paths
+  /// with no hidden caches, so any number of threads may call it
+  /// concurrently. The mutating entry points (Refresh(), and replacing
+  /// the instance via Load()) are NOT safe against in-flight Query()
+  /// calls; callers must serialize them externally — QueryServer in
+  /// src/serve/ does so with a shared/exclusive lock.
   Result<TabulaQueryResult> Query(
       const std::vector<PredicateTerm>& where) const;
 
@@ -166,6 +177,19 @@ class Tabula {
   /// full initialization.
   Status Refresh(RefreshStats* stats = nullptr);
 
+  /// Monotone cube-content version, bumped by every successful
+  /// Refresh() that saw appended rows (full rebuilds included). Caches
+  /// layered above the middleware key their coherence off this counter.
+  uint64_t generation() const { return generation_; }
+
+  /// Registers `listener` to run after every successful Refresh() (in
+  /// the refreshing thread, once the cube has mutated) — the
+  /// invalidation hook serve/ResultCache fences itself with. Returns a
+  /// handle for RemoveRefreshListener(). Listener registration follows
+  /// the same external-serialization contract as Refresh() itself.
+  uint64_t AddRefreshListener(std::function<void()> listener);
+  void RemoveRefreshListener(uint64_t id);
+
  private:
   Tabula() = default;
 
@@ -187,6 +211,13 @@ class Tabula {
   std::unique_ptr<BoundLoss> maintenance_bound_;
   std::unordered_map<uint64_t, LossState> finest_states_;
   size_t refreshed_rows_ = 0;
+
+  /// Fires every registered refresh listener (after a cube mutation).
+  void NotifyRefreshListeners();
+
+  uint64_t generation_ = 0;
+  uint64_t next_listener_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void()>>> refresh_listeners_;
 };
 
 }  // namespace tabula

@@ -1,0 +1,128 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tabula {
+
+double LatencyHistogram::BucketUpperMicros(size_t i) {
+  return static_cast<double>(uint64_t{1} << i);
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0.0 || std::isnan(micros)) micros = 0.0;
+  size_t bucket = 0;
+  while (bucket < kNumBuckets && micros > BucketUpperMicros(bucket)) {
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<uint64_t>(micros + 0.5),
+                        std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets + 1);
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_micros =
+      static_cast<double>(sum_micros_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+double HistogramSnapshot::PercentileMicros(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      double lower = i == 0 ? 0.0 : LatencyHistogram::BucketUpperMicros(i - 1);
+      double upper = i < LatencyHistogram::kNumBuckets
+                         ? LatencyHistogram::BucketUpperMicros(i)
+                         : lower * 2.0;
+      double frac = static_cast<double>(rank - seen) / buckets[i];
+      return lower + frac * (upper - lower);
+    }
+    seen += buckets[i];
+  }
+  return LatencyHistogram::BucketUpperMicros(LatencyHistogram::kNumBuckets);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "%s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%s_count %llu\n%s_mean_us %.1f\n%s_p50_us %.1f\n"
+                  "%s_p95_us %.1f\n%s_p99_us %.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(hist.count),
+                  name.c_str(), hist.MeanMicros(), name.c_str(),
+                  hist.P50Micros(), name.c_str(), hist.P95Micros(),
+                  name.c_str(), hist.P99Micros());
+    out += line;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace tabula

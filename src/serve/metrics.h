@@ -1,0 +1,126 @@
+#ifndef TABULA_SERVE_METRICS_H_
+#define TABULA_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tabula {
+
+/// \brief Monotone event counter (relaxed atomics; safe from any thread).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous level (e.g. in-flight requests). May go negative
+/// transiently under racy inc/dec interleavings; readers should clamp.
+class Gauge {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a LatencyHistogram, with percentile estimation.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum_micros = 0.0;
+  /// Per-bucket observation counts (see LatencyHistogram for bounds).
+  std::vector<uint64_t> buckets;
+
+  double MeanMicros() const { return count == 0 ? 0.0 : sum_micros / count; }
+
+  /// Estimated latency at quantile `q` in [0, 1], in microseconds, by
+  /// linear interpolation inside the containing bucket. Resolution is
+  /// the bucket width (~2x), which is plenty for p50/p95/p99 dashboards.
+  double PercentileMicros(double q) const;
+
+  double P50Micros() const { return PercentileMicros(0.50); }
+  double P95Micros() const { return PercentileMicros(0.95); }
+  double P99Micros() const { return PercentileMicros(0.99); }
+};
+
+/// \brief Fixed-bucket latency histogram with lock-free recording.
+///
+/// Buckets are geometric powers of two in microseconds: bucket i covers
+/// (2^(i-1), 2^i] us, from 1 us up to ~134 s, plus a final overflow
+/// bucket. Record() is three relaxed atomic adds — cheap enough for the
+/// per-request hot path.
+class LatencyHistogram {
+ public:
+  /// 2^27 us ≈ 134 s upper bound before the overflow bucket.
+  static constexpr size_t kNumBuckets = 28;
+
+  void Record(double micros);
+  void RecordMillis(double millis) { Record(millis * 1000.0); }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Upper bound of bucket i in microseconds (1 << i).
+  static double BucketUpperMicros(size_t i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  /// Total micros, accumulated as an integer to stay lock-free.
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Point-in-time copy of every metric in a registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by name (0 when absent).
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Prometheus-flavoured plain-text rendering (one metric per line;
+  /// histograms expand to count/mean/p50/p95/p99).
+  std::string ToText() const;
+};
+
+/// \brief Named metrics registry for one server instance.
+///
+/// Metric objects are created on first use and never removed, so the
+/// returned references stay valid for the registry's lifetime and the
+/// hot path touches only the metric's own atomics (the registry mutex
+/// guards creation/lookup, not recording).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string RenderText() const { return Snapshot().ToText(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_SERVE_METRICS_H_

@@ -1,0 +1,266 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/stopwatch.h"
+
+namespace tabula {
+
+namespace {
+/// Metric names (one registry per server, so no instance prefix).
+constexpr char kQueriesTotal[] = "serve_queries_total";
+constexpr char kCacheHits[] = "serve_cache_hits";
+constexpr char kCacheMisses[] = "serve_cache_misses";
+constexpr char kRejected[] = "serve_rejected";
+constexpr char kDegraded[] = "serve_degraded";
+constexpr char kErrors[] = "serve_errors";
+constexpr char kBatches[] = "serve_batches";
+constexpr char kRefreshes[] = "serve_refreshes";
+constexpr char kInFlight[] = "serve_in_flight";
+constexpr char kLatency[] = "serve_latency";
+}  // namespace
+
+QueryServer::QueryServer(Tabula* tabula, QueryServerOptions options,
+                         ThreadPool* pool)
+    : tabula_(tabula),
+      options_(options),
+      pool_(pool != nullptr ? pool : &ThreadPool::Global()),
+      cache_(std::make_unique<ResultCache>(options_.cache)) {
+  if (options_.max_concurrency == 0) {
+    options_.max_concurrency = pool_->num_threads();
+  }
+  options_.max_queue = std::max(options_.max_queue, options_.max_concurrency);
+  // Cache-invalidation hook: any Refresh() of the underlying cube —
+  // through this server or not — fences every cached answer.
+  refresh_listener_id_ = tabula_->AddRefreshListener([this] {
+    cache_->InvalidateAll();
+  });
+  RebuildGlobalAnswer();
+}
+
+QueryServer::~QueryServer() {
+  tabula_->RemoveRefreshListener(refresh_listener_id_);
+}
+
+void QueryServer::RebuildGlobalAnswer() {
+  auto answer = std::make_shared<TabulaQueryResult>();
+  answer->sample = tabula_->global_sample();
+  std::lock_guard<std::mutex> lock(global_answer_mu_);
+  global_answer_ = std::move(answer);
+}
+
+ServeAnswer QueryServer::DegradedAnswer(double queue_millis,
+                                        double total_millis) {
+  metrics_.counter(kDegraded).Increment();
+  ServeAnswer answer;
+  {
+    std::lock_guard<std::mutex> lock(global_answer_mu_);
+    answer.result = global_answer_;
+  }
+  answer.degraded = true;
+  answer.queue_millis = queue_millis;
+  answer.total_millis = total_millis;
+  metrics_.histogram(kLatency).RecordMillis(total_millis);
+  return answer;
+}
+
+QueryServer::Admission QueryServer::Admit(double deadline_ms,
+                                          double* waited_ms) {
+  Stopwatch wait;
+  std::unique_lock<std::mutex> lock(slot_mu_);
+  if (admitted_ >= options_.max_queue) return Admission::kRejected;
+  ++admitted_;
+  while (running_ >= options_.max_concurrency) {
+    if (deadline_ms > 0.0) {
+      double remaining_ms = deadline_ms - wait.ElapsedMillis();
+      if (remaining_ms <= 0.0) {
+        --admitted_;
+        slot_cv_.notify_one();
+        *waited_ms = wait.ElapsedMillis();
+        return Admission::kTimedOut;
+      }
+      slot_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                  remaining_ms));
+    } else {
+      slot_cv_.wait(lock);
+    }
+  }
+  ++running_;
+  *waited_ms = wait.ElapsedMillis();
+  return Admission::kAcquired;
+}
+
+void QueryServer::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(slot_mu_);
+    --running_;
+    --admitted_;
+  }
+  slot_cv_.notify_one();
+}
+
+Result<ServeAnswer> QueryServer::Execute(
+    const std::vector<PredicateTerm>& canonical, const std::string& key) {
+  // Capture the cache generation BEFORE the lookup: if a Refresh fences
+  // the cache while this query is in flight, the Put below becomes a
+  // no-op instead of resurrecting a pre-refresh answer.
+  const uint64_t gen = cache_->generation();
+  Result<TabulaQueryResult> raw = [&]() -> Result<TabulaQueryResult> {
+    std::shared_lock<std::shared_mutex> lock(cube_mu_);
+    return tabula_->Query(canonical);
+  }();
+  if (!raw.ok()) {
+    metrics_.counter(kErrors).Increment();
+    return raw.status();
+  }
+  auto shared =
+      std::make_shared<const TabulaQueryResult>(std::move(raw).value());
+  if (options_.enable_cache) cache_->Put(key, shared, gen);
+  ServeAnswer answer;
+  answer.result = std::move(shared);
+  return answer;
+}
+
+Result<ServeAnswer> QueryServer::Query(
+    const std::vector<PredicateTerm>& where, double deadline_ms) {
+  Stopwatch total;
+  const double deadline =
+      deadline_ms < 0.0 ? options_.default_deadline_ms : deadline_ms;
+  metrics_.counter(kQueriesTotal).Increment();
+
+  std::vector<PredicateTerm> canonical = CanonicalizeTerms(where);
+  std::string key = CanonicalPredicateKey(canonical);
+  if (options_.enable_cache) {
+    if (auto hit = cache_->Get(key)) {
+      metrics_.counter(kCacheHits).Increment();
+      ServeAnswer answer;
+      answer.result = std::move(hit);
+      answer.cache_hit = true;
+      answer.total_millis = total.ElapsedMillis();
+      metrics_.histogram(kLatency).RecordMillis(answer.total_millis);
+      return answer;
+    }
+    metrics_.counter(kCacheMisses).Increment();
+  }
+
+  double waited_ms = 0.0;
+  switch (Admit(deadline, &waited_ms)) {
+    case Admission::kRejected:
+      metrics_.counter(kRejected).Increment();
+      return Status::Unavailable(
+          "admission queue full (max_queue=" +
+          std::to_string(options_.max_queue) + ")");
+    case Admission::kTimedOut:
+      return DegradedAnswer(waited_ms, total.ElapsedMillis());
+    case Admission::kAcquired:
+      break;
+  }
+
+  metrics_.gauge(kInFlight).Increment();
+  Result<ServeAnswer> executed = Execute(canonical, key);
+  metrics_.gauge(kInFlight).Decrement();
+  ReleaseSlot();
+  if (!executed.ok()) return executed.status();
+
+  ServeAnswer answer = std::move(executed).value();
+  answer.queue_millis = waited_ms;
+  answer.total_millis = total.ElapsedMillis();
+  metrics_.histogram(kLatency).RecordMillis(answer.total_millis);
+  return answer;
+}
+
+BatchItem QueryServer::ServeBatchItem(const std::vector<PredicateTerm>& where,
+                                      double deadline_ms,
+                                      const Stopwatch& batch_timer) {
+  BatchItem item;
+  Stopwatch total;
+  metrics_.counter(kQueriesTotal).Increment();
+
+  std::vector<PredicateTerm> canonical = CanonicalizeTerms(where);
+  std::string key = CanonicalPredicateKey(canonical);
+  if (options_.enable_cache) {
+    if (auto hit = cache_->Get(key)) {
+      metrics_.counter(kCacheHits).Increment();
+      item.answer.result = std::move(hit);
+      item.answer.cache_hit = true;
+      item.answer.total_millis = total.ElapsedMillis();
+      metrics_.histogram(kLatency).RecordMillis(item.answer.total_millis);
+      return item;
+    }
+    metrics_.counter(kCacheMisses).Increment();
+  }
+
+  // Items whose turn comes after the batch deadline degrade instead of
+  // stretching the pan's tail latency.
+  if (deadline_ms > 0.0 && batch_timer.ElapsedMillis() > deadline_ms) {
+    item.answer = DegradedAnswer(0.0, total.ElapsedMillis());
+    return item;
+  }
+
+  metrics_.gauge(kInFlight).Increment();
+  Result<ServeAnswer> executed = Execute(canonical, key);
+  metrics_.gauge(kInFlight).Decrement();
+  if (!executed.ok()) {
+    item.status = executed.status();
+    return item;
+  }
+  item.answer = std::move(executed).value();
+  item.answer.total_millis = total.ElapsedMillis();
+  metrics_.histogram(kLatency).RecordMillis(item.answer.total_millis);
+  return item;
+}
+
+Result<std::vector<BatchItem>> QueryServer::BatchQuery(
+    const std::vector<std::vector<PredicateTerm>>& cells,
+    double deadline_ms) {
+  Stopwatch batch_timer;
+  const double deadline =
+      deadline_ms < 0.0 ? options_.default_deadline_ms : deadline_ms;
+  metrics_.counter(kBatches).Increment();
+  if (cells.empty()) return std::vector<BatchItem>{};
+
+  // Batch admission: the whole fan-out counts against the queue bound.
+  // Items run directly on the pool (its width bounds parallelism), so
+  // they skip the per-request slot wait.
+  {
+    std::lock_guard<std::mutex> lock(slot_mu_);
+    if (cells.size() > options_.max_queue - std::min(admitted_, options_.max_queue)) {
+      metrics_.counter(kRejected).Increment();
+      return Status::Unavailable(
+          "batch of " + std::to_string(cells.size()) +
+          " would overflow the admission queue (max_queue=" +
+          std::to_string(options_.max_queue) + ")");
+    }
+    admitted_ += cells.size();
+  }
+
+  std::vector<BatchItem> items(cells.size());
+  pool_->ParallelFor(cells.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      items[i] = ServeBatchItem(cells[i], deadline, batch_timer);
+    }
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(slot_mu_);
+    admitted_ -= cells.size();
+  }
+  slot_cv_.notify_all();
+  return items;
+}
+
+Status QueryServer::Refresh(Tabula::RefreshStats* stats) {
+  std::unique_lock<std::shared_mutex> lock(cube_mu_);
+  Status st = tabula_->Refresh(stats);
+  if (st.ok()) {
+    // The registered listener already fenced the cache; refresh the
+    // degraded-answer snapshot (a full rebuild may replace the global
+    // sample).
+    RebuildGlobalAnswer();
+    metrics_.counter(kRefreshes).Increment();
+  }
+  return st;
+}
+
+}  // namespace tabula

@@ -1,0 +1,162 @@
+#ifndef TABULA_SERVE_QUERY_SERVER_H_
+#define TABULA_SERVE_QUERY_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/tabula.h"
+#include "serve/metrics.h"
+#include "serve/result_cache.h"
+#include "storage/predicate.h"
+
+namespace tabula {
+
+/// Configuration of a QueryServer.
+struct QueryServerOptions {
+  /// Maximum queries executing concurrently against the cube
+  /// (0 → thread-pool width). Excess requests wait in the admission
+  /// queue; cache hits bypass the limit entirely.
+  size_t max_concurrency = 0;
+  /// Upper bound on requests waiting + executing. Requests beyond it
+  /// are rejected with Status::Unavailable instead of queueing without
+  /// bound (fail fast under overload, keep latency bounded).
+  size_t max_queue = 1024;
+  /// Default per-request deadline in milliseconds (0 → none). A request
+  /// still waiting for admission when its deadline expires degrades to
+  /// the global sample instead of queueing further — the bounded
+  /// response-time side of the BlinkDB-style contract. Degraded answers
+  /// carry `ServeAnswer::degraded = true` and void the θ bound for
+  /// iceberg cells.
+  double default_deadline_ms = 0.0;
+  bool enable_cache = true;
+  ResultCacheOptions cache;
+};
+
+/// One served answer: a shared handle to the (possibly cached) query
+/// result plus serving metadata.
+struct ServeAnswer {
+  std::shared_ptr<const TabulaQueryResult> result;
+  bool cache_hit = false;
+  /// True when the deadline expired before the cell lookup could run;
+  /// `result` is then the global sample (θ bound not guaranteed for
+  /// iceberg cells — the dashboard should mark the tile provisional).
+  bool degraded = false;
+  /// Milliseconds spent waiting for an execution slot.
+  double queue_millis = 0.0;
+  /// End-to-end serving time (queue + lookup), in milliseconds.
+  double total_millis = 0.0;
+};
+
+/// Per-item outcome of a BatchQuery (Result<T> is not
+/// default-constructible, so batch items carry an explicit Status).
+struct BatchItem {
+  Status status;
+  ServeAnswer answer;
+};
+
+/// \brief Concurrent serving layer in front of a Tabula instance.
+///
+/// Turns the single-caller middleware into a server: a sharded LRU
+/// result cache keyed on the canonical predicate set, a bounded
+/// admission queue with a concurrency limit on top of the shared
+/// ThreadPool, per-request deadlines that degrade gracefully to the
+/// global sample, batched multi-cell queries for heatmap pans, and a
+/// metrics registry (QPS counters, latency percentiles, hit rate,
+/// in-flight gauge).
+///
+/// Thread-safety: Query()/BatchQuery() may be called from any number of
+/// threads. Refresh() takes an exclusive lock (readers drain first) and
+/// fences the cache, so a cached answer computed against the
+/// pre-refresh cube is never served afterwards.
+class QueryServer {
+ public:
+  /// `tabula` must outlive the server. `pool` defaults to the global
+  /// pool; pass a dedicated one to isolate serving from init traffic.
+  explicit QueryServer(Tabula* tabula, QueryServerOptions options = {},
+                       ThreadPool* pool = nullptr);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Answers one dashboard query. `deadline_ms` overrides the default
+  /// deadline (< 0 → use default; 0 → none).
+  Result<ServeAnswer> Query(const std::vector<PredicateTerm>& where,
+                            double deadline_ms = -1.0);
+
+  /// Fans a multi-cell request (e.g. every cell of a heatmap pan)
+  /// across the thread pool and gathers all answers. One invalid cell
+  /// fails only its own item. Rejects the whole batch with Unavailable
+  /// when it alone would overflow the admission queue.
+  Result<std::vector<BatchItem>> BatchQuery(
+      const std::vector<std::vector<PredicateTerm>>& cells,
+      double deadline_ms = -1.0);
+
+  /// Runs Tabula::Refresh() exclusively (in-flight queries drain first,
+  /// new ones queue) and fences the result cache so no stale sample is
+  /// served afterwards.
+  Status Refresh(Tabula::RefreshStats* stats = nullptr);
+
+  const ResultCache& cache() const { return *cache_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  std::string MetricsText() const { return metrics_.RenderText(); }
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  enum class Admission { kRejected, kTimedOut, kAcquired };
+
+  /// Uncached lookup path: executes under the shared cube lock and
+  /// caches the answer unless a refresh fenced the generation.
+  Result<ServeAnswer> Execute(const std::vector<PredicateTerm>& canonical,
+                              const std::string& key);
+
+  /// One batch item: cache probe → deadline check → pooled execution
+  /// (no per-request slot; the pool bounds parallelism).
+  BatchItem ServeBatchItem(const std::vector<PredicateTerm>& where,
+                           double deadline_ms, const Stopwatch& batch_timer);
+
+  /// Serves the pre-captured global sample when a deadline expired.
+  ServeAnswer DegradedAnswer(double queue_millis, double total_millis);
+
+  /// Re-captures the global-sample snapshot used by DegradedAnswer.
+  void RebuildGlobalAnswer();
+
+  /// Counts the request against the queue bound and blocks for an
+  /// execution slot until `deadline_ms` passes (0 → wait forever).
+  Admission Admit(double deadline_ms, double* waited_ms);
+  void ReleaseSlot();
+
+  Tabula* tabula_;
+  QueryServerOptions options_;
+  ThreadPool* pool_;
+  std::unique_ptr<ResultCache> cache_;
+  MetricsRegistry metrics_;
+  uint64_t refresh_listener_id_ = 0;
+
+  /// Readers (queries) take shared, Refresh() takes exclusive.
+  std::shared_mutex cube_mu_;
+
+  /// Degraded answers must not block on cube_mu_ (the overload they
+  /// mitigate may be a Refresh holding it), so they serve this
+  /// snapshot, guarded by its own mutex.
+  std::mutex global_answer_mu_;
+  std::shared_ptr<const TabulaQueryResult> global_answer_;
+
+  /// Concurrency-limit semaphore + admission count.
+  std::mutex slot_mu_;
+  std::condition_variable slot_cv_;
+  size_t running_ = 0;
+  size_t admitted_ = 0;  // waiting + running, bounded by max_queue
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_SERVE_QUERY_SERVER_H_

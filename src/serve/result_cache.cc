@@ -1,0 +1,176 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tabula {
+
+namespace {
+
+/// Appends a length-prefixed field ("<len>:<bytes>") so no field
+/// boundary ambiguity is possible regardless of content.
+void AppendField(std::string* out, const std::string& field) {
+  out->append(std::to_string(field.size()));
+  out->push_back(':');
+  out->append(field);
+}
+
+/// Exact, type-tagged rendering of a literal. Doubles are encoded by
+/// their IEEE bits so values that round-trip differently through
+/// decimal printing still get distinct keys.
+std::string EncodeLiteral(const Value& v) {
+  if (v.is_null()) return "n";
+  if (v.is_int64()) return "i" + std::to_string(v.AsInt64());
+  if (v.is_double()) {
+    double d = v.AsDouble();
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return "d" + std::to_string(bits);
+  }
+  return "s" + v.AsString();
+}
+
+/// One term's canonical encoding (column, operator, literal).
+std::string EncodeTerm(const PredicateTerm& term) {
+  std::string out;
+  AppendField(&out, term.column);
+  AppendField(&out, CompareOpName(term.op));
+  AppendField(&out, EncodeLiteral(term.literal));
+  return out;
+}
+
+}  // namespace
+
+std::vector<PredicateTerm> CanonicalizeTerms(
+    const std::vector<PredicateTerm>& terms) {
+  std::vector<std::pair<std::string, PredicateTerm>> keyed;
+  keyed.reserve(terms.size());
+  for (const auto& term : terms) keyed.emplace_back(EncodeTerm(term), term);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<PredicateTerm> out;
+  out.reserve(keyed.size());
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i > 0 && keyed[i].first == keyed[i - 1].first) continue;
+    out.push_back(std::move(keyed[i].second));
+  }
+  return out;
+}
+
+std::string CanonicalPredicateKey(const std::vector<PredicateTerm>& terms) {
+  std::vector<std::string> encoded;
+  encoded.reserve(terms.size());
+  for (const auto& term : terms) encoded.push_back(EncodeTerm(term));
+  std::sort(encoded.begin(), encoded.end());
+  encoded.erase(std::unique(encoded.begin(), encoded.end()), encoded.end());
+  std::string key;
+  for (const auto& e : encoded) AppendField(&key, e);
+  return key;
+}
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(options) {
+  size_t shards = 1;
+  while (shards < std::max<size_t>(options_.num_shards, 1)) shards <<= 1;
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_budget_ = std::max<uint64_t>(options_.max_bytes / shards, 1);
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  // Mix the high bits down: std::hash may be identity-like for small
+  // inputs and the low bits alone would imbalance the shards.
+  h ^= h >> 16;
+  return *shards_[h & shard_mask_];
+}
+
+uint64_t ResultCache::EntryBytes(const std::string& key,
+                                 const TabulaQueryResult& result) {
+  return key.size() + result.sample.MemoryBytes() + sizeof(Entry) +
+         sizeof(TabulaQueryResult);
+}
+
+std::shared_ptr<const TabulaQueryResult> ResultCache::Get(
+    const std::string& key) {
+  const uint64_t current = generation();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it->second->generation != current) {
+    // Fenced by InvalidateAll(): erase lazily, report a miss.
+    shard.bytes_used -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const TabulaQueryResult> result,
+                      uint64_t gen) {
+  if (result == nullptr) return;
+  // A result computed before an InvalidateAll() must never enter with
+  // the new generation — it reflects the pre-refresh cube.
+  if (gen != generation()) return;
+  uint64_t bytes = EntryBytes(key, *result);
+  if (bytes > per_shard_budget_) return;  // would evict everything else
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (e.g. re-computed after invalidation).
+    shard.bytes_used -= it->second->bytes;
+    it->second->result = std::move(result);
+    it->second->bytes = bytes;
+    it->second->generation = gen;
+    shard.bytes_used += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(result), bytes, gen});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes_used += bytes;
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EvictLocked(&shard);
+}
+
+void ResultCache::EvictLocked(Shard* shard) {
+  while (shard->bytes_used > per_shard_budget_ && !shard->lru.empty()) {
+    Entry& victim = shard->lru.back();
+    shard->bytes_used -= victim.bytes;
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidated = invalidated_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.bytes_used += shard->bytes_used;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace tabula

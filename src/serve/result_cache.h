@@ -1,0 +1,140 @@
+#ifndef TABULA_SERVE_RESULT_CACHE_H_
+#define TABULA_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tabula.h"
+#include "storage/predicate.h"
+
+namespace tabula {
+
+/// Canonical cache key for a conjunctive equality predicate set: terms
+/// sorted by (column, literal), exact duplicates removed, each field
+/// length-prefixed so distinct predicate sets can never collide. Two
+/// WHERE clauses that differ only in term order or exact repetition map
+/// to the same key.
+std::string CanonicalPredicateKey(const std::vector<PredicateTerm>& terms);
+
+/// Canonicalizes the terms themselves (sorted, exact duplicates removed)
+/// — the predicate set actually executed and cached by the server, so a
+/// cached answer is valid for every ordering of the same filter.
+std::vector<PredicateTerm> CanonicalizeTerms(
+    const std::vector<PredicateTerm>& terms);
+
+struct ResultCacheOptions {
+  /// Shard count (rounded up to a power of two). More shards → less
+  /// lock contention under concurrent clients.
+  size_t num_shards = 8;
+  /// Total byte budget across all shards. Entries are charged for their
+  /// sample row-id vector plus key and bookkeeping overhead.
+  uint64_t max_bytes = 64ull << 20;
+};
+
+/// Point-in-time cache counters.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Entries dropped because their generation was fenced off.
+  uint64_t invalidated = 0;
+  uint64_t bytes_used = 0;
+  uint64_t entries = 0;
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief Sharded LRU cache of query answers keyed on the canonical
+/// predicate set.
+///
+/// Values are shared_ptr handles to immutable TabulaQueryResult objects,
+/// so a hit is a pointer copy — the sample row ids are never duplicated
+/// per client. Each shard has its own mutex, LRU list, and slice of the
+/// byte budget.
+///
+/// Coherence with Refresh(): the cache carries a generation counter.
+/// InvalidateAll() bumps it; entries remember the generation they were
+/// computed under and Get() refuses (and lazily erases) entries from
+/// older generations. Writers must capture `generation()` BEFORE running
+/// the query they intend to cache and pass it to Put() — a result
+/// computed against the pre-refresh cube then carries the old
+/// generation and can never be served after the refresh, even if the
+/// Put lands after InvalidateAll() (the stale-write race).
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  /// Cached answer for `key`, or nullptr on miss/stale entry.
+  std::shared_ptr<const TabulaQueryResult> Get(const std::string& key);
+
+  /// Inserts an answer computed while the cache was at `generation`.
+  /// No-ops when the entry alone exceeds the shard budget, or when
+  /// `generation` is already stale (the result would never be served).
+  void Put(const std::string& key,
+           std::shared_ptr<const TabulaQueryResult> result,
+           uint64_t generation);
+
+  /// Fences every current entry (lazy eviction) — call after a
+  /// Tabula::Refresh() so no stale sample is ever served.
+  void InvalidateAll() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Current generation; capture before computing a result to Put().
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  ResultCacheStats Stats() const;
+
+  /// Bytes charged for one cached result (exposed for tests).
+  static uint64_t EntryBytes(const std::string& key,
+                             const TabulaQueryResult& result);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const TabulaQueryResult> result;
+    uint64_t bytes = 0;
+    uint64_t generation = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t bytes_used = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  /// Drops the least-recently-used entries of `shard` until it fits its
+  /// budget. Caller holds shard.mu.
+  void EvictLocked(Shard* shard);
+
+  ResultCacheOptions options_;
+  uint64_t per_shard_budget_ = 0;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> generation_{0};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidated_{0};
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_SERVE_RESULT_CACHE_H_

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/binary_io.h"
 #include "common/env.h"
@@ -123,6 +124,45 @@ TEST(ThreadPoolTest, EmptyRangeIsNoop) {
   bool called = false;
   pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, EmptyChunkedRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelForChunked(0, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SubmittedExceptionPropagatesViaFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive.
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForSurvivesThrowingChunk) {
+  ThreadPool pool(4);
+  // One chunk throws; every other chunk must still run to completion
+  // (the pool must not abandon tasks referencing the caller's lambda),
+  // the first exception resurfaces, and the pool stays usable.
+  std::atomic<size_t> visited{0};
+  auto run = [&] {
+    pool.ParallelFor(1000, [&](size_t begin, size_t end) {
+      if (begin == 0) throw std::runtime_error("chunk boom");
+      visited += end - begin;
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  EXPECT_EQ(visited.load(), 1000 - 250u);  // all chunks but the thrower
+
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(1000, [&](size_t begin, size_t end) {
+    total += end - begin;
+  });
+  EXPECT_EQ(total.load(), 1000u);
 }
 
 // ---------- string_util ----------

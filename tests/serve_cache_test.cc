@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/result_cache.h"
+
+namespace tabula {
+namespace {
+
+PredicateTerm Eq(const std::string& column, Value literal) {
+  return {column, CompareOp::kEq, std::move(literal)};
+}
+
+/// A fake answer whose cached footprint is controlled by the number of
+/// sample row ids (the cache never dereferences the table pointer).
+std::shared_ptr<const TabulaQueryResult> FakeResult(size_t sample_rows) {
+  auto result = std::make_shared<TabulaQueryResult>();
+  std::vector<RowId> rows(sample_rows);
+  for (size_t i = 0; i < sample_rows; ++i) rows[i] = static_cast<RowId>(i);
+  result->sample = DatasetView(nullptr, std::move(rows));
+  return result;
+}
+
+TEST(PredicateKeyTest, OrderInsensitive) {
+  std::vector<PredicateTerm> ab = {Eq("a", Value("x")), Eq("b", Value("y"))};
+  std::vector<PredicateTerm> ba = {Eq("b", Value("y")), Eq("a", Value("x"))};
+  EXPECT_EQ(CanonicalPredicateKey(ab), CanonicalPredicateKey(ba));
+}
+
+TEST(PredicateKeyTest, DuplicateInsensitive) {
+  std::vector<PredicateTerm> once = {Eq("a", Value("x"))};
+  std::vector<PredicateTerm> twice = {Eq("a", Value("x")),
+                                      Eq("a", Value("x"))};
+  EXPECT_EQ(CanonicalPredicateKey(once), CanonicalPredicateKey(twice));
+
+  auto canonical = CanonicalizeTerms(twice);
+  ASSERT_EQ(canonical.size(), 1u);
+  EXPECT_EQ(canonical[0].column, "a");
+}
+
+TEST(PredicateKeyTest, DistinctPredicatesDistinctKeys) {
+  EXPECT_NE(CanonicalPredicateKey({Eq("a", Value("x"))}),
+            CanonicalPredicateKey({Eq("a", Value("y"))}));
+  EXPECT_NE(CanonicalPredicateKey({Eq("a", Value("x"))}),
+            CanonicalPredicateKey({Eq("b", Value("x"))}));
+  // Conflicting duplicates on one column stay two terms (they are a
+  // different — contradictory — predicate set, not a repetition).
+  EXPECT_NE(
+      CanonicalPredicateKey({Eq("a", Value("x"))}),
+      CanonicalPredicateKey({Eq("a", Value("x")), Eq("a", Value("y"))}));
+  // Type-tagged literals: int64 7 vs string "7" vs double 7.0.
+  EXPECT_NE(CanonicalPredicateKey({Eq("a", Value(int64_t{7}))}),
+            CanonicalPredicateKey({Eq("a", Value("7"))}));
+  EXPECT_NE(CanonicalPredicateKey({Eq("a", Value(int64_t{7}))}),
+            CanonicalPredicateKey({Eq("a", Value(7.0))}));
+  // Length-prefixed fields: ("ab","c") must not equal ("a","bc").
+  EXPECT_NE(CanonicalPredicateKey({Eq("ab", Value("c"))}),
+            CanonicalPredicateKey({Eq("a", Value("bc"))}));
+}
+
+TEST(PredicateKeyTest, EmptyPredicateHasStableKey) {
+  EXPECT_EQ(CanonicalPredicateKey({}), CanonicalPredicateKey({}));
+  EXPECT_NE(CanonicalPredicateKey({}),
+            CanonicalPredicateKey({Eq("a", Value("x"))}));
+}
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  /// Single-shard cache sized to hold exactly `capacity` of our
+  /// fixed-size entries, so eviction boundaries are deterministic.
+  void MakeCache(size_t capacity) {
+    auto probe = FakeResult(kSampleRows);
+    uint64_t per_entry = ResultCache::EntryBytes(Key("k0"), *probe);
+    ResultCacheOptions options;
+    options.num_shards = 1;
+    options.max_bytes = per_entry * capacity;
+    cache_ = std::make_unique<ResultCache>(options);
+  }
+
+  static std::string Key(const std::string& name) {
+    return CanonicalPredicateKey({Eq("col0", Value(name))});
+  }
+
+  void Put(const std::string& name) {
+    cache_->Put(Key(name), FakeResult(kSampleRows), cache_->generation());
+  }
+
+  bool Contains(const std::string& name) {
+    return cache_->Get(Key(name)) != nullptr;
+  }
+
+  /// Two-char names keep every key the same length, hence every entry
+  /// the same size.
+  static constexpr size_t kSampleRows = 100;
+  std::unique_ptr<ResultCache> cache_;
+};
+
+TEST_F(ResultCacheTest, HitReturnsSameResultObject) {
+  MakeCache(4);
+  auto result = FakeResult(kSampleRows);
+  cache_->Put(Key("k1"), result, cache_->generation());
+  auto hit = cache_->Get(Key("k1"));
+  EXPECT_EQ(hit.get(), result.get());
+  EXPECT_EQ(cache_->Stats().hits, 1u);
+}
+
+TEST_F(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  MakeCache(3);
+  Put("k1");
+  Put("k2");
+  Put("k3");
+  // Freshen k1; k2 becomes the LRU victim.
+  EXPECT_TRUE(Contains("k1"));
+  Put("k4");
+  EXPECT_FALSE(Contains("k2"));
+  EXPECT_TRUE(Contains("k1"));
+  EXPECT_TRUE(Contains("k3"));
+  EXPECT_TRUE(Contains("k4"));
+  EXPECT_GE(cache_->Stats().evictions, 1u);
+}
+
+TEST_F(ResultCacheTest, ByteBudgetIsEnforced) {
+  MakeCache(3);
+  for (int i = 0; i < 10; ++i) Put("e" + std::to_string(i));
+  ResultCacheStats stats = cache_->Stats();
+  EXPECT_LE(stats.entries, 3u);
+  uint64_t per_entry =
+      ResultCache::EntryBytes(Key("e0"), *FakeResult(kSampleRows));
+  EXPECT_LE(stats.bytes_used, per_entry * 3);
+  EXPECT_EQ(stats.evictions, 7u);
+}
+
+TEST_F(ResultCacheTest, OversizedEntryIsNotCached) {
+  MakeCache(2);
+  cache_->Put(Key("k1"), FakeResult(kSampleRows * 10), cache_->generation());
+  EXPECT_EQ(cache_->Stats().entries, 0u);
+  // And it did not evict anything that was already resident.
+  Put("k2");
+  cache_->Put(Key("k3"), FakeResult(kSampleRows * 10), cache_->generation());
+  EXPECT_TRUE(Contains("k2"));
+}
+
+TEST_F(ResultCacheTest, InvalidateAllFencesEveryEntry) {
+  MakeCache(4);
+  Put("k1");
+  Put("k2");
+  ASSERT_TRUE(Contains("k1"));
+  cache_->InvalidateAll();
+  EXPECT_FALSE(Contains("k1"));
+  EXPECT_FALSE(Contains("k2"));
+  EXPECT_EQ(cache_->Stats().invalidated, 2u);
+  // Fresh inserts under the new generation serve normally again.
+  Put("k1");
+  EXPECT_TRUE(Contains("k1"));
+}
+
+TEST_F(ResultCacheTest, StaleGenerationPutIsIgnored) {
+  MakeCache(4);
+  // A writer captured the generation, then a refresh fenced the cache
+  // before its Put landed: the stale answer must never become servable.
+  uint64_t stale = cache_->generation();
+  cache_->InvalidateAll();
+  cache_->Put(Key("k1"), FakeResult(kSampleRows), stale);
+  EXPECT_FALSE(Contains("k1"));
+}
+
+TEST_F(ResultCacheTest, StatsTrackHitRate) {
+  MakeCache(4);
+  Put("k1");
+  EXPECT_TRUE(Contains("k1"));
+  EXPECT_FALSE(Contains("k9"));
+  ResultCacheStats stats = cache_->Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ResultCacheShardedTest, EntriesSpreadAcrossShards) {
+  ResultCacheOptions options;
+  options.num_shards = 8;
+  options.max_bytes = 1ull << 20;
+  ResultCache cache(options);
+  for (int i = 0; i < 64; ++i) {
+    std::string key = CanonicalPredicateKey(
+        {Eq("col", Value("v" + std::to_string(i)))});
+    cache.Put(key, FakeResult(10), cache.generation());
+  }
+  EXPECT_EQ(cache.Stats().entries, 64u);
+  for (int i = 0; i < 64; ++i) {
+    std::string key = CanonicalPredicateKey(
+        {Eq("col", Value("v" + std::to_string(i)))});
+    EXPECT_NE(cache.Get(key), nullptr) << key;
+  }
+}
+
+}  // namespace
+}  // namespace tabula

@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tabula.h"
+#include "data/taxi_gen.h"
+#include "data/workload.h"
+#include "loss/mean_loss.h"
+#include "serve/metrics.h"
+#include "serve/query_server.h"
+
+namespace tabula {
+namespace {
+
+/// Shared fixture: a 20k-ride table, a mean-loss cube over two
+/// attributes, and a workload of real cells to hammer.
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TaxiGeneratorOptions gen;
+    gen.num_rows = 20000;
+    gen.seed = 61;
+    table_ = TaxiGenerator(gen).Generate();
+    loss_ = std::make_unique<MeanLoss>("fare_amount");
+    options_.cubed_attributes = {"payment_type", "rate_code"};
+    options_.loss = loss_.get();
+    options_.threshold = 0.05;
+    options_.keep_maintenance_state = true;
+    auto tabula = Tabula::Initialize(*table_, options_);
+    ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+    tabula_ = std::move(tabula).value();
+
+    WorkloadOptions wopts;
+    wopts.num_queries = 40;
+    wopts.seed = 17;
+    auto workload =
+        GenerateWorkload(*table_, options_.cubed_attributes, wopts);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(workload).value();
+  }
+
+  /// Actual loss of `answer` against the current ground truth of
+  /// `where` (0 when the cell is empty).
+  double ActualLoss(const std::vector<PredicateTerm>& where,
+                    const DatasetView& answer) {
+    auto pred = BoundPredicate::Bind(*table_, where);
+    EXPECT_TRUE(pred.ok());
+    DatasetView truth(table_.get(), pred->FilterAll());
+    if (truth.empty()) return 0.0;
+    auto loss = loss_->Loss(truth, answer);
+    EXPECT_TRUE(loss.ok());
+    return loss.value();
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<MeanLoss> loss_;
+  TabulaOptions options_;
+  std::unique_ptr<Tabula> tabula_;
+  std::vector<WorkloadQuery> workload_;
+};
+
+TEST_F(QueryServerTest, ServesSameAnswerAsDirectQuery) {
+  QueryServer server(tabula_.get());
+  for (const auto& q : workload_) {
+    auto direct = tabula_->Query(q.where);
+    ASSERT_TRUE(direct.ok());
+    auto served = server.Query(q.where);
+    ASSERT_TRUE(served.ok()) << q.ToString();
+    ASSERT_NE(served->result, nullptr);
+    EXPECT_EQ(served->result->from_local_sample, direct->from_local_sample);
+    EXPECT_EQ(served->result->empty_cell, direct->empty_cell);
+    EXPECT_EQ(served->result->sample.size(), direct->sample.size());
+    EXPECT_FALSE(served->degraded);
+  }
+}
+
+TEST_F(QueryServerTest, SecondQueryHitsCache) {
+  QueryServer server(tabula_.get());
+  const auto& where = workload_[0].where;
+  auto first = server.Query(where);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  auto second = server.Query(where);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  // Hits hand out the same immutable result object, not a copy.
+  EXPECT_EQ(second->result.get(), first->result.get());
+  EXPECT_EQ(server.metrics().Snapshot().CounterValue("serve_cache_hits"),
+            1u);
+}
+
+TEST_F(QueryServerTest, CacheHitIsPredicateOrderInsensitive) {
+  QueryServer server(tabula_.get());
+  std::vector<PredicateTerm> ab = {
+      {"payment_type", CompareOp::kEq, Value("Cash")},
+      {"rate_code", CompareOp::kEq, Value("Standard")}};
+  std::vector<PredicateTerm> ba = {ab[1], ab[0]};
+  auto first = server.Query(ab);
+  ASSERT_TRUE(first.ok());
+  auto second = server.Query(ba);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+}
+
+TEST_F(QueryServerTest, DuplicateTermsAreCanonicalized) {
+  QueryServer server(tabula_.get());
+  // Tabula::Query rejects literal duplicates; the server canonicalizes
+  // exact repetitions away (same predicate set), so this succeeds.
+  std::vector<PredicateTerm> dup = {
+      {"payment_type", CompareOp::kEq, Value("Cash")},
+      {"payment_type", CompareOp::kEq, Value("Cash")}};
+  auto served = server.Query(dup);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  // Contradictory terms on one column are still an error.
+  std::vector<PredicateTerm> conflict = {
+      {"payment_type", CompareOp::kEq, Value("Cash")},
+      {"payment_type", CompareOp::kEq, Value("Credit")}};
+  EXPECT_FALSE(server.Query(conflict).ok());
+}
+
+TEST_F(QueryServerTest, EmptyCellIsServedAndCached) {
+  QueryServer server(tabula_.get());
+  std::vector<PredicateTerm> where = {
+      {"payment_type", CompareOp::kEq, Value("Barter")}};  // never occurs
+  auto first = server.Query(where);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->result->empty_cell);
+  EXPECT_EQ(first->result->sample.size(), 0u);
+  auto second = server.Query(where);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_TRUE(second->result->empty_cell);
+}
+
+TEST_F(QueryServerTest, BatchQueryMatchesIndividualAnswers) {
+  QueryServer server(tabula_.get());
+  std::vector<std::vector<PredicateTerm>> cells;
+  for (const auto& q : workload_) cells.push_back(q.where);
+  auto batch = server.BatchQuery(cells);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const BatchItem& item = (*batch)[i];
+    ASSERT_TRUE(item.status.ok()) << workload_[i].ToString();
+    auto direct = tabula_->Query(cells[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(item.answer.result->sample.size(), direct->sample.size());
+    EXPECT_EQ(item.answer.result->from_local_sample,
+              direct->from_local_sample);
+  }
+  EXPECT_EQ(server.metrics().Snapshot().CounterValue("serve_batches"), 1u);
+}
+
+TEST_F(QueryServerTest, BatchIsolatesPerItemErrors) {
+  QueryServer server(tabula_.get());
+  std::vector<std::vector<PredicateTerm>> cells = {
+      {{"payment_type", CompareOp::kEq, Value("Cash")}},
+      {{"not_a_cubed_attribute", CompareOp::kEq, Value("x")}},
+      {{"rate_code", CompareOp::kEq, Value("JFK")}}};
+  auto batch = server.BatchQuery(cells);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE((*batch)[0].status.ok());
+  EXPECT_FALSE((*batch)[1].status.ok());
+  EXPECT_TRUE((*batch)[2].status.ok());
+}
+
+TEST_F(QueryServerTest, BatchBeyondQueueBoundIsRejected) {
+  QueryServerOptions sopts;
+  sopts.max_concurrency = 2;  // keep max_queue from being widened
+  sopts.max_queue = 8;
+  QueryServer server(tabula_.get(), sopts);
+  std::vector<std::vector<PredicateTerm>> cells(
+      9, {{"payment_type", CompareOp::kEq, Value("Cash")}});
+  auto batch = server.BatchQuery(cells);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(QueryServerTest, ExpiredDeadlineDegradesToGlobalSample) {
+  QueryServerOptions sopts;
+  sopts.enable_cache = false;
+  QueryServer server(tabula_.get(), sopts);
+  std::vector<std::vector<PredicateTerm>> cells;
+  for (size_t i = 0; i < 8; ++i) cells.push_back(workload_[i].where);
+  // A deadline that has already passed when each item runs: every item
+  // degrades to the global sample instead of doing the cell lookup.
+  auto batch = server.BatchQuery(cells, /*deadline_ms=*/1e-6);
+  ASSERT_TRUE(batch.ok());
+  for (const BatchItem& item : *batch) {
+    ASSERT_TRUE(item.status.ok());
+    EXPECT_TRUE(item.answer.degraded);
+    EXPECT_FALSE(item.answer.result->from_local_sample);
+    EXPECT_EQ(item.answer.result->sample.size(),
+              tabula_->global_sample().size());
+  }
+  EXPECT_EQ(server.metrics().Snapshot().CounterValue("serve_degraded"),
+            cells.size());
+}
+
+/// The ISSUE's concurrency smoke test: many client threads, mixed
+/// cached/uncached/empty-cell traffic, every non-degraded answer must
+/// still satisfy the θ loss bound. Canonical TSan target
+/// (TABULA_SANITIZE=thread).
+TEST_F(QueryServerTest, ConcurrentMixedLoadKeepsLossBound) {
+  QueryServerOptions sopts;
+  sopts.cache.num_shards = 4;
+  QueryServer server(tabula_.get(), sopts);
+
+  const size_t kThreads = 8;
+  const size_t kQueriesPerThread = 150;
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> served{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = 0; i < kQueriesPerThread; ++i) {
+        size_t pick = (t * 31 + i * 7) % (workload_.size() + 2);
+        std::vector<PredicateTerm> where;
+        if (pick < workload_.size()) {
+          where = workload_[pick].where;  // mix of repeats → cache hits
+        } else if (pick == workload_.size()) {
+          where = {{"payment_type", CompareOp::kEq, Value("Barter")}};
+        } else {
+          where = {{"rate_code", CompareOp::kEq, Value("Nowhere")}};
+        }
+        auto answer = server.Query(where);
+        if (!answer.ok() || answer->result == nullptr) {
+          ++failures;
+          continue;
+        }
+        ++served;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(served.load(), kThreads * kQueriesPerThread);
+
+  // Re-check the θ bound for every distinct cell that was served (the
+  // answers are deterministic, so post-hoc verification is equivalent
+  // and keeps the loss evaluation out of the contended phase).
+  for (const auto& q : workload_) {
+    auto answer = server.Query(q.where);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_LE(ActualLoss(q.where, answer->result->sample),
+              options_.threshold)
+        << q.ToString();
+  }
+
+  MetricsSnapshot snap = server.metrics().Snapshot();
+  uint64_t total = snap.CounterValue("serve_queries_total");
+  EXPECT_EQ(total, kThreads * kQueriesPerThread + workload_.size());
+  EXPECT_EQ(snap.CounterValue("serve_cache_hits") +
+                snap.CounterValue("serve_cache_misses"),
+            total);
+  EXPECT_GT(snap.CounterValue("serve_cache_hits"), 0u);
+  ResultCacheStats cache_stats = server.cache().Stats();
+  EXPECT_GT(cache_stats.HitRate(), 0.5);  // 1200 queries over ~42 cells
+}
+
+/// A Refresh() that lands mid-load must fence the cache: answers after
+/// it reflect the new data, never a stale cached sample.
+TEST_F(QueryServerTest, RefreshMidLoadNeverServesStaleSample) {
+  QueryServer server(tabula_.get());
+  std::vector<PredicateTerm> skewed = {
+      {"payment_type", CompareOp::kEq, Value("No Charge")}};
+
+  // Pre-load: cache the cell's current answer and hit it once.
+  auto before = server.Query(skewed);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(server.Query(skewed)->cache_hit);
+
+  // Client threads hammer the server while the base table grows and a
+  // Refresh lands.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& q = workload_[(t + i++) % workload_.size()];
+        auto answer = server.Query(q.where);
+        if (!answer.ok()) ++failures;
+      }
+    });
+  }
+
+  // Skew the cell hard enough that its old sample violates θ against
+  // the new truth (fares far above the previous mean).
+  const Schema& schema = table_->schema();
+  std::vector<Value> row(schema.num_fields());
+  row[0] = Value("CMT");
+  row[1] = Value("Mon");
+  row[2] = Value("1");
+  row[3] = Value("No Charge");
+  row[4] = Value("Standard");
+  row[5] = Value("N");
+  row[6] = Value("Mon");
+  row[7] = Value("[0,5)");
+  row[8] = Value(1.0);
+  row[9] = Value(500.0);
+  row[10] = Value(0.0);
+  row[11] = Value(0.5);
+  row[12] = Value(0.5);
+  for (size_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(table_->AppendRow(row).ok());
+  }
+  uint64_t generation_before = server.cache().generation();
+  Tabula::RefreshStats rstats;
+  ASSERT_TRUE(server.Refresh(&rstats).ok());
+  EXPECT_EQ(rstats.new_rows, 2000u);
+  EXPECT_GT(server.cache().generation(), generation_before);
+
+  stop = true;
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // The post-refresh answer must satisfy θ against the NEW truth. A
+  // stale cached sample would fail this by an order of magnitude.
+  auto after = server.Query(skewed);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_LE(ActualLoss(skewed, after->result->sample), options_.threshold);
+  // And the old handle is still safe to read (shared ownership), even
+  // though it no longer reflects the cube.
+  EXPECT_GT(before->result->sample.size(), 0u);
+}
+
+TEST_F(QueryServerTest, MetricsRenderText) {
+  QueryServer server(tabula_.get());
+  ASSERT_TRUE(server.Query(workload_[0].where).ok());
+  ASSERT_TRUE(server.Query(workload_[0].where).ok());
+  std::string text = server.MetricsText();
+  EXPECT_NE(text.find("serve_queries_total 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve_cache_hits 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve_latency_p99_us"), std::string::npos) << text;
+}
+
+// ---------- metrics primitives ----------
+
+TEST(LatencyHistogramTest, PercentilesFromKnownDistribution) {
+  LatencyHistogram hist;
+  // 90 fast observations (~8 us) and 10 slow ones (~4096 us).
+  for (int i = 0; i < 90; ++i) hist.Record(7.0);
+  for (int i = 0; i < 10; ++i) hist.Record(3000.0);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_LE(snap.P50Micros(), 8.0);
+  EXPECT_GT(snap.P95Micros(), 1000.0);
+  EXPECT_GT(snap.P99Micros(), 1000.0);
+  EXPECT_NEAR(snap.MeanMicros(), 0.9 * 7 + 0.1 * 3000, 2.0);
+}
+
+TEST(LatencyHistogramTest, EmptyAndOverflow) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Snapshot().P99Micros(), 0.0);
+  hist.Record(1e12);  // beyond the last bucket
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+  EXPECT_GT(hist.Snapshot().P50Micros(), 1e8);
+}
+
+TEST(MetricsRegistryTest, CountersAndGaugesAreStable) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("requests");
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(registry.counter("requests").value(), 5u);
+  Gauge& g = registry.gauge("in_flight");
+  g.Increment();
+  g.Decrement();
+  EXPECT_EQ(g.value(), 0);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("requests"), 5u);
+  EXPECT_NE(snap.ToText().find("requests 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tabula
