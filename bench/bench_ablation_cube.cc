@@ -25,7 +25,7 @@ int main() {
   gen.seed = config.seed;
   auto table = TaxiGenerator(gen).Generate();
   auto attrs = Attributes(5);
-  auto loss = MakeHistogramLoss("fare_amount");
+  auto loss = MakeLossFunction("histogram_loss", {.columns = {"fare_amount"}}).value();
   const double theta = 0.25;  // $0.25: enough iceberg cells to matter
 
   std::printf("Cube-initialization ablations (rows=%zu, histogram loss, "

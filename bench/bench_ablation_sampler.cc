@@ -28,7 +28,7 @@ const Table& BenchTable() {
 
 void BM_GreedyHeatmap_LazyForward(benchmark::State& state) {
   const Table& table = BenchTable();
-  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  auto loss = MakeLossFunction("heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}).value();
   GreedySamplerOptions opts;
   opts.lazy_forward = state.range(0) != 0;
   opts.max_candidates = 1024;
@@ -55,7 +55,7 @@ BENCHMARK(BM_GreedyHeatmap_LazyForward)
 
 void BM_GreedyHeatmap_CandidateCap(benchmark::State& state) {
   const Table& table = BenchTable();
-  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  auto loss = MakeLossFunction("heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}).value();
   GreedySamplerOptions opts;
   opts.max_candidates = static_cast<size_t>(state.range(0));
   GreedySampler sampler(loss.get(), 0.5 * kNormalizedUnitsPerKm, opts);
@@ -77,7 +77,7 @@ BENCHMARK(BM_GreedyHeatmap_CandidateCap)
 
 void BM_GreedyHistogram1D(benchmark::State& state) {
   const Table& table = BenchTable();
-  auto loss = MakeHistogramLoss("fare_amount");
+  auto loss = MakeLossFunction("histogram_loss", {.columns = {"fare_amount"}}).value();
   GreedySampler sampler(loss.get(), 0.5);
   DatasetView raw(&table);
   for (auto _ : state) {

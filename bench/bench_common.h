@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "data/taxi_gen.h"
 #include "data/workload.h"
+#include "loss/loss_registry.h"
 #include "loss/mean_loss.h"
 #include "loss/min_dist_loss.h"
 #include "loss/regression_loss.h"

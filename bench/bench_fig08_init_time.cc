@@ -71,7 +71,7 @@ int main() {
 
   // (a) geospatial heat-map-aware loss.
   {
-    auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+    auto loss = MakeLossFunction("heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}).value();
     std::vector<double> thetas;
     std::vector<std::string> labels;
     for (double km : HeatmapThresholdsKm()) {
@@ -96,7 +96,7 @@ int main() {
   }
   // (d) histogram loss, θ = $0.5, 4..7 attributes.
   {
-    auto loss = MakeHistogramLoss("fare_amount");
+    auto loss = MakeLossFunction("histogram_loss", {.columns = {"fare_amount"}}).value();
     for (size_t attrs = 4; attrs <= 7; ++attrs) {
       RunSweep(table, "d", *loss, {0.5}, {"$0.5/" + std::to_string(attrs)},
                attrs);

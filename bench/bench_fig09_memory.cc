@@ -79,7 +79,7 @@ int main() {
               table.num_rows(), HumanBytes(table.MemoryBytes()).c_str());
 
   {
-    auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+    auto loss = MakeLossFunction("heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}).value();
     std::vector<double> thetas;
     std::vector<std::string> labels;
     for (double km : HeatmapThresholdsKm()) {
@@ -99,7 +99,7 @@ int main() {
              {"1deg", "2deg", "4deg", "8deg"}, 5);
   }
   {
-    auto loss = MakeHistogramLoss("fare_amount");
+    auto loss = MakeLossFunction("histogram_loss", {.columns = {"fare_amount"}}).value();
     for (size_t attrs = 4; attrs <= 7; ++attrs) {
       RunSweep(table, "d", *loss, {0.5}, {"$0.5/" + std::to_string(attrs)},
                attrs);

@@ -25,7 +25,7 @@ int main() {
   gen.seed = config.seed;
   auto table = TaxiGenerator(gen).Generate();
   auto attrs = Attributes(4);
-  auto loss = MakeHistogramLoss("fare_amount");
+  auto loss = MakeLossFunction("histogram_loss", {.columns = {"fare_amount"}}).value();
 
   std::printf("Figure 10 reproduction: cubing overhead on a small dataset\n");
   std::printf("rows=%zu (paper: 5GB NYCtaxi), histogram-aware loss, "

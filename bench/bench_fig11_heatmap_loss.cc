@@ -22,7 +22,7 @@ int main() {
   BenchConfig config = BenchConfig::FromEnv();
   const Table& table = TaxiTable(config);
   auto attrs = Attributes(5);
-  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  auto loss = MakeLossFunction("heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}).value();
 
   WorkloadOptions wopts;
   wopts.num_queries = config.queries;

@@ -21,7 +21,7 @@ int main() {
 
   BenchConfig config = BenchConfig::FromEnv();
   const Table& table = TaxiTable(config);
-  auto loss = MakeHistogramLoss("fare_amount");
+  auto loss = MakeLossFunction("histogram_loss", {.columns = {"fare_amount"}}).value();
   const double theta = 0.5;  // $0.5
 
   std::printf("Figure 12 reproduction: 4..7 attributes, histogram loss "

@@ -6,19 +6,25 @@
 /// serial Query() calls (what viz/dashboard.cc used to do) vs one
 /// BatchQuery() fan-out.
 ///
+///   --smoke        tiny fixed scale for CI (overrides the env knobs)
+///   --trace        adds a tracing-overhead section: the cache-on load
+///                  re-run with a kDisabled tracer and with a kAll
+///                  tracer, reporting the QPS delta vs no tracer at all
+///
 ///   TABULA_SCALE   table rows            (default 60000)
 ///   TABULA_CLIENTS client threads        (default 8)
 ///   TABULA_SERVE_QUERIES queries/thread  (default 4000)
 ///   TABULA_CELLS   distinct workload cells (default 120)
 
 #include <cmath>
+#include <cstring>
 #include <thread>
 
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/tabula.h"
-#include "loss/mean_loss.h"
+#include "obs/trace.h"
 #include "serve/query_server.h"
 
 namespace tabula {
@@ -56,7 +62,7 @@ LoadReport RunLoad(QueryServer* server,
       Rng rng(seed + t);
       for (size_t i = 0; i < queries_per_thread; ++i) {
         size_t pick = rng.Discrete(weights);
-        auto answer = server->Query(workload[pick].where);
+        auto answer = server->Query(QueryRequest(workload[pick].where));
         if (!answer.ok()) {
           std::fprintf(stderr, "query failed: %s\n",
                        answer.status().ToString().c_str());
@@ -87,23 +93,41 @@ LoadReport RunLoad(QueryServer* server,
 }  // namespace bench
 }  // namespace tabula
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
 
+  bool smoke = false;
+  bool trace_section = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace_section = true;
+  }
+
   BenchConfig config = BenchConfig::FromEnv();
-  const size_t clients =
-      static_cast<size_t>(EnvInt64("TABULA_CLIENTS", 8));
-  const size_t queries_per_thread =
+  size_t clients = static_cast<size_t>(EnvInt64("TABULA_CLIENTS", 8));
+  size_t queries_per_thread =
       static_cast<size_t>(EnvInt64("TABULA_SERVE_QUERIES", 4000));
-  const size_t num_cells = static_cast<size_t>(EnvInt64("TABULA_CELLS", 120));
+  size_t num_cells = static_cast<size_t>(EnvInt64("TABULA_CELLS", 120));
+  if (smoke) {
+    // CI-sized: seconds, not minutes, and still exercises every path.
+    config.rows = 20000;
+    clients = 4;
+    queries_per_thread = 250;
+    num_cells = 40;
+  }
 
   const Table& table = TaxiTable(config);
   auto attrs = Attributes(4);
-  MeanLoss loss("fare_amount");
+  auto loss = MakeLossFunction("mean_loss", {.columns = {"fare_amount"}});
+  if (!loss.ok()) {
+    std::fprintf(stderr, "loss failed: %s\n",
+                 loss.status().ToString().c_str());
+    return 1;
+  }
   TabulaOptions options;
   options.cubed_attributes = attrs;
-  options.loss = &loss;
+  options.owned_loss = std::move(loss).value();
   options.threshold = 0.05;
   std::fprintf(stderr, "[bench] initializing Tabula...\n");
   auto tabula = Tabula::Initialize(table, options);
@@ -129,6 +153,7 @@ int main() {
   PrintCsvHeader("cache,clients,queries,qps,p50_us,p95_us,p99_us,hit_rate");
 
   double qps_off = 0.0;
+  double qps_cache_on = 0.0;
   for (bool cache_on : {false, true}) {
     QueryServerOptions sopts;
     sopts.enable_cache = cache_on;
@@ -136,6 +161,7 @@ int main() {
     LoadReport report = RunLoad(&server, *workload, clients,
                                 queries_per_thread, config.seed);
     if (!cache_on) qps_off = report.qps;
+    if (cache_on) qps_cache_on = report.qps;
     std::printf("%-9s qps %10.0f   p50 %7.1f us   p95 %7.1f us   "
                 "p99 %7.1f us   hit rate %.1f%%\n",
                 cache_on ? "cache-on" : "cache-off", report.qps,
@@ -152,18 +178,83 @@ int main() {
     }
   }
 
+  if (trace_section) {
+    // Tracing overhead: the cache-on load, re-run with a tracer wired
+    // through both the middleware and the server. kDisabled should cost
+    // ~nothing (one relaxed atomic load per request); kAll records a
+    // span per request into the ring and should stay under ~5%.
+    PrintHeader("Tracing overhead (vs no tracer, cache-on load)");
+    PrintCsvHeader("trace_mode,qps,overhead_pct");
+    struct TraceCase {
+      const char* label;
+      bool attach;
+      TraceMode mode;
+    };
+    const TraceCase cases[] = {
+        {"none", false, TraceMode::kDisabled},
+        {"disabled", true, TraceMode::kDisabled},
+        {"on_demand", true, TraceMode::kOnDemand},  // no request opts in
+        {"all", true, TraceMode::kAll},
+    };
+    double qps_none = 0.0;
+    double qps_all = 0.0;
+    uint64_t spans_all = 0;
+    const int kTraceReps = smoke ? 1 : 3;
+    for (const auto& c : cases) {
+      // Best-of-N: scheduler jitter between back-to-back 0.3 s loads is
+      // a few percent — the max is the least-perturbed run.
+      double qps = 0.0;
+      uint64_t spans = 0;
+      for (int rep = 0; rep < kTraceReps; ++rep) {
+        Tracer tracer(TracerOptions{c.mode, 8192});
+        QueryServerOptions sopts;
+        sopts.enable_cache = true;
+        if (c.attach) sopts.tracer = &tracer;
+        QueryServer server(tabula.value().get(), sopts);
+        LoadReport report = RunLoad(&server, *workload, clients,
+                                    queries_per_thread, config.seed);
+        qps = std::max(qps, report.qps);
+        spans = c.attach ? tracer.recorder().total_recorded() : 0;
+      }
+      if (!c.attach) qps_none = qps;
+      if (c.mode == TraceMode::kAll) {
+        qps_all = qps;
+        spans_all = spans;
+      }
+      double overhead =
+          qps_none > 0.0 ? (qps_none - qps) / qps_none * 100.0 : 0.0;
+      std::printf("%-9s qps %10.0f   overhead %+5.1f%%   spans %llu\n",
+                  c.label, qps, overhead,
+                  static_cast<unsigned long long>(spans));
+      char row[128];
+      std::snprintf(row, sizeof(row), "%s,%.0f,%.1f", c.label, qps,
+                    overhead);
+      PrintCsvRow(row);
+    }
+    if (qps_none > 0.0 && qps_all > 0.0 && spans_all > 0) {
+      // Absolute per-span recording cost: the honest number behind the
+      // kAll percentage, which this cache-hit microbenchmark (~1 us per
+      // request) makes look worse than any real dashboard load would.
+      double ns_per_span = (1.0 / qps_all - 1.0 / qps_none) * 1e9;
+      std::printf("          kAll span cost: ~%.0f ns/span (amortized "
+                  "<5%% for requests over %.0f us)\n",
+                  ns_per_span, ns_per_span / 0.05 / 1000.0);
+    }
+    (void)qps_cache_on;
+  }
+
   // Heatmap pan: every visible tile is one cell query. Serial loop
   // (the pre-serve dashboard behaviour) vs one BatchQuery fan-out.
   PrintHeader("Heatmap pan: serial Query loop vs BatchQuery fan-out");
   const size_t kPanTiles = std::min<size_t>(32, workload->size());
-  std::vector<std::vector<PredicateTerm>> tiles;
+  std::vector<QueryRequest> tiles;
   for (size_t i = 0; i < kPanTiles; ++i) {
-    tiles.push_back((*workload)[i].where);
+    tiles.emplace_back((*workload)[i].where);
   }
   QueryServerOptions pan_opts;
   pan_opts.enable_cache = false;  // measure the fan-out, not the cache
   QueryServer pan_server(tabula.value().get(), pan_opts);
-  const int kReps = 50;
+  const int kReps = smoke ? 5 : 50;
 
   Stopwatch serial;
   for (int rep = 0; rep < kReps; ++rep) {

@@ -62,7 +62,7 @@ int main() {
   std::printf("rows=%zu, %zu queries, smallest thresholds per loss\n",
               table.num_rows(), workload->size());
 
-  auto heat_loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  auto heat_loss = MakeLossFunction("heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}).value();
   MeanLoss mean_loss("fare_amount");
   RegressionLoss reg_loss("fare_amount", "tip_amount");
   const double heat_theta = 0.25 * kNormalizedUnitsPerKm;

@@ -16,7 +16,7 @@
 #include "baselines/sample_first.h"
 #include "core/tabula.h"
 #include "data/taxi_gen.h"
-#include "loss/min_dist_loss.h"
+#include "loss/loss_registry.h"
 #include "viz/heatmap.h"
 
 using namespace tabula;
@@ -29,13 +29,16 @@ int main(int argc, char** argv) {
   gen.num_rows = 150000;
   auto table = TaxiGenerator(gen).Generate();
 
-  auto loss = MakeHeatmapLoss("pickup_x", "pickup_y");
+  auto loss_result = MakeLossFunction(
+      "heatmap_loss", {.columns = {"pickup_x", "pickup_y"}});
+  if (!loss_result.ok()) return 1;
+  std::shared_ptr<const LossFunction> loss = std::move(loss_result).value();
   const double theta = 0.25 * kNormalizedUnitsPerKm;  // 0.25 km
 
   std::printf("Initializing Tabula (heat-map loss, theta = 0.25 km)...\n");
   TabulaOptions options;
   options.cubed_attributes = {"payment_type", "rate_code"};
-  options.loss = loss.get();
+  options.owned_loss = loss;
   options.threshold = theta;
   auto tabula = Tabula::Initialize(*table, options);
   if (!tabula.ok()) {
@@ -64,13 +67,14 @@ int main(int argc, char** argv) {
     auto pred = BoundPredicate::Bind(*table, step.where);
     DatasetView truth(table.get(), pred->FilterAll());
 
-    auto tabula_answer = tabula.value()->Query(step.where);
+    auto tabula_answer = tabula.value()->Query(QueryRequest(step.where));
     auto samfirst_answer = sample_first.Execute(step.where);
     if (!tabula_answer.ok() || !samfirst_answer.ok()) return 1;
 
     Heatmap truth_map, tabula_map, samfirst_map;
     truth_map.Render(truth, "pickup_x", "pickup_y").ok();
-    tabula_map.Render(tabula_answer->sample, "pickup_x", "pickup_y").ok();
+    tabula_map.Render(tabula_answer->result.sample, "pickup_x", "pickup_y")
+        .ok();
     samfirst_map.Render(*samfirst_answer, "pickup_x", "pickup_y").ok();
 
     std::string base = out_dir + "/heatmap_" + step.label;
@@ -78,12 +82,12 @@ int main(int argc, char** argv) {
     tabula_map.WritePpm(base + "_tabula.ppm").ok();
     samfirst_map.WritePpm(base + "_samfirst.ppm").ok();
 
-    double tabula_loss = loss->Loss(truth, tabula_answer->sample).value();
+    double tabula_loss = loss->Loss(truth, tabula_answer->result.sample).value();
     double samfirst_loss = loss->Loss(truth, *samfirst_answer).value();
     std::printf("filter %-8s population=%7zu\n", step.label, truth.size());
     std::printf("  Tabula    %5zu tuples in %.3f ms, loss %.5f (bound %.5f)\n",
-                tabula_answer->sample.size(),
-                tabula_answer->data_system_millis, tabula_loss, theta);
+                tabula_answer->result.sample.size(),
+                tabula_answer->result.data_system_millis, tabula_loss, theta);
     std::printf("  SamFirst  %5zu tuples, loss %.5f (%.0fx worse)\n",
                 samfirst_answer->size(), samfirst_loss,
                 samfirst_loss / std::max(tabula_loss, 1e-9));

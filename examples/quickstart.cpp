@@ -12,7 +12,7 @@
 
 #include "core/tabula.h"
 #include "data/taxi_gen.h"
-#include "loss/mean_loss.h"
+#include "loss/loss_registry.h"
 
 using namespace tabula;
 
@@ -25,13 +25,22 @@ int main() {
   auto table = TaxiGenerator(gen).Generate();
 
   // 2. Choose an accuracy loss function and threshold. Here: the
-  //    relative error of AVG(fare_amount) must never exceed 5%.
-  MeanLoss loss("fare_amount");
+  //    relative error of AVG(fare_amount) must never exceed 5%. The
+  //    registry owns construction; owned_loss ties its lifetime to the
+  //    cube (no raw-pointer footgun).
+  auto loss_result =
+      MakeLossFunction("mean_loss", {.columns = {"fare_amount"}});
+  if (!loss_result.ok()) {
+    std::printf("loss setup failed: %s\n",
+                loss_result.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const LossFunction> loss = std::move(loss_result).value();
 
   TabulaOptions options;
   options.cubed_attributes = {"payment_type", "rate_code",
                               "passenger_count"};
-  options.loss = &loss;
+  options.owned_loss = loss;
   options.threshold = 0.05;
 
   // 3. Initialize the sampling cube (the SQL equivalent is
@@ -66,21 +75,22 @@ int main() {
         {"rate_code", CompareOp::kEq, Value("JFK")}}},
   };
   for (const auto& demo : demos) {
-    auto answer = tabula.value()->Query(demo.where);
+    auto answer = tabula.value()->Query(QueryRequest(demo.where));
     if (!answer.ok()) {
       std::printf("query failed: %s\n", answer.status().ToString().c_str());
       continue;
     }
+    const TabulaQueryResult& result = answer->result;
     // Verify the guarantee against the true query result.
     auto pred = BoundPredicate::Bind(*table, demo.where);
     DatasetView truth(table.get(), pred->FilterAll());
-    double actual = loss.Loss(truth, answer->sample).value();
+    double actual = loss->Loss(truth, result.sample).value();
     std::printf(
         "%-24s -> %5zu sample tuples from %s in %.3f ms, actual loss "
         "%.4f (<= 0.05 guaranteed)\n",
-        demo.label, answer->sample.size(),
-        answer->from_local_sample ? "local sample " : "global sample",
-        answer->data_system_millis, actual);
+        demo.label, result.sample.size(),
+        result.from_local_sample ? "local sample " : "global sample",
+        result.data_system_millis, actual);
   }
   return 0;
 }

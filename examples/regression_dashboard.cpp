@@ -15,7 +15,7 @@
 #include "common/stopwatch.h"
 #include "core/tabula.h"
 #include "data/taxi_gen.h"
-#include "loss/regression_loss.h"
+#include "loss/loss_registry.h"
 #include "viz/analysis.h"
 
 using namespace tabula;
@@ -26,11 +26,13 @@ int main() {
   gen.num_rows = 250000;
   auto table = TaxiGenerator(gen).Generate();
 
-  RegressionLoss loss("fare_amount", "tip_amount");
+  auto loss_result = MakeLossFunction(
+      "regression_loss", {.columns = {"fare_amount", "tip_amount"}});
+  if (!loss_result.ok()) return 1;
   TabulaOptions options;
   options.cubed_attributes = {"payment_type", "vendor_name",
                               "pickup_weekday"};
-  options.loss = &loss;
+  options.owned_loss = std::move(loss_result).value();
   options.threshold = 2.0;  // degrees
 
   std::printf("Initializing Tabula (regression loss, theta = 2 deg)...\n");
@@ -59,10 +61,10 @@ int main() {
               "sample fit (angle)", "raw fit (angle)");
   for (const auto& panel : panels) {
     Stopwatch fast;
-    auto answer = tabula.value()->Query(panel.where);
+    auto answer = tabula.value()->Query(QueryRequest(panel.where));
     if (!answer.ok()) return 1;
     auto sample_line =
-        FitRegression(answer->sample, "fare_amount", "tip_amount");
+        FitRegression(answer->result.sample, "fare_amount", "tip_amount");
     double fast_ms = fast.ElapsedMillis();
 
     Stopwatch slow;

@@ -35,8 +35,9 @@ class TabulaApproach final : public Approach {
     if (tabula_ == nullptr) {
       return Status::Internal("TabulaApproach::Prepare() was not called");
     }
-    TABULA_ASSIGN_OR_RETURN(TabulaQueryResult answer, tabula_->Query(where));
-    return answer.sample;
+    TABULA_ASSIGN_OR_RETURN(QueryResponse response,
+                            tabula_->Query(QueryRequest(where)));
+    return response.result.sample;
   }
 
   uint64_t MemoryBytes() const override {

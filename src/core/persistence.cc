@@ -54,7 +54,7 @@ Status Tabula::Save(const std::string& path) const {
   w.WriteU32(kMagic);
   w.WriteU32(kVersion);
   w.WriteU64(TableFingerprint(*table_));
-  w.WriteString(options_.loss->name());
+  w.WriteString(loss_fn()->name());
   w.WriteDouble(options_.threshold);
   w.WriteU64(options_.cubed_attributes.size());
   for (const auto& attr : options_.cubed_attributes) w.WriteString(attr);
@@ -88,7 +88,8 @@ Status Tabula::Save(const std::string& path) const {
 Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
                                              TabulaOptions options,
                                              const std::string& path) {
-  if (options.loss == nullptr) {
+  const LossFunction* loss = options.effective_loss();
+  if (loss == nullptr) {
     return Status::InvalidArgument("TabulaOptions.loss must be set");
   }
   Stopwatch timer;
@@ -112,10 +113,10 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
         "re-run Initialize()");
   }
   TABULA_ASSIGN_OR_RETURN(std::string loss_name, r.ReadString());
-  if (loss_name != options.loss->name()) {
+  if (loss_name != loss->name()) {
     return Status::InvalidArgument("cube was built with loss '" + loss_name +
-                                   "', options specify '" +
-                                   options.loss->name() + "'");
+                                   "', options specify '" + loss->name() +
+                                   "'");
   }
   TABULA_ASSIGN_OR_RETURN(double threshold, r.ReadDouble());
   if (threshold != options.threshold) {

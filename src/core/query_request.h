@@ -1,0 +1,59 @@
+#ifndef TABULA_CORE_QUERY_REQUEST_H_
+#define TABULA_CORE_QUERY_REQUEST_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/predicate.h"
+
+namespace tabula {
+
+/// How a request may trade freshness for speed at the serving layer.
+enum class ConsistencyHint {
+  /// A cached answer (fenced on the cube generation, so never stale
+  /// relative to the last Refresh) is acceptable — the default.
+  kCacheOk,
+  /// Bypass the result cache and probe the cube; the answer is still
+  /// cached for later kCacheOk requests.
+  kBypassCache,
+};
+
+/// \brief The one dashboard-query contract across the stack.
+///
+/// `Tabula::Query`, `QueryServer::Query`, and `QueryServer::BatchQuery`
+/// all consume this struct; the legacy bare-predicate-vector overloads
+/// survive only as thin wrappers around it. A request is one cell
+/// lookup: equality predicates on cubed attributes, plus the serving
+/// knobs that used to be scattered across three signatures.
+struct QueryRequest {
+  /// Equality predicates on cubed attributes; attributes not mentioned
+  /// roll up to '*'.
+  std::vector<PredicateTerm> where;
+
+  /// Per-request deadline in milliseconds. < 0 → the server default;
+  /// 0 → none. A request that cannot run before the deadline degrades
+  /// to the global sample instead of queueing further. Ignored by
+  /// Tabula::Query (no queue below the serving layer).
+  double deadline_ms = -1.0;
+
+  /// Opt this request into tracing when the attached Tracer runs in
+  /// kOnDemand mode (kAll traces regardless; kDisabled never traces).
+  bool trace = false;
+
+  ConsistencyHint consistency = ConsistencyHint::kCacheOk;
+
+  /// Span to parent this request's spans under (0 → root). Set by
+  /// callers that already hold a span — e.g. QueryServer linking the
+  /// per-item spans of a BatchQuery to the batch span across the
+  /// ThreadPool hop.
+  uint64_t parent_span = 0;
+
+  QueryRequest() = default;
+  explicit QueryRequest(std::vector<PredicateTerm> terms)
+      : where(std::move(terms)) {}
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_CORE_QUERY_REQUEST_H_

@@ -19,7 +19,7 @@ namespace tabula {
 Status Tabula::BuildMaintenanceState() {
   if (maintenance_bound_ == nullptr) {
     TABULA_ASSIGN_OR_RETURN(maintenance_bound_,
-                            options_.loss->Bind(*table_, global_sample_));
+                            loss_fn()->Bind(*table_, global_sample_));
   }
   finest_states_.clear();
   DatasetView all(table_);
@@ -36,6 +36,27 @@ Status Tabula::Refresh(RefreshStats* stats) {
   RefreshStats* out = stats != nullptr ? stats : &local;
   *out = RefreshStats{};
 
+  // One span per Refresh(); inert (no cost beyond one branch) without
+  // an enabled tracer. Ended via `finish` on every exit path so the
+  // span-derived duration and RefreshStats::millis agree when traced.
+  Span span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->StartSpan("tabula.refresh");
+  }
+  auto finish = [&]() {
+    if (span.recording()) {
+      span.SetAttribute("new_rows", out->new_rows);
+      span.SetAttribute("new_iceberg_cells", out->new_iceberg_cells);
+      span.SetAttribute("dropped_iceberg_cells", out->dropped_iceberg_cells);
+      span.SetAttribute("rechecked_cells", out->rechecked_cells);
+      span.SetAttribute("resampled_cells", out->resampled_cells);
+      span.SetAttribute("full_rebuild", out->full_rebuild);
+      out->millis = span.End();
+    } else {
+      out->millis = timer.ElapsedMillis();
+    }
+  };
+
   const size_t n0 = refreshed_rows_;
   const size_t n1 = table_->num_rows();
   if (n1 < n0) {
@@ -44,7 +65,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
   }
   out->new_rows = n1 - n0;
   if (out->new_rows == 0) {
-    out->millis = timer.ElapsedMillis();
+    finish();
     return Status::OK();
   }
 
@@ -76,7 +97,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
     next_listener_id_ = next_id;
     generation_ = generation + 1;
     out->full_rebuild = true;
-    out->millis = timer.ElapsedMillis();
+    finish();
     NotifyRefreshListeners();
     return Status::OK();
   }
@@ -88,7 +109,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
     // Accumulate only rows [0, n0): the new rows join right below.
     if (maintenance_bound_ == nullptr) {
       TABULA_ASSIGN_OR_RETURN(maintenance_bound_,
-                              options_.loss->Bind(*table_, global_sample_));
+                              loss_fn()->Bind(*table_, global_sample_));
     }
     std::vector<RowId> old_rows(n0);
     for (size_t i = 0; i < n0; ++i) old_rows[i] = static_cast<RowId>(i);
@@ -179,7 +200,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
     // 4. Verify / (re)sample.
     GreedySamplerOptions sampler_opts = options_.sampler;
     sampler_opts.seed = options_.seed;
-    GreedySampler sampler(options_.loss, options_.threshold, sampler_opts);
+    GreedySampler sampler(loss_fn(), options_.threshold, sampler_opts);
     for (auto& [key, rows] : cell_rows) {
       const CellWork& work = needs_rows.at(key);
       DatasetView raw(table_, rows);
@@ -196,7 +217,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
         TABULA_CHECK(cell != nullptr);
         ++out->rechecked_cells;
         DatasetView rep(table_, samples_.sample(cell->sample_id));
-        TABULA_ASSIGN_OR_RETURN(double loss, options_.loss->Loss(raw, rep));
+        TABULA_ASSIGN_OR_RETURN(double loss, loss_fn()->Loss(raw, rep));
         if (loss > options_.threshold) {
           TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
                                   sampler.Sample(raw));
@@ -216,7 +237,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
   stats_.sample_table_bytes = samples_.MemoryBytes(tuple_bytes);
   stats_.iceberg_cells = cube_.size();
   ++generation_;
-  out->millis = timer.ElapsedMillis();
+  finish();
   NotifyRefreshListeners();
   return Status::OK();
 }

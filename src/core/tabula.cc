@@ -12,7 +12,8 @@ namespace tabula {
 
 Result<std::unique_ptr<Tabula>> Tabula::Initialize(const Table& table,
                                                    TabulaOptions options) {
-  if (options.loss == nullptr) {
+  const LossFunction* loss = options.effective_loss();
+  if (loss == nullptr) {
     return Status::InvalidArgument("TabulaOptions.loss must be set");
   }
   if (options.cubed_attributes.empty()) {
@@ -21,18 +22,31 @@ Result<std::unique_ptr<Tabula>> Tabula::Initialize(const Table& table,
   if (options.threshold <= 0.0) {
     return Status::InvalidArgument("accuracy loss threshold must be > 0");
   }
-  for (const auto& col : options.loss->InputColumns()) {
+  for (const auto& col : loss->InputColumns()) {
     if (!table.schema().HasField(col)) {
       return Status::NotFound("loss function input column '" + col +
                               "' not in table");
     }
   }
 
-  Stopwatch total;
   auto tabula = std::unique_ptr<Tabula>(new Tabula());
   tabula->table_ = &table;
   tabula->options_ = std::move(options);
   const TabulaOptions& opts = tabula->options_;
+
+  // Stage timings below come from spans, never from ad-hoc stopwatches.
+  // When the caller's tracer cannot record (absent or kDisabled), a
+  // local always-on tracer stands in, so init_stats() and init_trace()
+  // are populated either way. Init runs once; the span cost is noise.
+  Tracer local_tracer(TracerOptions{TraceMode::kAll, /*capacity=*/64});
+  Tracer* tracer = opts.tracer != nullptr && opts.tracer->enabled()
+                       ? opts.tracer
+                       : &local_tracer;
+  Span init_span = tracer->StartSpan("tabula.init", 0, /*opt_in=*/true);
+  init_span.SetAttribute("table_rows", table.num_rows());
+  init_span.SetAttribute("cubed_attributes",
+                         opts.cubed_attributes.size());
+  init_span.SetAttribute("threshold", opts.threshold);
 
   TABULA_ASSIGN_OR_RETURN(
       tabula->encoder_, KeyEncoder::Make(table, opts.cubed_attributes));
@@ -41,57 +55,76 @@ Result<std::unique_ptr<Tabula>> Tabula::Initialize(const Table& table,
   TABULA_ASSIGN_OR_RETURN(tabula->packer_,
                           KeyPacker::Make(tabula->encoder_, all_cols));
 
-  // Global random sample, sized by Serfling's inequality.
-  size_t global_size =
-      SerflingSampleSize(opts.serfling_epsilon, opts.serfling_delta);
-  Rng rng(opts.seed);
-  DatasetView all(&table);
-  tabula->global_sample_rows_ = RandomSample(all, global_size, &rng);
-  tabula->global_sample_ = DatasetView(&table, tabula->global_sample_rows_);
-  tabula->stats_.global_sample_tuples = tabula->global_sample_.size();
+  // Stage 0: global random sample, sized by Serfling's inequality.
+  {
+    Span span = tracer->StartSpan("tabula.init.global_sample",
+                                  init_span.id());
+    size_t global_size =
+        SerflingSampleSize(opts.serfling_epsilon, opts.serfling_delta);
+    Rng rng(opts.seed);
+    DatasetView all(&table);
+    tabula->global_sample_rows_ = RandomSample(all, global_size, &rng);
+    tabula->global_sample_ = DatasetView(&table, tabula->global_sample_rows_);
+    tabula->stats_.global_sample_tuples = tabula->global_sample_.size();
+    span.SetAttribute("tuples", tabula->stats_.global_sample_tuples);
+    tabula->stats_.global_sample_millis = span.End();
+  }
 
   Lattice lattice(opts.cubed_attributes.size());
 
   // Stage 1: dry run — iceberg cell lookup via algebraic roll-up.
+  Span dry_span = tracer->StartSpan("tabula.init.dry_run", init_span.id());
   TABULA_ASSIGN_OR_RETURN(
       DryRunResult dry,
-      RunDryRun(table, tabula->encoder_, tabula->packer_, lattice, *opts.loss,
+      RunDryRun(table, tabula->encoder_, tabula->packer_, lattice, *loss,
                 tabula->global_sample_, opts.threshold));
-  tabula->stats_.dry_run_millis = dry.millis;
   tabula->stats_.total_cells = dry.total_cells;
   tabula->stats_.iceberg_cells = dry.total_iceberg_cells;
   tabula->stats_.iceberg_cuboids = dry.iceberg_cuboids;
+  dry_span.SetAttribute("rows_scanned", table.num_rows());
+  dry_span.SetAttribute("total_cells", dry.total_cells);
+  dry_span.SetAttribute("iceberg_cells", dry.total_iceberg_cells);
+  dry_span.SetAttribute("iceberg_cuboids", dry.iceberg_cuboids);
+  tabula->stats_.dry_run_millis = dry_span.End();
 
   // Stage 2: real run — local samples for iceberg cells only.
+  Span real_span = tracer->StartSpan("tabula.init.real_run", init_span.id());
   GreedySamplerOptions sampler_opts = opts.sampler;
   sampler_opts.seed = opts.seed;
   TABULA_ASSIGN_OR_RETURN(
       RealRunResult real,
       RunRealRun(table, tabula->encoder_, tabula->packer_, lattice, dry,
-                 *opts.loss, opts.threshold, sampler_opts,
+                 *loss, opts.threshold, sampler_opts,
                  opts.path_policy));
-  tabula->stats_.real_run_millis = real.millis;
   tabula->stats_.real_run_cuboids = std::move(real.per_cuboid);
   tabula->cube_ = std::move(real.cube);
+  real_span.SetAttribute("iceberg_cells", tabula->cube_.size());
+  real_span.SetAttribute("cuboids_visited",
+                         tabula->stats_.real_run_cuboids.size());
+  tabula->stats_.real_run_millis = real_span.End();
 
   // Stage 3: representative sample selection (or persist-all for
   // Tabula*).
+  Span sel_span = tracer->StartSpan("tabula.init.selection", init_span.id());
   if (opts.enable_sample_selection) {
     TABULA_ASSIGN_OR_RETURN(
         SelectionResult sel,
-        SelectRepresentativeSamples(table, *opts.loss, opts.threshold,
+        SelectRepresentativeSamples(table, *loss, opts.threshold,
                                     opts.selection, &tabula->cube_,
                                     &tabula->samples_));
-    tabula->stats_.selection_millis = sel.millis;
     tabula->stats_.representative_samples = sel.representatives;
     tabula->stats_.cells_sharing_samples = sel.cells_sharing;
   } else {
     TABULA_ASSIGN_OR_RETURN(SelectionResult sel,
                             PersistAllSamples(&tabula->cube_,
                                               &tabula->samples_));
-    tabula->stats_.selection_millis = sel.millis;
     tabula->stats_.representative_samples = sel.representatives;
   }
+  sel_span.SetAttribute("representatives",
+                        tabula->stats_.representative_samples);
+  sel_span.SetAttribute("cells_sharing",
+                        tabula->stats_.cells_sharing_samples);
+  tabula->stats_.selection_millis = sel_span.End();
 
   tabula->refreshed_rows_ = table.num_rows();
   if (opts.keep_maintenance_state) {
@@ -104,7 +137,10 @@ Result<std::unique_ptr<Tabula>> Tabula::Initialize(const Table& table,
   tabula->stats_.cube_table_bytes = tabula->cube_.MemoryBytes();
   tabula->stats_.sample_table_bytes =
       tabula->samples_.MemoryBytes(tuple_bytes);
-  tabula->stats_.total_millis = total.ElapsedMillis();
+  init_span.SetAttribute("iceberg_cells", tabula->stats_.iceberg_cells);
+  uint64_t root_id = init_span.id();
+  tabula->stats_.total_millis = init_span.End();
+  tabula->init_trace_ = SpanSubtree(tracer->Snapshot(), root_id);
   return tabula;
 }
 
@@ -135,11 +171,45 @@ uint64_t Tabula::BytesPerTuple() const {
 
 Result<TabulaQueryResult> Tabula::Query(
     const std::vector<PredicateTerm>& where) const {
+  QueryRequest request(where);
+  TABULA_ASSIGN_OR_RETURN(QueryResponse response, Query(request));
+  return std::move(response.result);
+}
+
+Result<QueryResponse> Tabula::Query(const QueryRequest& request) const {
+  // Tracing guard: when no tracer is attached (or it is disabled and
+  // the request did not opt in) `span` is inert — no allocation, no
+  // clock read beyond the Stopwatch the result always carried.
+  Span span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->StartSpan("tabula.query", request.parent_span,
+                                      request.trace);
+  }
   Stopwatch timer;
-  TabulaQueryResult result;
+  QueryResponse response;
+  response.span_id = span.id();
+  TabulaQueryResult& result = response.result;
+  const std::vector<PredicateTerm>& where = request.where;
+
+  auto finish = [&]() {
+    if (span.recording()) {
+      span.SetAttribute("terms", where.size());
+      span.SetAttribute("from_local_sample", result.from_local_sample);
+      span.SetAttribute("empty_cell", result.empty_cell);
+      span.SetAttribute("sample_rows", result.sample.size());
+      // The span duration IS the reported latency, so trace and stats
+      // cannot disagree.
+      result.data_system_millis = span.End();
+    } else {
+      result.data_system_millis = timer.ElapsedMillis();
+    }
+  };
 
   const auto& names = encoder_.column_names();
   std::vector<uint32_t> codes(names.size(), kNullCode);
+  // Invalid-request returns below leave `span` to end at scope exit;
+  // the recorded span then has no result attributes, which is the
+  // trace-side marker for a rejected query.
   for (const auto& term : where) {
     if (term.op != CompareOp::kEq) {
       return Status::InvalidArgument(
@@ -164,8 +234,8 @@ Result<TabulaQueryResult> Tabula::Query(
       // empty, so an empty sample is the exact answer (loss 0).
       result.empty_cell = true;
       result.sample = DatasetView(table_, {});
-      result.data_system_millis = timer.ElapsedMillis();
-      return result;
+      finish();
+      return response;
     }
     codes[k] = code.value();
   }
@@ -180,8 +250,8 @@ Result<TabulaQueryResult> Tabula::Query(
     // θ of this cell's raw data.
     result.sample = DatasetView(table_, global_sample_rows_);
   }
-  result.data_system_millis = timer.ElapsedMillis();
-  return result;
+  finish();
+  return response;
 }
 
 }  // namespace tabula

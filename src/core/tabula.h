@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_request.h"
 #include "cube/cube_table.h"
 #include "cube/dry_run.h"
 #include "cube/real_run.h"
 #include "loss/loss_function.h"
+#include "obs/trace.h"
 #include "sampling/greedy_sampler.h"
 #include "selection/rep_selection.h"
 #include "storage/predicate.h"
@@ -23,8 +25,18 @@ namespace tabula {
 struct TabulaOptions {
   /// Cubed attributes — the columns future WHERE clauses may filter on.
   std::vector<std::string> cubed_attributes;
-  /// User-defined accuracy loss function (not owned; must outlive Tabula).
+  /// User-defined accuracy loss function (not owned; must outlive
+  /// Tabula). Prefer `owned_loss`, which removes the lifetime footgun.
   const LossFunction* loss = nullptr;
+  /// Owning variant of `loss` (e.g. from MakeLossFunction in
+  /// loss/loss_registry.h). When both are set, `loss` wins — it is the
+  /// explicit override. Shared so copies of the options (and the cube
+  /// rebuilt by Refresh) keep the loss alive.
+  std::shared_ptr<const LossFunction> owned_loss;
+  /// The loss Initialize()/Refresh() actually use.
+  const LossFunction* effective_loss() const {
+    return loss != nullptr ? loss : owned_loss.get();
+  }
   /// Accuracy loss threshold θ: the deterministic bound every returned
   /// sample satisfies.
   double threshold = 0.1;
@@ -45,12 +57,21 @@ struct TabulaOptions {
   /// full-table accumulation pass. Costs one extra scan at init plus
   /// O(#finest cells) memory.
   bool keep_maintenance_state = false;
+  /// Tracing sink (not owned; may be null). Initialize(), Query() and
+  /// Refresh() emit spans into it; a null or kDisabled tracer costs one
+  /// branch per call. Initialize() always produces spans — when this is
+  /// unusable it records them into a private per-instance tracer so
+  /// init_stats() stage timings are span-derived either way.
+  Tracer* tracer = nullptr;
   uint64_t seed = 42;
 };
 
 /// Timing/size breakdown of Initialize(), matching the components the
-/// paper plots (Figures 8–10).
+/// paper plots (Figures 8–10). Stage timings are derived from the init
+/// spans (see Tabula::init_trace()), not hand-timed, so the trace and
+/// the stats cannot disagree.
 struct TabulaInitStats {
+  double global_sample_millis = 0.0;
   double dry_run_millis = 0.0;
   double real_run_millis = 0.0;
   double selection_millis = 0.0;
@@ -90,6 +111,15 @@ struct TabulaQueryResult {
   double data_system_millis = 0.0;
 };
 
+/// Answer to a QueryRequest: the query result plus the id of the span
+/// that timed it (0 when the request was not traced), so callers can
+/// parent their own spans under it or pull the span tree out of the
+/// tracer.
+struct QueryResponse {
+  TabulaQueryResult result;
+  uint64_t span_id = 0;
+};
+
 /// \brief The Tabula middleware (the paper's primary contribution).
 ///
 /// Sits between the SQL data system (`storage`/`exec`) and the
@@ -107,23 +137,36 @@ class Tabula {
   static Result<std::unique_ptr<Tabula>> Initialize(const Table& table,
                                                     TabulaOptions options);
 
-  /// Answers a dashboard query. Every term must be an equality predicate
-  /// on a cubed attribute (the paper's WHERE-clause contract); attributes
-  /// not mentioned roll up to '*'.
+  /// Answers a dashboard query — the canonical entry point. Every
+  /// `request.where` term must be an equality predicate on a cubed
+  /// attribute (the paper's WHERE-clause contract); attributes not
+  /// mentioned roll up to '*'. `request.deadline_ms` and
+  /// `request.consistency` are serving-layer knobs and are ignored
+  /// here; `request.trace`/`request.parent_span` drive the "tabula.query"
+  /// span emitted into the attached tracer.
   ///
   /// Thread-safety contract (const ⇒ safe for concurrent readers):
   /// Query() reads only state that is immutable after
   /// Initialize()/Load() — the key encoder/packer, cube table, sample
   /// table, and global-sample row list — through genuinely const paths
   /// with no hidden caches, so any number of threads may call it
-  /// concurrently. The mutating entry points (Refresh(), and replacing
-  /// the instance via Load()) are NOT safe against in-flight Query()
-  /// calls; callers must serialize them externally — QueryServer in
-  /// src/serve/ does so with a shared/exclusive lock.
+  /// concurrently (the Tracer is internally synchronized). The mutating
+  /// entry points (Refresh(), and replacing the instance via Load())
+  /// are NOT safe against in-flight Query() calls; callers must
+  /// serialize them externally — QueryServer in src/serve/ does so with
+  /// a shared/exclusive lock.
+  Result<QueryResponse> Query(const QueryRequest& request) const;
+
+  /// Deprecated bare-predicate overload; thin wrapper over
+  /// Query(QueryRequest). Prefer the QueryRequest form.
   Result<TabulaQueryResult> Query(
       const std::vector<PredicateTerm>& where) const;
 
   const TabulaInitStats& init_stats() const { return stats_; }
+  /// The spans of the last Initialize() (or full rebuild), root first:
+  /// tabula.init → {global_sample, dry_run, real_run, selection}.
+  /// init_stats() stage timings are these spans' durations.
+  const std::vector<SpanRecord>& init_trace() const { return init_trace_; }
   const TabulaOptions& options() const { return options_; }
   const Table& base_table() const { return *table_; }
   const CubeTable& cube_table() const { return cube_; }
@@ -197,8 +240,12 @@ class Tabula {
   /// incremental maintenance.
   Status BuildMaintenanceState();
 
+  /// The bound loss (options_.effective_loss(), cached at Initialize).
+  const LossFunction* loss_fn() const { return options_.effective_loss(); }
+
   const Table* table_ = nullptr;
   TabulaOptions options_;
+  std::vector<SpanRecord> init_trace_;
   KeyEncoder encoder_;
   KeyPacker packer_;
   std::vector<RowId> global_sample_rows_;

@@ -1,0 +1,121 @@
+#include "loss/loss_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/string_util.h"
+#include "loss/mean_loss.h"
+#include "loss/min_dist_loss.h"
+#include "loss/regression_loss.h"
+#include "loss/topk_loss.h"
+
+namespace tabula {
+
+namespace {
+
+/// Validates params.columns cardinality with a uniform message.
+Status NeedColumns(const std::string& name, const LossParams& params,
+                   size_t n) {
+  if (params.columns.size() != n) {
+    return Status::InvalidArgument(
+        "loss '" + name + "' expects " + std::to_string(n) +
+        " input column(s), got " + std::to_string(params.columns.size()));
+  }
+  return Status::OK();
+}
+
+/// The registry: lowercase name → factory. std::map keeps
+/// RegisteredLossNames() sorted for free. Guarded by RegistryMutex().
+std::map<std::string, LossFactory>& Registry() {
+  static auto* registry = new std::map<std::string, LossFactory>{
+      {"mean_loss",
+       [](const LossParams& p) -> Result<std::unique_ptr<LossFunction>> {
+         TABULA_RETURN_NOT_OK(NeedColumns("mean_loss", p, 1));
+         return std::unique_ptr<LossFunction>(
+             std::make_unique<MeanLoss>(p.columns[0]));
+       }},
+      {"heatmap_loss",
+       [](const LossParams& p) -> Result<std::unique_ptr<LossFunction>> {
+         TABULA_RETURN_NOT_OK(NeedColumns("heatmap_loss", p, 2));
+         return MakeHeatmapLoss(p.columns[0], p.columns[1], p.metric);
+       }},
+      {"histogram_loss",
+       [](const LossParams& p) -> Result<std::unique_ptr<LossFunction>> {
+         TABULA_RETURN_NOT_OK(NeedColumns("histogram_loss", p, 1));
+         return std::unique_ptr<LossFunction>(std::make_unique<MinDistLoss>(
+             "histogram_loss", p.columns, p.metric));
+       }},
+      {"regression_loss",
+       [](const LossParams& p) -> Result<std::unique_ptr<LossFunction>> {
+         TABULA_RETURN_NOT_OK(NeedColumns("regression_loss", p, 2));
+         return std::unique_ptr<LossFunction>(
+             std::make_unique<RegressionLoss>(p.columns[0], p.columns[1]));
+       }},
+      {"topk_loss",
+       [](const LossParams& p) -> Result<std::unique_ptr<LossFunction>> {
+         TABULA_RETURN_NOT_OK(NeedColumns("topk_loss", p, 1));
+         return std::unique_ptr<LossFunction>(
+             std::make_unique<TopKLoss>(p.columns[0], p.k));
+       }},
+  };
+  return *registry;
+}
+
+std::mutex& RegistryMutex() {
+  static auto* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LossFunction>> MakeLossFunction(
+    const std::string& name, const LossParams& params) {
+  LossFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(ToLower(name));
+    if (it != Registry().end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const auto& n : RegisteredLossNames()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::InvalidArgument("unknown loss function '" + name +
+                                   "' (registered: " + known + ")");
+  }
+  return factory(params);
+}
+
+bool IsRegisteredLossName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  return Registry().count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> RegisteredLossNames() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, factory] : Registry()) names.push_back(name);
+  return names;
+}
+
+Status RegisterLossFactory(const std::string& name, LossFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("loss name must be non-empty");
+  }
+  if (!factory) {
+    return Status::InvalidArgument("loss factory must be callable");
+  }
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().emplace(ToLower(name), std::move(factory));
+  if (!inserted) {
+    return Status::AlreadyExists("loss '" + name + "' is already registered");
+  }
+  return Status::OK();
+}
+
+}  // namespace tabula

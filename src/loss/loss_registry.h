@@ -1,0 +1,67 @@
+#ifndef TABULA_LOSS_LOSS_REGISTRY_H_
+#define TABULA_LOSS_LOSS_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "loss/loss_function.h"
+#include "loss/spatial.h"
+
+namespace tabula {
+
+/// Construction parameters of a registered loss. One flat struct covers
+/// every built-in; factories read only the fields they need.
+struct LossParams {
+  /// Input column(s) of the loss, in the loss's own order (e.g. the
+  /// heatmap loss takes {x_column, y_column}).
+  std::vector<std::string> columns;
+  /// Top-k cutoff (topk_loss only).
+  uint32_t k = 10;
+  /// Distance metric (heatmap_loss / histogram_loss only).
+  DistanceMetric metric = DistanceMetric::kEuclidean;
+};
+
+/// Factory signature for RegisterLossFactory.
+using LossFactory =
+    std::function<Result<std::unique_ptr<LossFunction>>(const LossParams&)>;
+
+/// \brief Central loss-function registry.
+///
+/// One name → instance mapping for the whole stack: benches, examples,
+/// the SQL engine's SAMPLING path, and user code all construct losses
+/// through MakeLossFunction instead of scattering constructor calls.
+/// Built-ins (registered on first use):
+///
+///   name             columns                      extra params
+///   mean_loss        {target}                     —
+///   heatmap_loss     {x, y}                       metric
+///   histogram_loss   {column}                     metric
+///   regression_loss  {x, y}                       —
+///   topk_loss        {target}                     k
+///
+/// Unknown names fail with kInvalidArgument naming the known set.
+/// Pair the result with TabulaOptions::owned_loss to avoid the
+/// raw-pointer lifetime footgun.
+Result<std::unique_ptr<LossFunction>> MakeLossFunction(
+    const std::string& name, const LossParams& params);
+
+/// True when `name` (case-insensitive) resolves in the registry —
+/// built-in or registered via RegisterLossFactory. Lets layered name
+/// resolvers (e.g. the SQL engine, which also knows CREATE AGGREGATE
+/// losses) decide whether to consult the registry without triggering
+/// its kInvalidArgument.
+bool IsRegisteredLossName(const std::string& name);
+
+/// Registered names, sorted — the set quoted by error messages.
+std::vector<std::string> RegisteredLossNames();
+
+/// Extends the registry (e.g. a custom loss in user code or a test).
+/// Fails with kAlreadyExists when the (case-insensitive) name is taken.
+Status RegisterLossFactory(const std::string& name, LossFactory factory);
+
+}  // namespace tabula
+
+#endif  // TABULA_LOSS_LOSS_REGISTRY_H_

@@ -1,0 +1,193 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+namespace tabula {
+
+namespace {
+
+std::string AttrToString(const AttrValue& value) {
+  char buf[64];
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(*i));
+    return buf;
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    std::snprintf(buf, sizeof(buf), "%.4g", *d);
+    return buf;
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    return *b ? "true" : "false";
+  }
+  return std::get<std::string>(value);
+}
+
+/// 16-hex-digit (spanId) or 32-hex-digit (traceId) lowercase encoding.
+std::string HexId(uint64_t id, size_t hex_digits) {
+  std::string out(hex_digits, '0');
+  static const char* kHex = "0123456789abcdef";
+  for (size_t i = 0; i < hex_digits && id != 0; ++i) {
+    out[hex_digits - 1 - i] = kHex[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+/// Root-most ancestor present in `parent_of` (spans whose parent was
+/// evicted from the ring count as their own root).
+uint64_t RootOf(uint64_t id,
+                const std::unordered_map<uint64_t, uint64_t>& parent_of) {
+  uint64_t cur = id;
+  // Bounded walk guards against (impossible in practice) parent cycles.
+  for (size_t hops = 0; hops < parent_of.size() + 1; ++hops) {
+    auto it = parent_of.find(cur);
+    if (it == parent_of.end() || it->second == 0) return cur;
+    if (parent_of.find(it->second) == parent_of.end()) return cur;
+    cur = it->second;
+  }
+  return cur;
+}
+
+void RenderSubtree(
+    const std::vector<SpanRecord>& spans, size_t index,
+    const std::unordered_map<uint64_t, std::vector<size_t>>& children,
+    size_t depth, std::string* out) {
+  const SpanRecord& span = spans[index];
+  out->append(depth * 2, ' ');
+  char line[128];
+  std::snprintf(line, sizeof(line), "%-*s %9.3f ms",
+                static_cast<int>(36 > depth * 2 ? 36 - depth * 2 : 1),
+                span.name.c_str(), span.DurationMillis());
+  out->append(line);
+  for (const auto& attr : span.attributes) {
+    out->append("  ");
+    out->append(attr.key);
+    out->append("=");
+    out->append(AttrToString(attr.value));
+  }
+  out->append("\n");
+  auto it = children.find(span.span_id);
+  if (it == children.end()) return;
+  for (size_t child : it->second) {
+    RenderSubtree(spans, child, children, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans) {
+  std::unordered_map<uint64_t, size_t> index_of;
+  index_of.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    index_of.emplace(spans[i].span_id, i);
+  }
+  std::unordered_map<uint64_t, std::vector<size_t>> children;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    uint64_t parent = spans[i].parent_id;
+    if (parent != 0 && index_of.count(parent) > 0) {
+      children[parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out;
+  for (size_t root : roots) {
+    RenderSubtree(spans, root, children, 0, &out);
+  }
+  return out;
+}
+
+std::string ToOtlpJson(const std::vector<SpanRecord>& spans,
+                       const std::string& service_name) {
+  std::unordered_map<uint64_t, uint64_t> parent_of;
+  parent_of.reserve(spans.size());
+  for (const auto& span : spans) {
+    parent_of.emplace(span.span_id, span.parent_id);
+  }
+
+  std::string out;
+  out += "{\"resourceSpans\":[{";
+  out += "\"resource\":{\"attributes\":[{\"key\":\"service.name\",";
+  out += "\"value\":{\"stringValue\":\"" + JsonEscape(service_name) +
+         "\"}}]},";
+  out += "\"scopeSpans\":[{\"scope\":{\"name\":\"tabula.obs\"},\"spans\":[";
+  char buf[64];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) out += ",";
+    out += "{\"traceId\":\"" + HexId(RootOf(span.span_id, parent_of), 32) +
+           "\",";
+    out += "\"spanId\":\"" + HexId(span.span_id, 16) + "\",";
+    if (span.parent_id != 0) {
+      out += "\"parentSpanId\":\"" + HexId(span.parent_id, 16) + "\",";
+    }
+    out += "\"name\":\"" + JsonEscape(span.name) + "\",";
+    std::snprintf(buf, sizeof(buf), "\"startTimeUnixNano\":\"%llu\",",
+                  static_cast<unsigned long long>(span.start_unix_nanos));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"endTimeUnixNano\":\"%llu\",",
+                  static_cast<unsigned long long>(span.end_unix_nanos));
+    out += buf;
+    out += "\"attributes\":[";
+    for (size_t a = 0; a < span.attributes.size(); ++a) {
+      const SpanAttr& attr = span.attributes[a];
+      if (a > 0) out += ",";
+      out += "{\"key\":\"" + JsonEscape(attr.key) + "\",\"value\":{";
+      if (const auto* iv = std::get_if<int64_t>(&attr.value)) {
+        // OTLP JSON encodes 64-bit ints as strings.
+        std::snprintf(buf, sizeof(buf), "\"intValue\":\"%lld\"",
+                      static_cast<long long>(*iv));
+        out += buf;
+      } else if (const auto* dv = std::get_if<double>(&attr.value)) {
+        std::snprintf(buf, sizeof(buf), "\"doubleValue\":%.17g", *dv);
+        out += buf;
+      } else if (const auto* bv = std::get_if<bool>(&attr.value)) {
+        out += *bv ? "\"boolValue\":true" : "\"boolValue\":false";
+      } else {
+        out += "\"stringValue\":\"" +
+               JsonEscape(std::get<std::string>(attr.value)) + "\"";
+      }
+      out += "}}";
+    }
+    out += "]}";
+  }
+  out += "]}]}]}";
+  return out;
+}
+
+Status WriteOtlpJsonFile(const Tracer& tracer, const std::string& path,
+                         const std::string& service_name) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToOtlpJson(tracer.Snapshot(), service_name) << "\n";
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace tabula

@@ -1,0 +1,46 @@
+#ifndef TABULA_OBS_EXPORT_H_
+#define TABULA_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace tabula {
+
+/// \brief Span exporters: human-readable text and OTLP-flavoured JSON.
+///
+/// Both operate on a snapshot (Tracer::Snapshot()), so exporting never
+/// blocks recording beyond the ring buffer's own short lock.
+
+/// Renders the spans as an indented tree, one line per span:
+///
+///   serve.query                         0.812 ms  cache_hit=false
+///     tabula.query                      0.790 ms  from_local_sample=true
+///
+/// Roots (and orphans whose parent was evicted from the ring) start at
+/// column zero; children indent under their parent. Siblings keep
+/// recording order.
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans);
+
+/// OTLP/JSON-flavoured export: the resourceSpans → scopeSpans → spans
+/// shape of the OpenTelemetry protocol JSON encoding, with traceId
+/// derived from each span's root ancestor so one request's spans share
+/// a trace. Timestamps are startTimeUnixNano/endTimeUnixNano strings;
+/// attributes use the typed {stringValue,intValue,doubleValue,boolValue}
+/// encoding. Good enough for OTLP-aware tooling that ingests JSON files
+/// (e.g. duckdb-otlp style pipelines); not a wire-protocol guarantee.
+std::string ToOtlpJson(const std::vector<SpanRecord>& spans,
+                       const std::string& service_name = "tabula");
+
+/// Writes ToOtlpJson(tracer.Snapshot()) to `path`.
+Status WriteOtlpJsonFile(const Tracer& tracer, const std::string& path,
+                         const std::string& service_name = "tabula");
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace tabula
+
+#endif  // TABULA_OBS_EXPORT_H_

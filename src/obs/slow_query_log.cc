@@ -1,0 +1,55 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tabula {
+
+SlowQueryLog::SlowQueryLog(double threshold_ms, size_t capacity)
+    : threshold_ms_(threshold_ms), capacity_(std::max<size_t>(capacity, 1)) {}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_ % capacity_] = std::move(entry);
+  }
+  ++next_;
+  ++logged_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<SlowQueryEntry> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logged_;
+}
+
+std::string SlowQueryLog::RenderText() const {
+  std::string out;
+  char line[256];
+  for (const auto& entry : Snapshot()) {
+    std::snprintf(line, sizeof(line),
+                  "slow query %8.3f ms (queue %6.3f ms)%s%s  where=%s\n",
+                  entry.total_millis, entry.queue_millis,
+                  entry.cache_hit ? "  [cache hit]" : "",
+                  entry.degraded ? "  [degraded]" : "",
+                  entry.predicate_key.empty() ? "<all>"
+                                              : entry.predicate_key.c_str());
+    out += line;
+    if (!entry.span_tree.empty()) out += entry.span_tree;
+  }
+  return out;
+}
+
+}  // namespace tabula

@@ -1,0 +1,67 @@
+#ifndef TABULA_OBS_SLOW_QUERY_LOG_H_
+#define TABULA_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tabula {
+
+/// One slow request as captured by the serving layer.
+struct SlowQueryEntry {
+  /// The canonicalized predicate set (CanonicalPredicateKey), so
+  /// operators can replay the exact cell.
+  std::string predicate_key;
+  double total_millis = 0.0;
+  double queue_millis = 0.0;
+  bool cache_hit = false;
+  bool degraded = false;
+  /// Root span id of the request (0 when it was not traced).
+  uint64_t span_id = 0;
+  /// Rendered span tree of the request (empty when not traced) — the
+  /// per-stage breakdown that tells you WHERE the time went.
+  std::string span_tree;
+};
+
+/// \brief Threshold-gated ring buffer of slow requests.
+///
+/// The serving layer records every request whose end-to-end latency
+/// exceeded `threshold_ms`; the newest `capacity` entries are kept.
+/// Disabled (threshold <= 0) it costs one double comparison per
+/// request.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(double threshold_ms = 0.0, size_t capacity = 128);
+
+  bool enabled() const { return threshold_ms_ > 0.0; }
+  double threshold_ms() const { return threshold_ms_; }
+
+  /// True when a request of `total_millis` must be recorded.
+  bool ShouldLog(double total_millis) const {
+    return enabled() && total_millis >= threshold_ms_;
+  }
+
+  void Record(SlowQueryEntry entry);
+
+  /// Logged entries, oldest first.
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  /// Total entries ever logged (including since-evicted ones).
+  uint64_t total_logged() const;
+
+  /// Human-readable rendering, one block per entry.
+  std::string RenderText() const;
+
+ private:
+  const double threshold_ms_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;
+  size_t next_ = 0;
+  uint64_t logged_ = 0;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_OBS_SLOW_QUERY_LOG_H_

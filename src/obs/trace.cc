@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tabula {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const AttrValue* SpanRecord::FindAttribute(std::string_view key) const {
+  for (const auto& attr : attributes) {
+    if (attr.key == key) return &attr.value;
+  }
+  return nullptr;
+}
+
+// ---------- TraceRecorder ----------
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+void TraceRecorder::Record(SpanRecord&& rec) {
+  const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_) dropped_.fetch_add(1, std::memory_order_relaxed);
+  const size_t slot = static_cast<size_t>(idx % capacity_);
+  std::lock_guard<std::mutex> lock(StripeFor(slot));
+  ring_[slot] = std::move(rec);
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  const uint64_t next = next_.load(std::memory_order_acquire);
+  const size_t count = static_cast<size_t>(std::min<uint64_t>(next, capacity_));
+  std::vector<SpanRecord> out;
+  out.reserve(count);
+  // Slot `next % capacity_` holds the oldest span once the ring wraps;
+  // before that, slots [0, next) are in insertion order already.
+  const size_t first = next <= capacity_
+                           ? 0
+                           : static_cast<size_t>(next % capacity_);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t slot = (first + i) % capacity_;
+    std::lock_guard<std::mutex> lock(StripeFor(slot));
+    if (ring_[slot].span_id != 0) out.push_back(ring_[slot]);
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  // Claim-counter first so concurrent Record()s land in "fresh" slots;
+  // then wipe every slot under its stripe.
+  next_.store(0, std::memory_order_release);
+  for (size_t slot = 0; slot < capacity_; ++slot) {
+    std::lock_guard<std::mutex> lock(StripeFor(slot));
+    ring_[slot] = SpanRecord{};
+  }
+}
+
+// ---------- Span ----------
+
+void Span::SetAttribute(std::string_view key, int64_t value) {
+  if (tracer_ == nullptr) return;
+  rec_.attributes.push_back({std::string(key), AttrValue(value)});
+}
+
+void Span::SetAttribute(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  rec_.attributes.push_back({std::string(key), AttrValue(value)});
+}
+
+void Span::SetAttribute(std::string_view key, bool value) {
+  if (tracer_ == nullptr) return;
+  rec_.attributes.push_back({std::string(key), AttrValue(value)});
+}
+
+void Span::SetAttribute(std::string_view key, std::string value) {
+  if (tracer_ == nullptr) return;
+  rec_.attributes.push_back({std::string(key), AttrValue(std::move(value))});
+}
+
+double Span::End() {
+  if (tracer_ == nullptr) return duration_millis_;
+  rec_.end_unix_nanos = tracer_->NowUnixNanos();
+  duration_millis_ = rec_.DurationMillis();
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->Finish(std::move(rec_));
+  rec_ = SpanRecord{};
+  return duration_millis_;
+}
+
+double Span::ElapsedMillis() const {
+  if (tracer_ == nullptr) return duration_millis_;
+  uint64_t now = tracer_->NowUnixNanos();
+  return now <= rec_.start_unix_nanos
+             ? 0.0
+             : static_cast<double>(now - rec_.start_unix_nanos) / 1e6;
+}
+
+// ---------- Tracer ----------
+
+Tracer::Tracer(TracerOptions options)
+    : mode_(static_cast<int>(options.mode)), recorder_(options.capacity) {
+  uint64_t unix_now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  steady_to_unix_offset_nanos_ =
+      static_cast<int64_t>(unix_now) - static_cast<int64_t>(SteadyNowNanos());
+}
+
+uint64_t Tracer::NowUnixNanos() const {
+  return static_cast<uint64_t>(static_cast<int64_t>(SteadyNowNanos()) +
+                               steady_to_unix_offset_nanos_);
+}
+
+Span Tracer::StartSpan(std::string_view name, uint64_t parent_id,
+                       bool opt_in) {
+  TraceMode m = mode();
+  if (m == TraceMode::kDisabled) return Span();
+  if (m == TraceMode::kOnDemand && !opt_in && parent_id == 0) return Span();
+
+  Span span;
+  span.tracer_ = this;
+  span.rec_.span_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.rec_.parent_id = parent_id;
+  span.rec_.name = std::string(name);
+  // Every instrumented call site sets a handful of attributes; one
+  // up-front reservation beats three vector regrowths on the hot path.
+  span.rec_.attributes.reserve(6);
+  span.rec_.start_unix_nanos = NowUnixNanos();
+  return span;
+}
+
+std::vector<SpanRecord> SpanSubtree(const std::vector<SpanRecord>& spans,
+                                    uint64_t root_id) {
+  std::vector<SpanRecord> out;
+  if (root_id == 0) return out;
+  std::unordered_set<uint64_t> in_tree{root_id};
+  // Spans end child-before-parent sometimes and parent-before-child
+  // other times (cache hits end the root early), so grow the member
+  // set to a fixed point instead of assuming recorder order.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& span : spans) {
+      if (in_tree.count(span.span_id) > 0) continue;
+      if (span.parent_id != 0 && in_tree.count(span.parent_id) > 0) {
+        in_tree.insert(span.span_id);
+        grew = true;
+      }
+    }
+  }
+  for (const auto& span : spans) {
+    if (in_tree.count(span.span_id) > 0) out.push_back(span);
+  }
+  return out;
+}
+
+}  // namespace tabula

@@ -1,0 +1,253 @@
+#ifndef TABULA_OBS_TRACE_H_
+#define TABULA_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace tabula {
+
+/// \brief Distributed-tracing-style instrumentation for the middleware
+/// stack (the observability shape the paper's evaluation implies:
+/// Figures 8-10 and Table 2 are per-stage timing/memory breakdowns).
+///
+/// The model is a minimal OTLP-flavoured span tree: a Span has a name,
+/// start/end timestamps, typed attributes (rows scanned, cells,
+/// iceberg count, ...) and an optional parent, which may live on a
+/// different thread (parent ids are plain integers, so linking across
+/// ThreadPool hops is just passing the id into the task). Completed
+/// spans land in a fixed-capacity ring buffer (TraceRecorder) owned by
+/// the Tracer; exporters in obs/export.h render the recorded spans as
+/// a human-readable tree or OTLP-style JSON.
+///
+/// Cost contract: a Tracer in kDisabled mode makes StartSpan() a single
+/// relaxed atomic load returning an inert Span — no allocation, no
+/// clock read, no lock. Inert spans ignore SetAttribute()/End().
+
+/// Typed attribute value, mirroring the OTLP AnyValue subset we need.
+using AttrValue = std::variant<int64_t, double, bool, std::string>;
+
+struct SpanAttr {
+  std::string key;
+  AttrValue value;
+};
+
+/// One completed (or in-flight, inside Span) span.
+struct SpanRecord {
+  /// Process-unique id (never 0; 0 means "no span" / "no parent").
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  /// Wall-clock nanoseconds since the Unix epoch, measured on the
+  /// steady clock and anchored to the system clock once per Tracer, so
+  /// durations are monotonic and exported timestamps are absolute.
+  uint64_t start_unix_nanos = 0;
+  uint64_t end_unix_nanos = 0;
+  std::vector<SpanAttr> attributes;
+
+  double DurationMillis() const {
+    return end_unix_nanos <= start_unix_nanos
+               ? 0.0
+               : static_cast<double>(end_unix_nanos - start_unix_nanos) / 1e6;
+  }
+
+  /// Attribute lookup helpers (missing key → std::nullopt-like defaults).
+  const AttrValue* FindAttribute(std::string_view key) const;
+};
+
+/// When spans are recorded.
+enum class TraceMode {
+  /// StartSpan returns inert spans; the near-zero-cost production
+  /// default when tracing is off.
+  kDisabled,
+  /// Only requests that opted in (QueryRequest::trace) — plus children
+  /// of already-traced spans — are recorded.
+  kOnDemand,
+  /// Every span is recorded.
+  kAll,
+};
+
+struct TracerOptions {
+  TraceMode mode = TraceMode::kAll;
+  /// Ring-buffer capacity in completed spans; the oldest span is
+  /// evicted when full.
+  size_t capacity = 4096;
+};
+
+/// \brief Fixed-capacity ring buffer of completed spans.
+///
+/// Record() claims a slot with one atomic fetch_add and moves the span
+/// in under a striped lock (64 stripes over the pre-sized ring), so
+/// concurrent serve threads recording spans don't serialize on one
+/// mutex. Snapshot()/Clear() walk every stripe; they are the rare side.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity);
+
+  void Record(SpanRecord&& rec);
+
+  /// Recorded spans, oldest first. Consistent when no Record() is
+  /// concurrently in flight; otherwise the newest spans may be missing.
+  std::vector<SpanRecord> Snapshot() const;
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  /// Total spans ever recorded (including since-evicted ones).
+  uint64_t total_recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  /// Spans evicted by ring wrap-around.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kStripes = 64;
+  std::mutex& StripeFor(size_t slot) const {
+    return stripes_[slot % kStripes];
+  }
+
+  const size_t capacity_;
+  mutable std::array<std::mutex, kStripes> stripes_;
+  std::vector<SpanRecord> ring_;        // pre-sized to capacity_
+  std::atomic<uint64_t> next_{0};       // slots claimed since last Clear()
+  std::atomic<uint64_t> recorded_{0};   // total ever recorded
+  std::atomic<uint64_t> dropped_{0};    // evicted by wrap-around
+};
+
+class Tracer;
+
+/// \brief RAII handle for one span.
+///
+/// Obtained from Tracer::StartSpan(). Ends (and records) on End() or
+/// destruction. A default-constructed or disabled-tracer Span is inert:
+/// every method is a no-op guard and id() is 0.
+class Span {
+ public:
+  Span() = default;
+  ~Span() { End(); }
+
+  Span(Span&& other) noexcept { MoveFrom(std::move(other)); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      End();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span will be recorded on End().
+  bool recording() const { return tracer_ != nullptr; }
+  /// Span id for parent linkage (0 when inert).
+  uint64_t id() const { return rec_.span_id; }
+
+  void SetAttribute(std::string_view key, int64_t value);
+  /// Any other integer type (size_t, uint64_t, int, uint32_t, ...)
+  /// funnels into the int64_t slot — one template instead of a fragile
+  /// overload set that collides where size_t aliases uint64_t.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool> &&
+                                        !std::is_same_v<T, int64_t>>>
+  void SetAttribute(std::string_view key, T value) {
+    SetAttribute(key, static_cast<int64_t>(value));
+  }
+  void SetAttribute(std::string_view key, double value);
+  void SetAttribute(std::string_view key, bool value);
+  void SetAttribute(std::string_view key, std::string value);
+  void SetAttribute(std::string_view key, const char* value) {
+    SetAttribute(key, std::string(value));
+  }
+
+  /// Ends the span, pushes it into the tracer's recorder, and returns
+  /// its duration in milliseconds (0.0 for an inert span). Idempotent;
+  /// repeated calls return the first call's duration. The returned
+  /// duration is THE span-derived latency — callers that feed metrics
+  /// histograms use this value so span and histogram never disagree.
+  double End();
+
+  /// Elapsed milliseconds so far (final duration once ended; 0 inert).
+  double ElapsedMillis() const;
+
+ private:
+  friend class Tracer;
+  void MoveFrom(Span&& other) {
+    tracer_ = other.tracer_;
+    rec_ = std::move(other.rec_);
+    duration_millis_ = other.duration_millis_;
+    other.tracer_ = nullptr;
+    other.rec_ = SpanRecord{};
+  }
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+  double duration_millis_ = 0.0;  // set by End()
+};
+
+/// \brief Span factory + recorder for one subsystem instance.
+///
+/// Thread-safe: StartSpan() may be called from any thread; span ids
+/// come from one atomic counter, so parent/child linkage works across
+/// ThreadPool hops by passing ids into tasks.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  TraceMode mode() const {
+    return static_cast<TraceMode>(mode_.load(std::memory_order_relaxed));
+  }
+  void set_mode(TraceMode mode) {
+    mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+  }
+  /// Master guard: false in kDisabled mode.
+  bool enabled() const { return mode() != TraceMode::kDisabled; }
+
+  /// Starts a span. `parent_id` links it under an existing span
+  /// (possibly started on another thread); `opt_in` is the per-request
+  /// trace flag honoured in kOnDemand mode. Children of a recorded
+  /// parent (parent_id != 0) always record in kOnDemand mode, so one
+  /// opted-in request traces end-to-end.
+  Span StartSpan(std::string_view name, uint64_t parent_id = 0,
+                 bool opt_in = false);
+
+  /// Recorded spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const { return recorder_.Snapshot(); }
+  void Clear() { recorder_.Clear(); }
+
+  const TraceRecorder& recorder() const { return recorder_; }
+
+  /// Current time as Unix-epoch nanoseconds on this tracer's anchored
+  /// steady clock.
+  uint64_t NowUnixNanos() const;
+
+ private:
+  friend class Span;
+  void Finish(SpanRecord&& rec) { recorder_.Record(std::move(rec)); }
+
+  std::atomic<int> mode_;
+  std::atomic<uint64_t> next_id_{1};
+  TraceRecorder recorder_;
+  /// system_clock anchor minus steady_clock anchor, in nanoseconds:
+  /// NowUnixNanos() = steady_now + offset.
+  int64_t steady_to_unix_offset_nanos_ = 0;
+};
+
+/// Collects `root_id` and every (transitive) child of it from `spans`.
+/// Order follows `spans` (oldest first). Used to extract one request's
+/// span tree out of a shared recorder.
+std::vector<SpanRecord> SpanSubtree(const std::vector<SpanRecord>& spans,
+                                    uint64_t root_id);
+
+}  // namespace tabula
+
+#endif  // TABULA_OBS_TRACE_H_

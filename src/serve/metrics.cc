@@ -35,7 +35,12 @@ HistogramSnapshot LatencyHistogram::Snapshot() const {
 }
 
 double HistogramSnapshot::PercentileMicros(double q) const {
-  if (count == 0) return 0.0;
+  return PercentileWithOverflow(q).micros;
+}
+
+PercentileEstimate HistogramSnapshot::PercentileWithOverflow(double q) const {
+  PercentileEstimate est;
+  if (count == 0) return est;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-th observation (1-based).
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
@@ -45,15 +50,25 @@ double HistogramSnapshot::PercentileMicros(double q) const {
     if (buckets[i] == 0) continue;
     if (seen + buckets[i] >= rank) {
       double lower = i == 0 ? 0.0 : LatencyHistogram::BucketUpperMicros(i - 1);
-      double upper = i < LatencyHistogram::kNumBuckets
-                         ? LatencyHistogram::BucketUpperMicros(i)
-                         : lower * 2.0;
+      if (i >= LatencyHistogram::kNumBuckets) {
+        // Overflow bucket: no upper edge exists, so interpolating would
+        // fabricate a number. Report the honest lower bound and flag it.
+        est.micros = lower;
+        est.overflow = true;
+        return est;
+      }
+      double upper = LatencyHistogram::BucketUpperMicros(i);
       double frac = static_cast<double>(rank - seen) / buckets[i];
-      return lower + frac * (upper - lower);
+      est.micros = lower + frac * (upper - lower);
+      return est;
     }
     seen += buckets[i];
   }
-  return LatencyHistogram::BucketUpperMicros(LatencyHistogram::kNumBuckets);
+  // Unreachable when bucket counts sum to `count`; be honest anyway.
+  est.micros =
+      LatencyHistogram::BucketUpperMicros(LatencyHistogram::kNumBuckets - 1);
+  est.overflow = true;
+  return est;
 }
 
 uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {

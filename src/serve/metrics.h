@@ -40,6 +40,16 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// A percentile estimate plus whether it landed in the overflow bucket.
+struct PercentileEstimate {
+  double micros = 0.0;
+  /// True when the quantile falls in the unbounded overflow bucket:
+  /// `micros` is then the bucket's lower edge — a LOWER BOUND on the
+  /// true percentile, not an interpolated estimate (the bucket has no
+  /// upper edge to interpolate toward).
+  bool overflow = false;
+};
+
 /// Point-in-time copy of a LatencyHistogram, with percentile estimation.
 struct HistogramSnapshot {
   uint64_t count = 0;
@@ -52,7 +62,12 @@ struct HistogramSnapshot {
   /// Estimated latency at quantile `q` in [0, 1], in microseconds, by
   /// linear interpolation inside the containing bucket. Resolution is
   /// the bucket width (~2x), which is plenty for p50/p95/p99 dashboards.
+  /// When the quantile lands in the overflow bucket the estimate is the
+  /// bucket's lower edge (check PercentileWithOverflow for the flag).
   double PercentileMicros(double q) const;
+
+  /// PercentileMicros plus the explicit overflow flag.
+  PercentileEstimate PercentileWithOverflow(double q) const;
 
   double P50Micros() const { return PercentileMicros(0.50); }
   double P95Micros() const { return PercentileMicros(0.95); }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/export.h"
 
 namespace tabula {
 
@@ -26,7 +28,8 @@ QueryServer::QueryServer(Tabula* tabula, QueryServerOptions options,
     : tabula_(tabula),
       options_(options),
       pool_(pool != nullptr ? pool : &ThreadPool::Global()),
-      cache_(std::make_unique<ResultCache>(options_.cache)) {
+      cache_(std::make_unique<ResultCache>(options_.cache)),
+      slow_log_(options_.slow_query_ms, options_.slow_query_capacity) {
   if (options_.max_concurrency == 0) {
     options_.max_concurrency = pool_->num_threads();
   }
@@ -50,8 +53,7 @@ void QueryServer::RebuildGlobalAnswer() {
   global_answer_ = std::move(answer);
 }
 
-ServeAnswer QueryServer::DegradedAnswer(double queue_millis,
-                                        double total_millis) {
+ServeAnswer QueryServer::DegradedAnswer(double queue_millis) {
   metrics_.counter(kDegraded).Increment();
   ServeAnswer answer;
   {
@@ -60,9 +62,26 @@ ServeAnswer QueryServer::DegradedAnswer(double queue_millis,
   }
   answer.degraded = true;
   answer.queue_millis = queue_millis;
-  answer.total_millis = total_millis;
-  metrics_.histogram(kLatency).RecordMillis(total_millis);
+  // total_millis + latency histogram are filled by the caller's span
+  // epilogue, the single place the latency is measured.
   return answer;
+}
+
+void QueryServer::MaybeLogSlowQuery(const std::string& key,
+                                    const ServeAnswer& answer) {
+  if (!slow_log_.ShouldLog(answer.total_millis)) return;
+  SlowQueryEntry entry;
+  entry.predicate_key = key;
+  entry.total_millis = answer.total_millis;
+  entry.queue_millis = answer.queue_millis;
+  entry.cache_hit = answer.cache_hit;
+  entry.degraded = answer.degraded;
+  entry.span_id = answer.span_id;
+  if (answer.span_id != 0 && options_.tracer != nullptr) {
+    entry.span_tree = RenderSpanTree(
+        SpanSubtree(options_.tracer->Snapshot(), answer.span_id));
+  }
+  slow_log_.Record(std::move(entry));
 }
 
 QueryServer::Admission QueryServer::Admit(double deadline_ms,
@@ -100,22 +119,27 @@ void QueryServer::ReleaseSlot() {
   slot_cv_.notify_one();
 }
 
-Result<ServeAnswer> QueryServer::Execute(
-    const std::vector<PredicateTerm>& canonical, const std::string& key) {
+Result<ServeAnswer> QueryServer::Execute(std::vector<PredicateTerm> canonical,
+                                         const std::string& key, bool trace,
+                                         uint64_t parent_span) {
   // Capture the cache generation BEFORE the lookup: if a Refresh fences
   // the cache while this query is in flight, the Put below becomes a
   // no-op instead of resurrecting a pre-refresh answer.
   const uint64_t gen = cache_->generation();
-  Result<TabulaQueryResult> raw = [&]() -> Result<TabulaQueryResult> {
+  QueryRequest inner(std::move(canonical));
+  inner.trace = trace;
+  inner.parent_span = parent_span;
+  Result<QueryResponse> raw = [&]() -> Result<QueryResponse> {
     std::shared_lock<std::shared_mutex> lock(cube_mu_);
-    return tabula_->Query(canonical);
+    return tabula_->Query(inner);
   }();
   if (!raw.ok()) {
     metrics_.counter(kErrors).Increment();
     return raw.status();
   }
+  QueryResponse response = std::move(raw).value();
   auto shared =
-      std::make_shared<const TabulaQueryResult>(std::move(raw).value());
+      std::make_shared<const TabulaQueryResult>(std::move(response.result));
   if (options_.enable_cache) cache_->Put(key, shared, gen);
   ServeAnswer answer;
   answer.result = std::move(shared);
@@ -124,21 +148,55 @@ Result<ServeAnswer> QueryServer::Execute(
 
 Result<ServeAnswer> QueryServer::Query(
     const std::vector<PredicateTerm>& where, double deadline_ms) {
+  QueryRequest request(where);
+  request.deadline_ms = deadline_ms;
+  return Query(request);
+}
+
+Result<ServeAnswer> QueryServer::Query(const QueryRequest& request) {
+  // One "serve.query" span per request; inert (one branch) without an
+  // enabled tracer.
+  Span span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->StartSpan("serve.query", request.parent_span,
+                                      request.trace);
+  }
   Stopwatch total;
-  const double deadline =
-      deadline_ms < 0.0 ? options_.default_deadline_ms : deadline_ms;
+  const double deadline = request.deadline_ms < 0.0
+                              ? options_.default_deadline_ms
+                              : request.deadline_ms;
   metrics_.counter(kQueriesTotal).Increment();
 
-  std::vector<PredicateTerm> canonical = CanonicalizeTerms(where);
+  std::vector<PredicateTerm> canonical = CanonicalizeTerms(request.where);
   std::string key = CanonicalPredicateKey(canonical);
-  if (options_.enable_cache) {
+
+  // The one epilogue every answered path funnels through: the span's
+  // duration (when traced) is the answer's total_millis AND the value
+  // recorded into the serve_latency histogram, so the trace, the
+  // answer, and the metrics agree by construction.
+  auto finish = [&](ServeAnswer* answer) {
+    answer->span_id = span.id();
+    if (span.recording()) {
+      span.SetAttribute("predicates", key);
+      span.SetAttribute("cache_hit", answer->cache_hit);
+      span.SetAttribute("degraded", answer->degraded);
+      span.SetAttribute("queue_ms", answer->queue_millis);
+      answer->total_millis = span.End();
+    } else {
+      answer->total_millis = total.ElapsedMillis();
+    }
+    metrics_.histogram(kLatency).RecordMillis(answer->total_millis);
+    MaybeLogSlowQuery(key, *answer);
+  };
+
+  if (options_.enable_cache &&
+      request.consistency != ConsistencyHint::kBypassCache) {
     if (auto hit = cache_->Get(key)) {
       metrics_.counter(kCacheHits).Increment();
       ServeAnswer answer;
       answer.result = std::move(hit);
       answer.cache_hit = true;
-      answer.total_millis = total.ElapsedMillis();
-      metrics_.histogram(kLatency).RecordMillis(answer.total_millis);
+      finish(&answer);
       return answer;
     }
     metrics_.counter(kCacheMisses).Increment();
@@ -148,44 +206,76 @@ Result<ServeAnswer> QueryServer::Query(
   switch (Admit(deadline, &waited_ms)) {
     case Admission::kRejected:
       metrics_.counter(kRejected).Increment();
+      if (span.recording()) {
+        span.SetAttribute("predicates", key);
+        span.SetAttribute("rejected", true);
+        span.SetAttribute("queue_ms", waited_ms);
+      }
       return Status::Unavailable(
           "admission queue full (max_queue=" +
           std::to_string(options_.max_queue) + ")");
-    case Admission::kTimedOut:
-      return DegradedAnswer(waited_ms, total.ElapsedMillis());
+    case Admission::kTimedOut: {
+      ServeAnswer answer = DegradedAnswer(waited_ms);
+      finish(&answer);
+      return answer;
+    }
     case Admission::kAcquired:
       break;
   }
 
   metrics_.gauge(kInFlight).Increment();
-  Result<ServeAnswer> executed = Execute(canonical, key);
+  Result<ServeAnswer> executed =
+      Execute(std::move(canonical), key, request.trace, span.id());
   metrics_.gauge(kInFlight).Decrement();
   ReleaseSlot();
   if (!executed.ok()) return executed.status();
 
   ServeAnswer answer = std::move(executed).value();
   answer.queue_millis = waited_ms;
-  answer.total_millis = total.ElapsedMillis();
-  metrics_.histogram(kLatency).RecordMillis(answer.total_millis);
+  finish(&answer);
   return answer;
 }
 
-BatchItem QueryServer::ServeBatchItem(const std::vector<PredicateTerm>& where,
+BatchItem QueryServer::ServeBatchItem(const QueryRequest& request,
                                       double deadline_ms,
-                                      const Stopwatch& batch_timer) {
+                                      const Stopwatch& batch_timer,
+                                      uint64_t batch_span) {
   BatchItem item;
+  // Runs on a pool thread: the parent linkage to the "serve.batch" span
+  // crosses the ThreadPool hop via the plain `batch_span` id.
+  Span span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->StartSpan(
+        "serve.query", batch_span != 0 ? batch_span : request.parent_span,
+        request.trace);
+  }
   Stopwatch total;
   metrics_.counter(kQueriesTotal).Increment();
 
-  std::vector<PredicateTerm> canonical = CanonicalizeTerms(where);
+  std::vector<PredicateTerm> canonical = CanonicalizeTerms(request.where);
   std::string key = CanonicalPredicateKey(canonical);
-  if (options_.enable_cache) {
+
+  auto finish = [&]() {
+    item.answer.span_id = span.id();
+    if (span.recording()) {
+      span.SetAttribute("predicates", key);
+      span.SetAttribute("cache_hit", item.answer.cache_hit);
+      span.SetAttribute("degraded", item.answer.degraded);
+      item.answer.total_millis = span.End();
+    } else {
+      item.answer.total_millis = total.ElapsedMillis();
+    }
+    metrics_.histogram(kLatency).RecordMillis(item.answer.total_millis);
+    MaybeLogSlowQuery(key, item.answer);
+  };
+
+  if (options_.enable_cache &&
+      request.consistency != ConsistencyHint::kBypassCache) {
     if (auto hit = cache_->Get(key)) {
       metrics_.counter(kCacheHits).Increment();
       item.answer.result = std::move(hit);
       item.answer.cache_hit = true;
-      item.answer.total_millis = total.ElapsedMillis();
-      metrics_.histogram(kLatency).RecordMillis(item.answer.total_millis);
+      finish();
       return item;
     }
     metrics_.counter(kCacheMisses).Increment();
@@ -194,57 +284,95 @@ BatchItem QueryServer::ServeBatchItem(const std::vector<PredicateTerm>& where,
   // Items whose turn comes after the batch deadline degrade instead of
   // stretching the pan's tail latency.
   if (deadline_ms > 0.0 && batch_timer.ElapsedMillis() > deadline_ms) {
-    item.answer = DegradedAnswer(0.0, total.ElapsedMillis());
+    item.answer = DegradedAnswer(0.0);
+    finish();
     return item;
   }
 
   metrics_.gauge(kInFlight).Increment();
-  Result<ServeAnswer> executed = Execute(canonical, key);
+  Result<ServeAnswer> executed =
+      Execute(std::move(canonical), key, request.trace, span.id());
   metrics_.gauge(kInFlight).Decrement();
   if (!executed.ok()) {
     item.status = executed.status();
     return item;
   }
   item.answer = std::move(executed).value();
-  item.answer.total_millis = total.ElapsedMillis();
-  metrics_.histogram(kLatency).RecordMillis(item.answer.total_millis);
+  finish();
   return item;
 }
 
 Result<std::vector<BatchItem>> QueryServer::BatchQuery(
     const std::vector<std::vector<PredicateTerm>>& cells,
     double deadline_ms) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(cells.size());
+  for (const auto& where : cells) {
+    QueryRequest request(where);
+    request.deadline_ms = deadline_ms;
+    requests.push_back(std::move(request));
+  }
+  return BatchQuery(requests);
+}
+
+Result<std::vector<BatchItem>> QueryServer::BatchQuery(
+    const std::vector<QueryRequest>& requests) {
   Stopwatch batch_timer;
-  const double deadline =
-      deadline_ms < 0.0 ? options_.default_deadline_ms : deadline_ms;
   metrics_.counter(kBatches).Increment();
-  if (cells.empty()) return std::vector<BatchItem>{};
+  if (requests.empty()) return std::vector<BatchItem>{};
+
+  // One "serve.batch" span for the fan-out; per-item spans parent under
+  // it. It opts in when any item does, so one traced item is enough to
+  // capture the whole pan in kOnDemand mode.
+  Span batch_span;
+  if (options_.tracer != nullptr) {
+    bool any_trace = false;
+    uint64_t parent = 0;
+    for (const auto& request : requests) {
+      any_trace = any_trace || request.trace;
+      if (parent == 0) parent = request.parent_span;
+    }
+    batch_span = options_.tracer->StartSpan("serve.batch", parent, any_trace);
+    if (batch_span.recording()) {
+      batch_span.SetAttribute("cells", requests.size());
+    }
+  }
 
   // Batch admission: the whole fan-out counts against the queue bound.
   // Items run directly on the pool (its width bounds parallelism), so
   // they skip the per-request slot wait.
   {
     std::lock_guard<std::mutex> lock(slot_mu_);
-    if (cells.size() > options_.max_queue - std::min(admitted_, options_.max_queue)) {
+    if (requests.size() >
+        options_.max_queue - std::min(admitted_, options_.max_queue)) {
       metrics_.counter(kRejected).Increment();
+      if (batch_span.recording()) {
+        batch_span.SetAttribute("rejected", true);
+      }
       return Status::Unavailable(
-          "batch of " + std::to_string(cells.size()) +
+          "batch of " + std::to_string(requests.size()) +
           " would overflow the admission queue (max_queue=" +
           std::to_string(options_.max_queue) + ")");
     }
-    admitted_ += cells.size();
+    admitted_ += requests.size();
   }
 
-  std::vector<BatchItem> items(cells.size());
-  pool_->ParallelFor(cells.size(), [&](size_t begin, size_t end) {
+  std::vector<BatchItem> items(requests.size());
+  const uint64_t batch_span_id = batch_span.id();
+  pool_->ParallelFor(requests.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      items[i] = ServeBatchItem(cells[i], deadline, batch_timer);
+      const QueryRequest& request = requests[i];
+      const double deadline = request.deadline_ms < 0.0
+                                  ? options_.default_deadline_ms
+                                  : request.deadline_ms;
+      items[i] = ServeBatchItem(request, deadline, batch_timer,
+                                batch_span_id);
     }
   });
 
   {
     std::lock_guard<std::mutex> lock(slot_mu_);
-    admitted_ -= cells.size();
+    admitted_ -= requests.size();
   }
   slot_cv_.notify_all();
   return items;

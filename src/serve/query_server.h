@@ -11,7 +11,10 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/query_request.h"
 #include "core/tabula.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "storage/predicate.h"
@@ -37,6 +40,17 @@ struct QueryServerOptions {
   double default_deadline_ms = 0.0;
   bool enable_cache = true;
   ResultCacheOptions cache;
+  /// Tracing sink (not owned; may be null). Every served request emits
+  /// a "serve.query" span (batches add a "serve.batch" parent) whose
+  /// duration IS the latency recorded into the `serve_latency`
+  /// histogram, so trace and metrics cannot disagree. Null or kDisabled
+  /// costs one branch per request.
+  Tracer* tracer = nullptr;
+  /// Slow-query log threshold in milliseconds (<= 0 → disabled).
+  /// Requests at or above it are recorded with their canonical
+  /// predicate key and, when traced, their rendered span tree.
+  double slow_query_ms = 0.0;
+  size_t slow_query_capacity = 128;
 };
 
 /// One served answer: a shared handle to the (possibly cached) query
@@ -50,8 +64,12 @@ struct ServeAnswer {
   bool degraded = false;
   /// Milliseconds spent waiting for an execution slot.
   double queue_millis = 0.0;
-  /// End-to-end serving time (queue + lookup), in milliseconds.
+  /// End-to-end serving time (queue + lookup), in milliseconds. When
+  /// the request was traced this is the "serve.query" span's duration.
   double total_millis = 0.0;
+  /// Id of the "serve.query" span that timed this request (0 when not
+  /// traced); look its subtree up in the server's Tracer.
+  uint64_t span_id = 0;
 };
 
 /// Per-item outcome of a BatchQuery (Result<T> is not
@@ -86,15 +104,30 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Answers one dashboard query. `deadline_ms` overrides the default
-  /// deadline (< 0 → use default; 0 → none).
+  /// Answers one dashboard query — the canonical entry point. Honors
+  /// every QueryRequest knob: `deadline_ms` (< 0 → server default,
+  /// 0 → none), `consistency` (kBypassCache skips the cache probe but
+  /// still caches the fresh answer), `trace`/`parent_span` (the
+  /// "serve.query" span and its "tabula.query" child).
+  Result<ServeAnswer> Query(const QueryRequest& request);
+
+  /// Deprecated bare-predicate overload; thin wrapper over
+  /// Query(QueryRequest). Prefer the QueryRequest form.
   Result<ServeAnswer> Query(const std::vector<PredicateTerm>& where,
                             double deadline_ms = -1.0);
 
   /// Fans a multi-cell request (e.g. every cell of a heatmap pan)
   /// across the thread pool and gathers all answers. One invalid cell
   /// fails only its own item. Rejects the whole batch with Unavailable
-  /// when it alone would overflow the admission queue.
+  /// when it alone would overflow the admission queue. Per-item
+  /// deadlines are measured against the batch clock; each item's
+  /// "serve.query" span parents under one "serve.batch" span across the
+  /// thread-pool hop.
+  Result<std::vector<BatchItem>> BatchQuery(
+      const std::vector<QueryRequest>& requests);
+
+  /// Deprecated predicate-list overload; thin wrapper over
+  /// BatchQuery(std::vector<QueryRequest>) with one shared deadline.
   Result<std::vector<BatchItem>> BatchQuery(
       const std::vector<std::vector<PredicateTerm>>& cells,
       double deadline_ms = -1.0);
@@ -109,22 +142,33 @@ class QueryServer {
   const MetricsRegistry& metrics() const { return metrics_; }
   std::string MetricsText() const { return metrics_.RenderText(); }
   const QueryServerOptions& options() const { return options_; }
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
+  Tracer* tracer() const { return options_.tracer; }
 
  private:
   enum class Admission { kRejected, kTimedOut, kAcquired };
 
   /// Uncached lookup path: executes under the shared cube lock and
   /// caches the answer unless a refresh fenced the generation.
-  Result<ServeAnswer> Execute(const std::vector<PredicateTerm>& canonical,
-                              const std::string& key);
+  /// `parent_span` links the middleware's "tabula.query" span under the
+  /// caller's "serve.query" span.
+  Result<ServeAnswer> Execute(std::vector<PredicateTerm> canonical,
+                              const std::string& key, bool trace,
+                              uint64_t parent_span);
 
   /// One batch item: cache probe → deadline check → pooled execution
-  /// (no per-request slot; the pool bounds parallelism).
-  BatchItem ServeBatchItem(const std::vector<PredicateTerm>& where,
-                           double deadline_ms, const Stopwatch& batch_timer);
+  /// (no per-request slot; the pool bounds parallelism). Runs on a
+  /// pool thread; `batch_span` parents the item's span across the hop.
+  BatchItem ServeBatchItem(const QueryRequest& request, double deadline_ms,
+                           const Stopwatch& batch_timer,
+                           uint64_t batch_span);
 
   /// Serves the pre-captured global sample when a deadline expired.
-  ServeAnswer DegradedAnswer(double queue_millis, double total_millis);
+  ServeAnswer DegradedAnswer(double queue_millis);
+
+  /// Records `answer` into the slow-query log when it crossed the
+  /// threshold, attaching the rendered span tree when traced.
+  void MaybeLogSlowQuery(const std::string& key, const ServeAnswer& answer);
 
   /// Re-captures the global-sample snapshot used by DegradedAnswer.
   void RebuildGlobalAnswer();
@@ -139,6 +183,7 @@ class QueryServer {
   ThreadPool* pool_;
   std::unique_ptr<ResultCache> cache_;
   MetricsRegistry metrics_;
+  SlowQueryLog slow_log_;
   uint64_t refresh_listener_id_ = 0;
 
   /// Readers (queries) take shared, Refresh() takes exclusive.

@@ -6,10 +6,7 @@
 #include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/group_by.h"
-#include "loss/mean_loss.h"
-#include "loss/min_dist_loss.h"
-#include "loss/regression_loss.h"
-#include "loss/topk_loss.h"
+#include "loss/loss_registry.h"
 #include "sql/expression.h"
 #include "sql/parser.h"
 
@@ -69,36 +66,13 @@ Result<SqlEngine::ExecResult> SqlEngine::ExecCreateAggregate(
 Result<std::unique_ptr<LossFunction>> SqlEngine::MakeLoss(
     const std::string& name, const std::vector<std::string>& attrs) const {
   std::string key = ToLower(name);
-  auto need_attrs = [&](size_t n) -> Status {
-    if (attrs.size() != n) {
-      return Status::InvalidArgument(
-          "loss '" + name + "' expects " + std::to_string(n) +
-          " target attribute(s), got " + std::to_string(attrs.size()));
-    }
-    return Status::OK();
-  };
-  if (key == "mean_loss") {
-    TABULA_RETURN_NOT_OK(need_attrs(1));
-    return std::unique_ptr<LossFunction>(
-        std::make_unique<MeanLoss>(attrs[0]));
-  }
-  if (key == "heatmap_loss") {
-    TABULA_RETURN_NOT_OK(need_attrs(2));
-    return MakeHeatmapLoss(attrs[0], attrs[1]);
-  }
-  if (key == "histogram_loss") {
-    TABULA_RETURN_NOT_OK(need_attrs(1));
-    return MakeHistogramLoss(attrs[0]);
-  }
-  if (key == "regression_loss") {
-    TABULA_RETURN_NOT_OK(need_attrs(2));
-    return std::unique_ptr<LossFunction>(
-        std::make_unique<RegressionLoss>(attrs[0], attrs[1]));
-  }
-  if (key == "topk_loss") {
-    TABULA_RETURN_NOT_OK(need_attrs(1));
-    return std::unique_ptr<LossFunction>(
-        std::make_unique<TopKLoss>(attrs[0], 10));
+  // Registry built-ins first; CREATE AGGREGATE losses shadow nothing
+  // (registration under a built-in name is rejected by name lookup
+  // order here, mirroring how SQL built-ins usually win).
+  if (IsRegisteredLossName(key)) {
+    LossParams params;
+    params.columns = attrs;
+    return MakeLossFunction(key, params);
   }
   auto it = user_aggregates_.find(key);
   if (it == user_aggregates_.end()) {
@@ -131,7 +105,9 @@ Result<SqlEngine::ExecResult> SqlEngine::ExecCreateCube(
 
   TabulaOptions options = cube_defaults_;
   options.cubed_attributes = stmt.cubed_attributes;
-  options.loss = loss.get();
+  // Owning handoff: the cube (and any rebuild Refresh() makes from a
+  // copy of its options) keeps the loss alive.
+  options.owned_loss = std::shared_ptr<const LossFunction>(std::move(loss));
   options.threshold = stmt.having_threshold;
   TABULA_ASSIGN_OR_RETURN(std::unique_ptr<Tabula> cube,
                           Tabula::Initialize(*table, std::move(options)));
@@ -145,8 +121,7 @@ Result<SqlEngine::ExecResult> SqlEngine::ExecCreateCube(
       std::to_string(stats.representative_samples) +
       " representative samples, " + HumanBytes(stats.TotalBytes()) +
       " in " + HumanMillis(stats.total_millis);
-  cubes_.emplace(stmt.cube_name,
-                 CubeEntry{std::move(loss), std::move(cube)});
+  cubes_.emplace(stmt.cube_name, CubeEntry{std::move(cube)});
   return result;
 }
 
@@ -157,8 +132,9 @@ Result<SqlEngine::ExecResult> SqlEngine::ExecSelectSample(
     return Status::NotFound("sampling cube '" + stmt.cube_name +
                             "' not found");
   }
-  TABULA_ASSIGN_OR_RETURN(TabulaQueryResult answer,
-                          it->second.cube->Query(stmt.where));
+  TABULA_ASSIGN_OR_RETURN(QueryResponse response,
+                          it->second.cube->Query(QueryRequest(stmt.where)));
+  TabulaQueryResult& answer = response.result;
   ExecResult result;
   result.sample = answer.sample;
   result.has_sample = true;

@@ -66,8 +66,8 @@ class SqlEngine {
   Result<ExecResult> ExecSelectSample(const SelectSampleStmt& stmt);
   Result<ExecResult> ExecSelect(const SelectStmt& stmt);
 
-  /// Instantiates a loss by name: built-ins (mean_loss, heatmap_loss,
-  /// histogram_loss, regression_loss) or a CREATE AGGREGATE registration.
+  /// Instantiates a loss by name: the central registry's built-ins
+  /// (loss/loss_registry.h) or a CREATE AGGREGATE registration.
   Result<std::unique_ptr<LossFunction>> MakeLoss(
       const std::string& name, const std::vector<std::string>& attrs) const;
 
@@ -75,8 +75,8 @@ class SqlEngine {
   std::unordered_map<std::string, std::shared_ptr<const Expr>>
       user_aggregates_;
 
+  /// The cube keeps its loss alive via TabulaOptions::owned_loss.
   struct CubeEntry {
-    std::unique_ptr<LossFunction> loss;  // must outlive the cube
     std::unique_ptr<Tabula> cube;
   };
   std::unordered_map<std::string, CubeEntry> cubes_;

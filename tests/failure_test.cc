@@ -125,9 +125,9 @@ TEST(DegenerateInputTest, EmptyTableInitializes) {
   EXPECT_EQ(tabula.value()->init_stats().total_cells, 0u);
   EXPECT_EQ(tabula.value()->init_stats().iceberg_cells, 0u);
   // Queries on an empty cube return the (empty) global sample.
-  auto answer = tabula.value()->Query({});
+  auto answer = tabula.value()->Query(QueryRequest{});
   ASSERT_TRUE(answer.ok());
-  EXPECT_EQ(answer->sample.size(), 0u);
+  EXPECT_EQ(answer->result.sample.size(), 0u);
 }
 
 TEST(DegenerateInputTest, SingleRowTable) {

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/tabula.h"
+#include "data/taxi_gen.h"
+#include "loss/loss_registry.h"
+
+namespace tabula {
+namespace {
+
+TEST(LossRegistryTest, BuiltinsConstruct) {
+  struct Case {
+    std::string name;
+    LossParams params;
+  };
+  const Case cases[] = {
+      {"mean_loss", {.columns = {"fare_amount"}}},
+      {"heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}},
+      {"histogram_loss", {.columns = {"fare_amount"}}},
+      {"regression_loss", {.columns = {"fare_amount", "tip_amount"}}},
+      {"topk_loss", {.columns = {"fare_amount"}, .k = 5}},
+  };
+  for (const auto& c : cases) {
+    auto loss = MakeLossFunction(c.name, c.params);
+    ASSERT_TRUE(loss.ok()) << c.name << ": " << loss.status().ToString();
+    EXPECT_NE(loss.value(), nullptr) << c.name;
+  }
+}
+
+TEST(LossRegistryTest, NamesAreCaseInsensitive) {
+  EXPECT_TRUE(IsRegisteredLossName("mean_loss"));
+  EXPECT_TRUE(IsRegisteredLossName("MEAN_LOSS"));
+  EXPECT_TRUE(IsRegisteredLossName("Heatmap_Loss"));
+  EXPECT_FALSE(IsRegisteredLossName("definitely_not_a_loss"));
+  auto loss = MakeLossFunction("Mean_Loss", {.columns = {"fare_amount"}});
+  EXPECT_TRUE(loss.ok());
+}
+
+TEST(LossRegistryTest, UnknownNameIsInvalidArgumentNamingKnownSet) {
+  auto loss = MakeLossFunction("no_such_loss", {.columns = {"x"}});
+  ASSERT_FALSE(loss.ok());
+  EXPECT_EQ(loss.status().code(), StatusCode::kInvalidArgument);
+  // The message names the offender and the registered set.
+  EXPECT_NE(loss.status().ToString().find("no_such_loss"),
+            std::string::npos);
+  EXPECT_NE(loss.status().ToString().find("mean_loss"), std::string::npos);
+}
+
+TEST(LossRegistryTest, WrongColumnCountIsInvalidArgument) {
+  // mean_loss wants exactly one column.
+  EXPECT_EQ(MakeLossFunction("mean_loss", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeLossFunction("mean_loss", {.columns = {"a", "b"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // heatmap_loss wants exactly two.
+  EXPECT_EQ(MakeLossFunction("heatmap_loss", {.columns = {"only_x"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // regression_loss wants exactly two.
+  EXPECT_EQ(MakeLossFunction("regression_loss",
+                             {.columns = {"a", "b", "c"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LossRegistryTest, RegisteredNamesAreSortedAndContainBuiltins) {
+  auto names = RegisteredLossNames();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* builtin :
+       {"heatmap_loss", "histogram_loss", "mean_loss", "regression_loss",
+        "topk_loss"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), builtin), names.end())
+        << builtin;
+  }
+}
+
+TEST(LossRegistryTest, CustomFactoryRegistersOnceAndResolves) {
+  const std::string name = "registry_test_custom_loss";
+  if (!IsRegisteredLossName(name)) {
+    ASSERT_TRUE(RegisterLossFactory(name, [](const LossParams& params) {
+                  return MakeLossFunction("mean_loss", params);
+                }).ok());
+  }
+  EXPECT_TRUE(IsRegisteredLossName(name));
+  auto loss = MakeLossFunction(name, {.columns = {"fare_amount"}});
+  ASSERT_TRUE(loss.ok());
+  // Re-registering the same (case-insensitive) name fails.
+  Status dup = RegisterLossFactory(
+      "Registry_Test_Custom_Loss",
+      [](const LossParams&) -> Result<std::unique_ptr<LossFunction>> {
+        return Status::Internal("unreachable");
+      });
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LossRegistryTest, BuiltinCannotBeShadowed) {
+  Status dup = RegisterLossFactory(
+      "mean_loss",
+      [](const LossParams&) -> Result<std::unique_ptr<LossFunction>> {
+        return Status::Internal("unreachable");
+      });
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LossRegistryTest, OwnedLossDrivesTabulaEndToEnd) {
+  TaxiGeneratorOptions gen;
+  gen.num_rows = 5000;
+  gen.seed = 77;
+  auto table = TaxiGenerator(gen).Generate();
+
+  auto loss = MakeLossFunction("mean_loss", {.columns = {"fare_amount"}});
+  ASSERT_TRUE(loss.ok());
+
+  TabulaOptions options;
+  options.cubed_attributes = {"payment_type"};
+  options.owned_loss = std::move(loss).value();
+  options.threshold = 0.10;
+  ASSERT_EQ(options.loss, nullptr);  // no raw pointer anywhere
+  ASSERT_NE(options.effective_loss(), nullptr);
+
+  auto tabula = Tabula::Initialize(*table, options);
+  ASSERT_TRUE(tabula.ok());
+  QueryRequest request(
+      {{"payment_type", CompareOp::kEq, Value("Cash")}});
+  auto answer = tabula.value()->Query(request);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer->result.sample.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tabula

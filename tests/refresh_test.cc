@@ -173,6 +173,84 @@ TEST_F(RefreshTest, RepeatedRefreshes) {
   VerifyGuarantee(*tabula.value());
 }
 
+TEST_F(RefreshTest, GenerationBumpsOnlyWhenTheCubeMutates) {
+  auto tabula = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(tabula.ok());
+  const uint64_t g0 = tabula.value()->generation();
+
+  // No-op refresh: nothing appended, nothing mutated, no bump.
+  ASSERT_TRUE(tabula.value()->Refresh().ok());
+  EXPECT_EQ(tabula.value()->generation(), g0);
+
+  // Incremental refresh: bump.
+  AppendRows(table_.get(), *extra_, 1000);
+  ASSERT_TRUE(tabula.value()->Refresh().ok());
+  const uint64_t g1 = tabula.value()->generation();
+  EXPECT_GT(g1, g0);
+
+  // Full rebuild (unseen cubed value): still a bump, never a reset.
+  std::vector<Value> row(table_->schema().num_fields());
+  row[0] = Value("CMT");
+  row[1] = Value("Mon");
+  row[2] = Value("1");
+  row[3] = Value("Crypto");  // unseen payment type
+  row[4] = Value("Standard");
+  row[5] = Value("N");
+  row[6] = Value("Mon");
+  row[7] = Value("[0,5)");
+  row[8] = Value(1.0);
+  row[9] = Value(10.0);
+  row[10] = Value(0.0);
+  row[11] = Value(0.5);
+  row[12] = Value(0.5);
+  ASSERT_TRUE(table_->AppendRow(row).ok());
+  Tabula::RefreshStats stats;
+  ASSERT_TRUE(tabula.value()->Refresh(&stats).ok());
+  ASSERT_TRUE(stats.full_rebuild);
+  EXPECT_GT(tabula.value()->generation(), g1);
+}
+
+TEST_F(RefreshTest, RefreshListenerLifecycle) {
+  auto tabula = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(tabula.ok());
+
+  int fired = 0;
+  uint64_t id = tabula.value()->AddRefreshListener([&] { ++fired; });
+
+  AppendRows(table_.get(), *extra_, 500);
+  ASSERT_TRUE(tabula.value()->Refresh().ok());
+  EXPECT_EQ(fired, 1);
+
+  // After removal the listener never fires again, even though the
+  // refresh succeeds and bumps the generation.
+  tabula.value()->RemoveRefreshListener(id);
+  const uint64_t gen_before = tabula.value()->generation();
+  AppendRows(table_.get(), *extra_, 500);
+  ASSERT_TRUE(tabula.value()->Refresh().ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_GT(tabula.value()->generation(), gen_before);
+
+  // Removing an already-removed (or never-issued) id is harmless.
+  tabula.value()->RemoveRefreshListener(id);
+  tabula.value()->RemoveRefreshListener(987654321u);
+}
+
+TEST_F(RefreshTest, ListenerRegisteredBetweenRefreshesSeesOnlyLaterOnes) {
+  auto tabula = Tabula::Initialize(*table_, options_);
+  ASSERT_TRUE(tabula.ok());
+
+  AppendRows(table_.get(), *extra_, 500);
+  ASSERT_TRUE(tabula.value()->Refresh().ok());
+
+  int fired = 0;
+  tabula.value()->AddRefreshListener([&] { ++fired; });
+  EXPECT_EQ(fired, 0);  // registration alone fires nothing
+
+  AppendRows(table_.get(), *extra_, 500);
+  ASSERT_TRUE(tabula.value()->Refresh().ok());
+  EXPECT_EQ(fired, 1);
+}
+
 TEST_F(RefreshTest, RefreshIsCheaperThanReinitialize) {
   auto tabula = Tabula::Initialize(*table_, options_);
   ASSERT_TRUE(tabula.ok());

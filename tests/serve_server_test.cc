@@ -276,7 +276,17 @@ TEST_F(QueryServerTest, RefreshMidLoadNeverServesStaleSample) {
   ASSERT_TRUE(server.Query(skewed)->cache_hit);
 
   // Client threads hammer the server while the base table grows and a
-  // Refresh lands.
+  // Refresh lands. They skip the skewed cell itself: a client running
+  // it in the instant after Refresh() returns would re-cache a fresh
+  // answer and race the deterministic cache-miss probe below.
+  const std::string skewed_key = CanonicalPredicateKey(skewed);
+  std::vector<const WorkloadQuery*> client_queries;
+  for (const auto& q : workload_) {
+    if (CanonicalPredicateKey(CanonicalizeTerms(q.where)) != skewed_key) {
+      client_queries.push_back(&q);
+    }
+  }
+  ASSERT_LT(client_queries.size(), workload_.size());  // workload hits the cell
   std::atomic<bool> stop{false};
   std::atomic<size_t> failures{0};
   std::vector<std::thread> clients;
@@ -284,7 +294,7 @@ TEST_F(QueryServerTest, RefreshMidLoadNeverServesStaleSample) {
     clients.emplace_back([&, t] {
       size_t i = 0;
       while (!stop.load(std::memory_order_relaxed)) {
-        const auto& q = workload_[(t + i++) % workload_.size()];
+        const auto& q = *client_queries[(t + i++) % client_queries.size()];
         auto answer = server.Query(q.where);
         if (!answer.ok()) ++failures;
       }
@@ -342,6 +352,58 @@ TEST_F(QueryServerTest, MetricsRenderText) {
   EXPECT_NE(text.find("serve_latency_p99_us"), std::string::npos) << text;
 }
 
+TEST_F(QueryServerTest, TraceFlagYieldsSpanOnDemand) {
+  Tracer tracer(TracerOptions{TraceMode::kOnDemand, 256});
+  QueryServerOptions opts;
+  opts.tracer = &tracer;
+  QueryServer server(tabula_.get(), opts);
+
+  QueryRequest plain(workload_[0].where);
+  auto untraced = server.Query(plain);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced->span_id, 0u);
+
+  QueryRequest traced(workload_[1].where);
+  traced.trace = true;
+  auto answer = server.Query(traced);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NE(answer->span_id, 0u);
+  // The span is retrievable from the tracer by the returned id.
+  auto subtree = SpanSubtree(tracer.Snapshot(), answer->span_id);
+  ASSERT_FALSE(subtree.empty());
+  EXPECT_EQ(subtree.back().name, "serve.query");
+}
+
+TEST_F(QueryServerTest, BypassCacheSkipsProbeButStillFills) {
+  QueryServer server(tabula_.get());
+  const auto& where = workload_[0].where;
+  ASSERT_TRUE(server.Query(QueryRequest(where)).ok());  // fills the cache
+
+  QueryRequest bypass(where);
+  bypass.consistency = ConsistencyHint::kBypassCache;
+  auto fresh = server.Query(bypass);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->cache_hit);
+  // A bypassed probe counts neither as hit nor as miss.
+  auto snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.CounterValue("serve_cache_hits"), 0u);
+
+  // The bypassing query still refilled the cache for everyone else.
+  auto cached = server.Query(QueryRequest(where));
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->cache_hit);
+}
+
+TEST_F(QueryServerTest, DeprecatedOverloadMatchesQueryRequestPath) {
+  QueryServer server(tabula_.get());
+  auto old_style = server.Query(workload_[0].where);
+  ASSERT_TRUE(old_style.ok());
+  auto new_style = server.Query(QueryRequest(workload_[0].where));
+  ASSERT_TRUE(new_style.ok());
+  EXPECT_TRUE(new_style->cache_hit);  // same canonical key, same cache slot
+  EXPECT_EQ(new_style->result.get(), old_style->result.get());
+}
+
 // ---------- metrics primitives ----------
 
 TEST(LatencyHistogramTest, PercentilesFromKnownDistribution) {
@@ -363,6 +425,27 @@ TEST(LatencyHistogramTest, EmptyAndOverflow) {
   hist.Record(1e12);  // beyond the last bucket
   EXPECT_EQ(hist.Snapshot().count, 1u);
   EXPECT_GT(hist.Snapshot().P50Micros(), 1e8);
+}
+
+TEST(LatencyHistogramTest, OverflowPercentileIsFlaggedLowerBound) {
+  LatencyHistogram hist;
+  hist.Record(1e12);  // lands in the overflow bucket
+  PercentileEstimate est = hist.Snapshot().PercentileWithOverflow(0.5);
+  EXPECT_TRUE(est.overflow);
+  // The estimate is exactly the overflow bucket's lower edge (2^27 us),
+  // not a number interpolated toward a nonexistent upper edge.
+  EXPECT_EQ(est.micros,
+            LatencyHistogram::BucketUpperMicros(
+                LatencyHistogram::kNumBuckets - 1));
+
+  // A mixed distribution: p50 in range (unflagged), p99 in overflow.
+  for (int i = 0; i < 98; ++i) hist.Record(10.0);
+  HistogramSnapshot snap = hist.Snapshot();
+  PercentileEstimate p50 = snap.PercentileWithOverflow(0.5);
+  EXPECT_FALSE(p50.overflow);
+  EXPECT_LE(p50.micros, 16.0);
+  PercentileEstimate p99 = snap.PercentileWithOverflow(0.995);
+  EXPECT_TRUE(p99.overflow);
 }
 
 TEST(MetricsRegistryTest, CountersAndGaugesAreStable) {

@@ -134,10 +134,11 @@ TEST_F(TabulaEndToEnd, NonIcebergQueryReturnsGlobalSample) {
   auto tab = Tabula::Initialize(*table_, BaseOptions(&loss, 0.05));
   ASSERT_TRUE(tab.ok());
   // The unfiltered query ("All" cell) matches the global distribution.
-  auto answer = tab.value()->Query({});
+  auto answer = tab.value()->Query(QueryRequest{});
   ASSERT_TRUE(answer.ok());
-  EXPECT_FALSE(answer->from_local_sample);
-  EXPECT_EQ(answer->sample.size(), tab.value()->global_sample().size());
+  EXPECT_FALSE(answer->result.from_local_sample);
+  EXPECT_EQ(answer->result.sample.size(),
+            tab.value()->global_sample().size());
 }
 
 TEST_F(TabulaEndToEnd, UnknownFilterValueIsEmptyCell) {
