@@ -47,8 +47,10 @@ inline const Table& TaxiTable(const BenchConfig& config) {
     TaxiGeneratorOptions gen;
     gen.num_rows = config.rows;
     gen.seed = config.seed;
-    std::fprintf(stderr, "[bench] generating %zu taxi rides...\n",
-                 config.rows);
+    std::fprintf(stderr,
+                 "[bench] generating %zu taxi rides (seed=%llu)...\n",
+                 config.rows,
+                 static_cast<unsigned long long>(config.seed));
     return TaxiGenerator(gen).Generate();
   }();
   return *table;

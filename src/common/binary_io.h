@@ -62,7 +62,8 @@ class BinaryReader {
   }
   Result<std::string> ReadString() {
     TABULA_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
-    if (n > (1ull << 32)) return Status::ParseError("string too long");
+    // A garbage length field means the bytes on disk are corrupt.
+    if (n > (1ull << 32)) return Status::DataLoss("string too long");
     std::string s(n, '\0');
     TABULA_RETURN_NOT_OK(ReadRaw(s.data(), n));
     return s;
@@ -72,7 +73,7 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     TABULA_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
     if (n > (1ull << 34) / sizeof(T)) {
-      return Status::ParseError("vector too long");
+      return Status::DataLoss("vector too long");
     }
     std::vector<T> v(n);
     TABULA_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(T)));
@@ -83,7 +84,9 @@ class BinaryReader {
   Status ReadRaw(void* data, size_t bytes) {
     in_->read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
     if (!in_->good() && bytes > 0) {
-      return Status::IOError("unexpected end of file");
+      // The stream opened but ran out of bytes mid-record: the file is
+      // truncated, which no retry can fix — data loss, not I/O error.
+      return Status::DataLoss("unexpected end of file (truncated data)");
     }
     return Status::OK();
   }

@@ -2,8 +2,7 @@
 
 namespace tabula {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -27,14 +26,15 @@ const char* CodeName(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

@@ -23,7 +23,15 @@ enum class StatusCode {
   /// Transient overload (e.g. an admission queue at capacity); the
   /// caller may retry after backing off.
   kUnavailable,
+  /// Unrecoverable data corruption or loss (e.g. a truncated or
+  /// corrupted cube file). Unlike kIOError, retrying cannot help — the
+  /// bytes are gone; re-run initialization.
+  kDataLoss,
 };
+
+/// Stable name of a code ("IOError", "DataLoss", ...), for logs and
+/// deterministic scenario traces.
+const char* StatusCodeName(StatusCode code);
 
 /// \brief Operation outcome, RocksDB/Arrow style.
 ///
@@ -65,6 +73,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// Generic factory for a dynamically chosen non-OK code (fault
+  /// injection, protocol decoding). `code` must not be kOk.
+  static Status FromCode(StatusCode code, std::string msg) {
+    assert(code != StatusCode::kOk);
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "testing/fault_injection.h"
+
 namespace tabula {
 
 namespace {
@@ -50,6 +52,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Delay-only fault seam: lets tests stretch the window between task
+    // dequeue and execution (refresh racing queries, deadline expiry
+    // mid-dispatch). One relaxed load when nothing is armed.
+    TABULA_FAULT_DELAY("threadpool.dispatch");
     InsideWorkerScope scope;
     task();
   }

@@ -1,9 +1,11 @@
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "common/binary_io.h"
 #include "common/stopwatch.h"
 #include "core/tabula.h"
+#include "testing/fault_injection.h"
 
 namespace tabula {
 
@@ -48,40 +50,69 @@ uint64_t TableFingerprint(const Table& table) {
 }  // namespace
 
 Status Tabula::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  BinaryWriter w(&out);
-  w.WriteU32(kMagic);
-  w.WriteU32(kVersion);
-  w.WriteU64(TableFingerprint(*table_));
-  w.WriteString(loss_fn()->name());
-  w.WriteDouble(options_.threshold);
-  w.WriteU64(options_.cubed_attributes.size());
-  for (const auto& attr : options_.cubed_attributes) w.WriteString(attr);
+  // Write-temp-then-rename: the destination is replaced atomically only
+  // after every byte landed, so a failure mid-write (a full disk, an
+  // injected "persistence.write" fault) leaves any prior cube file at
+  // `path` intact instead of half-overwritten.
+  const std::string tmp = path + ".tmp";
+  Status written = [&]() -> Status {
+    TABULA_FAULT_POINT("persistence.open");
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    }
+    BinaryWriter w(&out);
+    w.WriteU32(kMagic);
+    w.WriteU32(kVersion);
+    w.WriteU64(TableFingerprint(*table_));
+    w.WriteString(loss_fn()->name());
+    w.WriteDouble(options_.threshold);
+    w.WriteU64(options_.cubed_attributes.size());
+    for (const auto& attr : options_.cubed_attributes) w.WriteString(attr);
 
-  w.WriteVector(global_sample_rows_);
+    w.WriteVector(global_sample_rows_);
+    TABULA_FAULT_POINT("persistence.write");
 
-  w.WriteU64(cube_.size());
-  for (const auto& cell : cube_.cells()) {
-    w.WriteU64(cell.key);
-    w.WriteU32(cell.cuboid);
-    w.WriteU32(cell.sample_id);
+    w.WriteU64(cube_.size());
+    for (const auto& cell : cube_.cells()) {
+      w.WriteU64(cell.key);
+      w.WriteU32(cell.cuboid);
+      w.WriteU32(cell.sample_id);
+    }
+    TABULA_FAULT_POINT("persistence.write");
+    w.WriteU64(samples_.size());
+    for (uint32_t id = 0; id < samples_.size(); ++id) {
+      w.WriteVector(samples_.sample(id));
+    }
+
+    // Stats snapshot so a loaded cube still reports its build costs.
+    w.WriteDouble(stats_.dry_run_millis);
+    w.WriteDouble(stats_.real_run_millis);
+    w.WriteDouble(stats_.selection_millis);
+    w.WriteU64(stats_.total_cells);
+    w.WriteU64(stats_.iceberg_cells);
+    w.WriteU64(stats_.iceberg_cuboids);
+    w.WriteU64(stats_.cells_sharing_samples);
+    TABULA_FAULT_POINT("persistence.write");
+
+    out.flush();
+    if (!w.ok() || !out) {
+      return Status::IOError("write failed for '" + tmp + "'");
+    }
+    return Status::OK();
+  }();
+  std::error_code ec;
+  if (!written.ok()) {
+    std::filesystem::remove(tmp, ec);  // best effort; ignore errors
+    return written;
   }
-  w.WriteU64(samples_.size());
-  for (uint32_t id = 0; id < samples_.size(); ++id) {
-    w.WriteVector(samples_.sample(id));
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::string reason = ec.message();
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot move '" + tmp + "' over '" + path +
+                           "': " + reason);
   }
-
-  // Stats snapshot so a loaded cube still reports its build costs.
-  w.WriteDouble(stats_.dry_run_millis);
-  w.WriteDouble(stats_.real_run_millis);
-  w.WriteDouble(stats_.selection_millis);
-  w.WriteU64(stats_.total_cells);
-  w.WriteU64(stats_.iceberg_cells);
-  w.WriteU64(stats_.iceberg_cuboids);
-  w.WriteU64(stats_.cells_sharing_samples);
-
-  if (!w.ok()) return Status::IOError("write failed for '" + path + "'");
   return Status::OK();
 }
 
@@ -93,6 +124,7 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
     return Status::InvalidArgument("TabulaOptions.loss must be set");
   }
   Stopwatch timer;
+  TABULA_FAULT_POINT("persistence.read");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   BinaryReader r(&in);
@@ -145,6 +177,12 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
 
   TABULA_ASSIGN_OR_RETURN(tabula->global_sample_rows_,
                           r.ReadVector<RowId>());
+  for (RowId row : tabula->global_sample_rows_) {
+    if (row >= table.num_rows()) {
+      return Status::DataLoss("cube file's global sample references row " +
+                              std::to_string(row) + " beyond the table");
+    }
+  }
   tabula->global_sample_ =
       DatasetView(&table, tabula->global_sample_rows_);
 
@@ -162,9 +200,8 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
     // Validate row ids against the table before trusting the file.
     for (RowId row : rows) {
       if (row >= table.num_rows()) {
-        return Status::ParseError("cube file references row " +
-                                  std::to_string(row) +
-                                  " beyond the table");
+        return Status::DataLoss("cube file references row " +
+                                std::to_string(row) + " beyond the table");
       }
     }
     tabula->samples_.Add(std::move(rows));
@@ -172,7 +209,7 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
   for (const auto& cell : tabula->cube_.cells()) {
     if (cell.sample_id != kInvalidSampleId &&
         cell.sample_id >= tabula->samples_.size()) {
-      return Status::ParseError("cube file has a dangling sample link");
+      return Status::DataLoss("cube file has a dangling sample link");
     }
   }
 

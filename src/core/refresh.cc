@@ -13,6 +13,7 @@
 #include "core/tabula.h"
 #include "cube/lattice.h"
 #include "sampling/greedy_sampler.h"
+#include "testing/fault_injection.h"
 
 namespace tabula {
 
@@ -69,6 +70,13 @@ Status Tabula::Refresh(RefreshStats* stats) {
     return Status::OK();
   }
 
+  // Failure contract: every error return below (including injected
+  // faults) happens BEFORE any cube/sample/encoder mutation — fallible
+  // work is staged into locals and committed in one infallible block at
+  // the end — so a failed Refresh leaves the instance answering queries
+  // exactly as it did before the call, generation unchanged.
+  TABULA_FAULT_POINT("refresh.begin");
+
   // Re-make the encoder: appended rows need fresh int64 code maps, and
   // this is where unseen attribute values surface.
   TABULA_ASSIGN_OR_RETURN(
@@ -101,12 +109,13 @@ Status Tabula::Refresh(RefreshStats* stats) {
     NotifyRefreshListeners();
     return Status::OK();
   }
-  encoder_ = std::move(new_encoder);
-
   // Lazily build the finest-state map when Initialize didn't keep it
-  // (one full accumulation pass; kept for subsequent refreshes).
+  // (one full accumulation pass; kept for subsequent refreshes). Safe
+  // to persist before the commit point: it only describes rows
+  // [0, n0), which matches refreshed_rows_ whether or not this Refresh
+  // completes. The old and new encoders agree on those rows (appends
+  // never re-code existing values; the layout check above passed).
   if (finest_states_.empty()) {
-    // Accumulate only rows [0, n0): the new rows join right below.
     if (maintenance_bound_ == nullptr) {
       TABULA_ASSIGN_OR_RETURN(maintenance_bound_,
                               loss_fn()->Bind(*table_, global_sample_));
@@ -116,17 +125,19 @@ Status Tabula::Refresh(RefreshStats* stats) {
     DatasetView old_view(table_, std::move(old_rows));
     BoundLoss* bound = maintenance_bound_.get();
     finest_states_ = GroupAccumulate<LossState>(
-        encoder_, packer_, old_view,
+        new_encoder, packer_, old_view,
         [bound](LossState* state, RowId row) {
           bound->Accumulate(state, row);
         });
   }
 
-  // 1. Fold the appended rows into the finest states.
+  // 1. Fold the appended rows into a STAGED copy of the finest states
+  //    (committed only once all fallible work succeeded).
+  std::unordered_map<uint64_t, LossState> staged_finest = finest_states_;
   std::unordered_set<uint64_t> dirty_finest;
   for (size_t r = n0; r < n1; ++r) {
-    uint64_t key = packer_.PackRow(encoder_, static_cast<RowId>(r));
-    maintenance_bound_->Accumulate(&finest_states_[key],
+    uint64_t key = packer_.PackRow(new_encoder, static_cast<RowId>(r));
+    maintenance_bound_->Accumulate(&staged_finest[key],
                                    static_cast<RowId>(r));
     dirty_finest.insert(key);
   }
@@ -137,7 +148,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
   std::vector<std::unordered_map<uint64_t, LossState>> maps(
       lattice.num_cuboids());
   std::vector<std::unordered_set<uint64_t>> dirty(lattice.num_cuboids());
-  maps[lattice.finest()] = finest_states_;  // copy: roll-up consumes it
+  maps[lattice.finest()] = staged_finest;  // copy: roll-up consumes it
   dirty[lattice.finest()] = std::move(dirty_finest);
   for (CuboidMask mask : lattice.TopDownOrder()) {
     if (mask == lattice.finest()) continue;
@@ -154,12 +165,14 @@ Status Tabula::Refresh(RefreshStats* stats) {
     }
   }
 
-  // Classify the work per cuboid.
+  // Classify the work per cuboid. Drops are only recorded here; the
+  // cube itself mutates in the commit block below.
   struct CellWork {
     CuboidMask cuboid;
     bool is_new;  // newly iceberg vs existing-but-dirty
   };
   std::unordered_map<uint64_t, CellWork> needs_rows;
+  std::vector<uint64_t> to_remove;
   for (size_t m = 0; m < lattice.num_cuboids(); ++m) {
     CuboidMask mask = static_cast<CuboidMask>(m);
     for (const auto& [key, state] : maps[m]) {
@@ -171,7 +184,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
       } else if (!iceberg && existing != nullptr) {
         // The global sample now covers this cell (state says loss <= θ):
         // serve it from the global sample again.
-        cube_.Remove(key);
+        to_remove.push_back(key);
         ++out->dropped_iceberg_cells;
       } else if (iceberg && existing != nullptr &&
                  dirty[m].count(key) > 0) {
@@ -179,6 +192,11 @@ Status Tabula::Refresh(RefreshStats* stats) {
       }
     }
   }
+
+  // Staged mutations, applied only after every fallible step succeeded.
+  std::vector<IcebergCell> staged_new_cells;
+  std::vector<std::pair<uint64_t, std::vector<RowId>>> staged_relinks;
+  std::vector<std::vector<RowId>> staged_new_samples;
 
   if (!needs_rows.empty()) {
     // 3. One pass per affected cuboid collecting the raw rows of cells
@@ -189,7 +207,7 @@ Status Tabula::Refresh(RefreshStats* stats) {
     for (CuboidMask mask : affected) {
       for (size_t r = 0; r < n1; ++r) {
         uint64_t key =
-            packer_.PackRowMasked(encoder_, static_cast<RowId>(r), mask);
+            packer_.PackRowMasked(new_encoder, static_cast<RowId>(r), mask);
         auto it = needs_rows.find(key);
         if (it != needs_rows.end() && it->second.cuboid == mask) {
           cell_rows[key].push_back(static_cast<RowId>(r));
@@ -197,23 +215,24 @@ Status Tabula::Refresh(RefreshStats* stats) {
       }
     }
 
-    // 4. Verify / (re)sample.
+    // 4. Verify / (re)sample into the staging area.
     GreedySamplerOptions sampler_opts = options_.sampler;
     sampler_opts.seed = options_.seed;
     GreedySampler sampler(loss_fn(), options_.threshold, sampler_opts);
     for (auto& [key, rows] : cell_rows) {
       const CellWork& work = needs_rows.at(key);
       DatasetView raw(table_, rows);
+      TABULA_FAULT_POINT("refresh.sample");
       if (work.is_new) {
         TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
                                 sampler.Sample(raw));
         IcebergCell cell;
         cell.key = key;
         cell.cuboid = work.cuboid;
-        cell.sample_id = samples_.Add(std::move(sample));
-        cube_.Add(std::move(cell));
+        staged_new_cells.push_back(std::move(cell));
+        staged_new_samples.push_back(std::move(sample));
       } else {
-        IcebergCell* cell = cube_.FindMutable(key);
+        const IcebergCell* cell = cube_.Find(key);
         TABULA_CHECK(cell != nullptr);
         ++out->rechecked_cells;
         DatasetView rep(table_, samples_.sample(cell->sample_id));
@@ -221,15 +240,30 @@ Status Tabula::Refresh(RefreshStats* stats) {
         if (loss > options_.threshold) {
           TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
                                   sampler.Sample(raw));
-          cell->sample_id = samples_.Add(std::move(sample));
+          staged_relinks.emplace_back(key, std::move(sample));
           ++out->resampled_cells;
         }
       }
     }
   }
 
+  // ---- Commit point: nothing below can fail. ----
+  encoder_ = std::move(new_encoder);
+  for (uint64_t key : to_remove) cube_.Remove(key);
+  for (size_t i = 0; i < staged_new_cells.size(); ++i) {
+    staged_new_cells[i].sample_id =
+        samples_.Add(std::move(staged_new_samples[i]));
+    cube_.Add(std::move(staged_new_cells[i]));
+  }
+  for (auto& [key, sample] : staged_relinks) {
+    IcebergCell* cell = cube_.FindMutable(key);
+    TABULA_CHECK(cell != nullptr);
+    cell->sample_id = samples_.Add(std::move(sample));
+  }
   refreshed_rows_ = n1;
-  if (!options_.keep_maintenance_state) {
+  if (options_.keep_maintenance_state) {
+    finest_states_ = std::move(staged_finest);
+  } else {
     finest_states_.clear();  // rebuilt lazily next time
   }
   uint64_t tuple_bytes = BytesPerTuple();

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/export.h"
+#include "testing/fault_injection.h"
 
 namespace tabula {
 
@@ -87,6 +88,9 @@ void QueryServer::MaybeLogSlowQuery(const std::string& key,
 QueryServer::Admission QueryServer::Admit(double deadline_ms,
                                           double* waited_ms) {
   Stopwatch wait;
+  // Delay-only seam: simulates admission pressure (slow wakeups, noisy
+  // neighbours) so deadline-degradation paths can be forced in tests.
+  TABULA_FAULT_DELAY("serve.admit");
   std::unique_lock<std::mutex> lock(slot_mu_);
   if (admitted_ >= options_.max_queue) return Admission::kRejected;
   ++admitted_;
@@ -126,6 +130,15 @@ Result<ServeAnswer> QueryServer::Execute(std::vector<PredicateTerm> canonical,
   // the cache while this query is in flight, the Put below becomes a
   // no-op instead of resurrecting a pre-refresh answer.
   const uint64_t gen = cache_->generation();
+  // Error/delay seam on the uncached lookup path; an injected error
+  // surfaces to the caller as a Status and counts as a serve error.
+  if (FaultInjector::AnyArmed()) {
+    Status injected = FaultInjector::Global().Hit("serve.execute");
+    if (!injected.ok()) {
+      metrics_.counter(kErrors).Increment();
+      return injected;
+    }
+  }
   QueryRequest inner(std::move(canonical));
   inner.trace = trace;
   inner.parent_span = parent_span;
@@ -380,6 +393,10 @@ Result<std::vector<BatchItem>> QueryServer::BatchQuery(
 
 Status QueryServer::Refresh(Tabula::RefreshStats* stats) {
   std::unique_lock<std::shared_mutex> lock(cube_mu_);
+  // Delay-only seam: widens the exclusive-lock window so refresh-vs-
+  // query races (generation fencing, stale-cache checks) are reachable
+  // deterministically instead of only under lucky scheduling.
+  TABULA_FAULT_DELAY("serve.refresh");
   Status st = tabula_->Refresh(stats);
   if (st.ok()) {
     // The registered listener already fenced the cache; refresh the

@@ -1,0 +1,106 @@
+#include "testing/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tabula {
+
+namespace {
+
+/// SplitMix64 finalizer: a stateless, high-quality 64-bit mix. The
+/// probability decision hashes (seed, hit index) through it, so whether
+/// hit #h triggers depends only on the armed spec — not on thread
+/// interleaving or any shared RNG stream.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  if (spec.every_nth == 0) spec.every_nth = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.insert_or_assign(
+      point, ArmedPoint{std::move(spec), PointStats{}});
+  (void)it;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+Status FaultInjector::Hit(std::string_view point) {
+  double delay_ms = 0.0;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    ArmedPoint& armed = it->second;
+    const FaultSpec& spec = armed.spec;
+    uint64_t hit = ++armed.stats.hits;
+
+    if (spec.max_triggers > 0 && armed.stats.triggers >= spec.max_triggers) {
+      return Status::OK();
+    }
+    bool trigger;
+    if (spec.probability >= 0.0) {
+      // [0, 1) draw from the (seed, hit) hash.
+      double u = static_cast<double>(Mix64(spec.seed ^ hit) >> 11) *
+                 (1.0 / 9007199254740992.0);  // 2^53
+      trigger = u < spec.probability;
+    } else {
+      trigger = hit % spec.every_nth == 0;
+    }
+    if (!trigger) return Status::OK();
+    ++armed.stats.triggers;
+    delay_ms = spec.delay_ms;
+    if (spec.fail) {
+      std::string msg = spec.message.empty()
+                            ? "injected fault at '" + std::string(point) + "'"
+                            : spec.message;
+      injected = Status::FromCode(spec.code, std::move(msg));
+    }
+  }
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return injected;
+}
+
+FaultInjector::PointStats FaultInjector::StatsFor(
+    const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? PointStats{} : it->second.stats;
+}
+
+std::map<std::string, FaultInjector::PointStats> FaultInjector::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, PointStats> out;
+  for (const auto& [name, armed] : points_) out.emplace(name, armed.stats);
+  return out;
+}
+
+}  // namespace tabula

@@ -1,0 +1,142 @@
+#ifndef TABULA_TESTING_FAULT_INJECTION_H_
+#define TABULA_TESTING_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tabula {
+
+/// \brief What an armed fault point does when a hit triggers.
+///
+/// Triggering is fully deterministic: `every_nth` counts hits at the
+/// point, and `probability` is decided by hashing (seed, hit index) —
+/// never by a shared stateful RNG — so two runs that reach a point the
+/// same number of times inject at exactly the same hits. That is the
+/// property the soak driver's replay-by-seed depends on.
+struct FaultSpec {
+  /// Trigger on every Nth hit (1 = every hit). Ignored when
+  /// `probability` is set (>= 0).
+  uint64_t every_nth = 1;
+  /// Seeded trigger probability in [0, 1]; < 0 means "use every_nth".
+  double probability = -1.0;
+  /// Seed for the per-hit probability hash.
+  uint64_t seed = 42;
+  /// Stop triggering after this many injections (0 = unlimited).
+  uint64_t max_triggers = 0;
+  /// Sleep this long before (possibly) failing, in milliseconds.
+  /// Delay-only faults (fail = false) model slow I/O / scheduling jitter.
+  double delay_ms = 0.0;
+  /// When true a triggered hit returns an error Status; when false the
+  /// hit only delays.
+  bool fail = true;
+  /// Code of the injected error.
+  StatusCode code = StatusCode::kIOError;
+  /// Message of the injected error ("" → "injected fault at '<point>'").
+  std::string message;
+};
+
+/// \brief Registry of named fault points (FoundationDB-style seams).
+///
+/// Production code marks its fallible seams with TABULA_FAULT_POINT /
+/// TABULA_FAULT_DELAY below; tests and the soak driver arm specific
+/// points with a FaultSpec. Cost contract: with nothing armed anywhere,
+/// a seam is one relaxed atomic load plus an untaken branch — the same
+/// discipline as the kDisabled Tracer — so seams may sit on hot paths
+/// (ThreadPool dispatch, serve admission) without measurable overhead.
+///
+/// Thread-safe: Arm/Disarm/Hit may race freely; the per-point hit
+/// counter is advanced under the registry mutex, and injected delays
+/// sleep outside it.
+class FaultInjector {
+ public:
+  /// Per-point counters, for asserting "the fault actually fired".
+  struct PointStats {
+    uint64_t hits = 0;      ///< times an armed point was reached
+    uint64_t triggers = 0;  ///< times it injected (delay and/or error)
+  };
+
+  static FaultInjector& Global();
+
+  /// True when at least one point is armed in the whole process — the
+  /// macro fast-path guard. One relaxed load.
+  static bool AnyArmed() {
+    return armed_points_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Arms (or re-arms, resetting counters) the named point.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms one point (no-op when not armed).
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and clears all stats.
+  void DisarmAll();
+
+  /// Slow path behind the macros: looks the point up, advances its hit
+  /// counter, applies the armed delay, and returns the injected error
+  /// when the hit triggers (OK otherwise, and always when unarmed).
+  Status Hit(std::string_view point);
+
+  /// Counters of an armed point (zeros when unknown).
+  PointStats StatsFor(const std::string& point) const;
+
+  /// Counters of every armed point.
+  std::map<std::string, PointStats> Snapshot() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedPoint {
+    FaultSpec spec;
+    PointStats stats;
+  };
+
+  /// Process-wide armed-point count; the macros' one-load guard.
+  inline static std::atomic<int> armed_points_{0};
+
+  mutable std::mutex mu_;
+  std::map<std::string, ArmedPoint, std::less<>> points_;
+};
+
+/// RAII helper: disarms every fault point on scope exit, so a test that
+/// fails mid-way cannot leak armed faults into later tests.
+class ScopedFaultClear {
+ public:
+  ScopedFaultClear() = default;
+  ~ScopedFaultClear() { FaultInjector::Global().DisarmAll(); }
+  ScopedFaultClear(const ScopedFaultClear&) = delete;
+  ScopedFaultClear& operator=(const ScopedFaultClear&) = delete;
+};
+
+/// Fault seam in a function returning Status or Result<T>: when the
+/// named point is armed and triggers, the injected Status is returned
+/// to the caller (after any armed delay). Disabled cost: one relaxed
+/// atomic load.
+#define TABULA_FAULT_POINT(point)                                     \
+  do {                                                                \
+    if (::tabula::FaultInjector::AnyArmed()) {                        \
+      ::tabula::Status _tabula_fault_status =                         \
+          ::tabula::FaultInjector::Global().Hit(point);               \
+      if (!_tabula_fault_status.ok()) return _tabula_fault_status;    \
+    }                                                                 \
+  } while (0)
+
+/// Fault seam on a void path (task dispatch, admission wait): armed
+/// delays apply; an armed error Status cannot propagate from a void
+/// seam and is intentionally swallowed (arm `fail = false` specs here).
+#define TABULA_FAULT_DELAY(point)                                     \
+  do {                                                                \
+    if (::tabula::FaultInjector::AnyArmed()) {                        \
+      (void)::tabula::FaultInjector::Global().Hit(point);             \
+    }                                                                 \
+  } while (0)
+
+}  // namespace tabula
+
+#endif  // TABULA_TESTING_FAULT_INJECTION_H_

@@ -1,0 +1,97 @@
+#include "testing/oracle.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace tabula {
+
+const OracleCell* OracleCube::Find(uint64_t key) const {
+  auto it = index.find(key);
+  return it == index.end() ? nullptr : &cells[it->second];
+}
+
+Result<OracleCube> BuildOracleCube(const Table& table,
+                                   const KeyEncoder& encoder,
+                                   const KeyPacker& packer,
+                                   const LossFunction& loss,
+                                   const DatasetView& global_sample,
+                                   double theta) {
+  OracleCube cube;
+  Lattice lattice(packer.num_cols());
+  const size_t n = table.num_rows();
+  for (size_t m = 0; m < lattice.num_cuboids(); ++m) {
+    CuboidMask mask = static_cast<CuboidMask>(m);
+    // Independent full scan per cuboid — deliberately NOT the single
+    // finest-scan + roll-up the dry run uses.
+    std::unordered_map<uint64_t, std::vector<RowId>> by_key;
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t key =
+          packer.PackRowMasked(encoder, static_cast<RowId>(r), mask);
+      by_key[key].push_back(static_cast<RowId>(r));
+    }
+    for (auto& [key, rows] : by_key) {
+      OracleCell cell;
+      cell.key = key;
+      cell.cuboid = mask;
+      DatasetView raw(&table, rows);
+      TABULA_ASSIGN_OR_RETURN(cell.loss, loss.Loss(raw, global_sample));
+      cell.iceberg = cell.loss > theta;
+      cell.rows = std::move(rows);
+      cube.index.emplace(key, cube.cells.size());
+      cube.cells.push_back(std::move(cell));
+      ++cube.total_cells;
+      if (cube.cells.back().iceberg) ++cube.iceberg_cells;
+    }
+  }
+  return cube;
+}
+
+Result<std::vector<RowId>> NaiveGreedySample(const Table& table,
+                                             const LossFunction& loss,
+                                             double theta,
+                                             const DatasetView& raw,
+                                             uint64_t seed) {
+  const size_t n = raw.size();
+  if (n == 0) return std::vector<RowId>{};
+
+  // Same shuffled candidate order as GreedySampler::Sample, so when two
+  // candidates yield the exact same loss both implementations pick the
+  // one earlier in this order.
+  Rng rng(seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng.Shuffle(&order);
+
+  std::vector<char> chosen(n, 0);
+  std::vector<RowId> sample;
+  while (sample.size() < n) {
+    if (!sample.empty()) {
+      DatasetView sample_view(&table, sample);
+      TABULA_ASSIGN_OR_RETURN(double cur, loss.Loss(raw, sample_view));
+      if (cur <= theta) break;
+    }
+    // Exhaustive round: direct loss(raw, sample + candidate) for every
+    // remaining candidate, strict-minimum pick.
+    double best_loss = kInfiniteLoss;
+    size_t best = n;
+    std::vector<RowId> trial = sample;
+    trial.push_back(0);  // slot for the candidate under test
+    for (size_t i : order) {
+      if (chosen[i]) continue;
+      trial.back() = raw.row(i);
+      DatasetView trial_view(&table, trial);
+      TABULA_ASSIGN_OR_RETURN(double l, loss.Loss(raw, trial_view));
+      if (l < best_loss) {
+        best_loss = l;
+        best = i;
+      }
+    }
+    if (best == n) break;  // no candidate left (all chosen)
+    chosen[best] = 1;
+    sample.push_back(raw.row(best));
+  }
+  return sample;
+}
+
+}  // namespace tabula

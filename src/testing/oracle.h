@@ -1,0 +1,79 @@
+#ifndef TABULA_TESTING_ORACLE_H_
+#define TABULA_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/lattice.h"
+#include "exec/group_by.h"
+#include "loss/loss_function.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// \brief Brute-force reference implementations of the cube pipeline,
+/// for differential testing (SQLite-TH3 style): every optimization in
+/// the production path — the algebraic dry-run roll-up, the cost-model
+/// path choice, the lazy-forward sampler, the candidate-pool cap — has
+/// a deliberately naive counterpart here that shares NO code with it
+/// beyond the LossFunction interface. The optimized and naive answers
+/// must agree; when they diverge, the optimization broke correctness.
+///
+/// Everything in this header is O(cells × rows) or worse by design;
+/// use small tables.
+
+/// One cell of the brute-force cube: raw rows gathered by direct scan,
+/// loss evaluated directly against the global sample (no LossState
+/// accumulation, no lattice roll-up).
+struct OracleCell {
+  uint64_t key = 0;
+  CuboidMask cuboid = 0;
+  std::vector<RowId> rows;
+  double loss = 0.0;
+  bool iceberg = false;
+};
+
+/// The exact cube: every non-empty cell of every cuboid.
+struct OracleCube {
+  std::vector<OracleCell> cells;
+  size_t total_cells = 0;
+  size_t iceberg_cells = 0;
+
+  /// Cell by full-width packed key (nullptr when absent/empty).
+  const OracleCell* Find(uint64_t key) const;
+
+  std::unordered_map<uint64_t, size_t> index;
+};
+
+/// Builds the exact cube by enumerating every cuboid independently:
+/// one full-table scan per cuboid collects each cell's raw rows, and
+/// each cell's loss is one direct LossFunction::Loss call. No shared
+/// state with RunDryRun/RunRealRun.
+Result<OracleCube> BuildOracleCube(const Table& table,
+                                   const KeyEncoder& encoder,
+                                   const KeyPacker& packer,
+                                   const LossFunction& loss,
+                                   const DatasetView& global_sample,
+                                   double theta);
+
+/// \brief Naive greedy SAMPLING(*, θ) — Algorithm 1 with nothing on:
+/// no lazy-forward heap, no candidate-pool cap, no incremental
+/// evaluator. Every round re-evaluates loss(raw, sample + candidate)
+/// for EVERY remaining candidate by direct loss computation and picks
+/// the strict minimum, scanning candidates in the same seeded shuffle
+/// order the production sampler uses so tie-breaking matches the
+/// exhaustive path exactly. The lazy-forward (CELF) path used for
+/// submodular losses breaks exact gain ties by heap order instead, so
+/// its samples may swap in an equally-good candidate — tests compare
+/// it tie-tolerantly (see tests/oracle_diff_test.cc).
+Result<std::vector<RowId>> NaiveGreedySample(const Table& table,
+                                             const LossFunction& loss,
+                                             double theta,
+                                             const DatasetView& raw,
+                                             uint64_t seed);
+
+}  // namespace tabula
+
+#endif  // TABULA_TESTING_ORACLE_H_

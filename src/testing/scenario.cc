@@ -1,0 +1,599 @@
+#include "testing/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/tabula.h"
+#include "data/synthetic_gen.h"
+#include "data/workload.h"
+#include "loss/loss_registry.h"
+#include "obs/trace.h"
+#include "serve/query_server.h"
+#include "storage/predicate.h"
+#include "testing/fault_injection.h"
+
+namespace tabula {
+
+namespace {
+
+/// Everything one run needs, bundled so the per-op helpers stay small.
+struct SoakContext {
+  const SoakOptions* opt = nullptr;
+  Rng rng{1};
+
+  std::unique_ptr<Table> table;  ///< live base table (appended to)
+  std::unique_ptr<Table> donor;  ///< append source, same schema specs
+  size_t donor_pos = 0;
+  std::vector<std::string> attrs;
+
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<Tabula> tabula;
+  std::unique_ptr<QueryServer> server;
+
+  std::string cube_path;
+  bool file_valid = false;      ///< a successful Save exists
+  uint64_t file_generation = 0; ///< generation at that Save
+
+  /// Mirror of the armed fault points (FaultInjector is process-global;
+  /// the run owns it exclusively via ScopedFaultClear).
+  std::set<std::string> armed;
+  bool refresh_fault_armed = false;
+  bool persistence_fault_armed = false;
+
+  size_t answers_seen = 0;  ///< drives the every-Nth θ-check counter
+  size_t bypass_queries = 0;
+
+  SoakReport report;
+
+  void Trace(std::string line) {
+    if (opt->verbose) std::fprintf(stderr, "[soak] %s\n", line.c_str());
+    report.trace.push_back(std::move(line));
+  }
+  void Violation(size_t step, std::string what) {
+    report.violations.push_back("step=" + std::to_string(step) + " " +
+                                std::move(what));
+  }
+};
+
+std::string DescribeAnswer(const ServeAnswer& a) {
+  const TabulaQueryResult& r = *a.result;
+  std::string out = a.cache_hit ? "hit" : "miss";
+  if (r.empty_cell) {
+    out += " empty";
+  } else {
+    out += r.from_local_sample ? " local" : " global";
+  }
+  out += " n=" + std::to_string(r.sample.size());
+  return out;
+}
+
+/// Same as DescribeAnswer but without the cache bit: batch items run
+/// concurrently, so whether a duplicate key hit the cache depends on
+/// scheduling — everything else about the answer is deterministic.
+std::string DescribeItem(const ServeAnswer& a) {
+  const TabulaQueryResult& r = *a.result;
+  std::string out;
+  if (r.empty_cell) {
+    out = "empty";
+  } else {
+    out = r.from_local_sample ? "local" : "global";
+  }
+  out += " n=" + std::to_string(r.sample.size());
+  return out;
+}
+
+/// Served answer == direct cube lookup (catches stale cache entries
+/// surviving a refresh fence, and cache/value divergence in general).
+void CheckCoherence(SoakContext& ctx, size_t step,
+                    const std::vector<PredicateTerm>& where,
+                    const TabulaQueryResult& served, const char* who) {
+  Result<QueryResponse> direct = ctx.tabula->Query(QueryRequest(where));
+  if (!direct.ok()) {
+    ctx.Violation(step, std::string(who) + " direct re-query failed: " +
+                            direct.status().ToString());
+    return;
+  }
+  const TabulaQueryResult& want = direct.value().result;
+  if (served.from_local_sample != want.from_local_sample ||
+      served.empty_cell != want.empty_cell ||
+      served.sample.ToRowIds() != want.sample.ToRowIds()) {
+    ctx.Violation(step, std::string(who) +
+                            " served answer diverges from live cube "
+                            "(stale generation?)");
+  }
+}
+
+/// The paper's deterministic guarantee: loss(truth, sample) <= θ, with
+/// truth gathered by a direct predicate scan (no cube code involved).
+/// Tolerance covers summation-order FP noise between the production
+/// LossState arithmetic and this direct evaluation.
+void CheckTheta(SoakContext& ctx, size_t step,
+                const std::vector<PredicateTerm>& where,
+                const TabulaQueryResult& served) {
+  ++ctx.report.theta_checks;
+  Result<BoundPredicate> bound = BoundPredicate::Bind(*ctx.table, where);
+  if (!bound.ok()) {
+    ctx.Violation(step, "theta-check bind failed: " +
+                            bound.status().ToString());
+    return;
+  }
+  std::vector<RowId> truth = bound.value().FilterAll();
+  if (truth.empty() != served.empty_cell) {
+    ctx.Violation(step, "empty_cell=" +
+                            std::to_string(served.empty_cell) +
+                            " but ground truth has " +
+                            std::to_string(truth.size()) + " rows");
+    return;
+  }
+  if (truth.empty()) return;
+  const LossFunction* loss = ctx.tabula->options().effective_loss();
+  DatasetView truth_view(ctx.table.get(), std::move(truth));
+  Result<double> l = loss->Loss(truth_view, served.sample);
+  if (!l.ok()) {
+    ctx.Violation(step, "theta-check loss failed: " + l.status().ToString());
+    return;
+  }
+  const double theta = ctx.tabula->options().threshold;
+  if (l.value() > theta * (1.0 + 1e-7) + 1e-12) {
+    ctx.Violation(step, "theta bound broken: loss=" +
+                            std::to_string(l.value()) +
+                            " > theta=" + std::to_string(theta));
+  }
+}
+
+Result<std::vector<WorkloadQuery>> DrawQueries(SoakContext& ctx, size_t n) {
+  WorkloadOptions wopt;
+  wopt.num_queries = n;
+  wopt.seed = static_cast<uint64_t>(ctx.rng.UniformInt(0, (1LL << 30)));
+  return GenerateWorkload(*ctx.table, ctx.attrs, wopt);
+}
+
+Status OpQuery(SoakContext& ctx, size_t step) {
+  TABULA_ASSIGN_OR_RETURN(std::vector<WorkloadQuery> qs, DrawQueries(ctx, 1));
+  const WorkloadQuery& q = qs[0];
+  QueryRequest req(q.where);
+  if (ctx.rng.Bernoulli(0.25)) {
+    req.consistency = ConsistencyHint::kBypassCache;
+    ++ctx.bypass_queries;
+  }
+  Result<ServeAnswer> ans = ctx.server->Query(req);
+  ++ctx.report.queries;
+  if (!ans.ok()) {
+    // No error fault is ever armed on the serve path (see OpFaultToggle),
+    // so a failed query is always a violation.
+    ctx.Violation(step, "query failed: " + ans.status().ToString());
+    ctx.Trace("step=" + std::to_string(step) + " query " + q.ToString() +
+              " -> ERROR " + std::string(StatusCodeName(ans.status().code())));
+    return Status::OK();
+  }
+  const ServeAnswer& a = ans.value();
+  if (a.degraded) ctx.Violation(step, "query degraded without a deadline");
+  ctx.Trace("step=" + std::to_string(step) + " query " + q.ToString() +
+            (req.consistency == ConsistencyHint::kBypassCache ? " bypass"
+                                                              : "") +
+            " -> " + DescribeAnswer(a));
+  CheckCoherence(ctx, step, q.where, *a.result, "query");
+  if (++ctx.answers_seen % ctx.opt->check_every == 0) {
+    CheckTheta(ctx, step, q.where, *a.result);
+  }
+  return Status::OK();
+}
+
+Status OpBatch(SoakContext& ctx, size_t step) {
+  size_t n = 2 + static_cast<size_t>(ctx.rng.UniformInt(0, 6));
+  TABULA_ASSIGN_OR_RETURN(std::vector<WorkloadQuery> qs, DrawQueries(ctx, n));
+  std::vector<QueryRequest> reqs;
+  reqs.reserve(qs.size());
+  for (const auto& q : qs) reqs.emplace_back(q.where);
+  Result<std::vector<BatchItem>> batch = ctx.server->BatchQuery(reqs);
+  ++ctx.report.batches;
+  ctx.report.batch_items += qs.size();
+  if (!batch.ok()) {
+    ctx.Violation(step, "batch failed: " + batch.status().ToString());
+    return Status::OK();
+  }
+  std::string line = "step=" + std::to_string(step) + " batch n=" +
+                     std::to_string(qs.size());
+  for (size_t i = 0; i < batch.value().size(); ++i) {
+    const BatchItem& item = batch.value()[i];
+    if (!item.status.ok()) {
+      ctx.Violation(step, "batch item failed: " + item.status.ToString());
+      line += " [" + qs[i].ToString() + " -> ERROR]";
+      continue;
+    }
+    if (item.answer.degraded) {
+      ctx.Violation(step, "batch item degraded without a deadline");
+    }
+    line += " [" + qs[i].ToString() + " -> " + DescribeItem(item.answer) +
+            "]";
+    CheckCoherence(ctx, step, qs[i].where, *item.answer.result, "batch");
+    if (++ctx.answers_seen % ctx.opt->check_every == 0) {
+      CheckTheta(ctx, step, qs[i].where, *item.answer.result);
+    }
+  }
+  ctx.Trace(std::move(line));
+  return Status::OK();
+}
+
+Status OpRefresh(SoakContext& ctx, size_t step) {
+  size_t m = 1 + static_cast<size_t>(ctx.rng.UniformInt(0, 199));
+  for (size_t i = 0; i < m; ++i) {
+    RowId row = static_cast<RowId>(ctx.donor_pos % ctx.donor->num_rows());
+    ++ctx.donor_pos;
+    TABULA_RETURN_NOT_OK(ctx.table->AppendRowFrom(*ctx.donor, row));
+  }
+
+  const uint64_t gen_before = ctx.tabula->generation();
+  Tabula::RefreshStats stats;
+  Status st = ctx.server->Refresh(&stats);
+  std::string line = "step=" + std::to_string(step) + " refresh rows=" +
+                     std::to_string(m);
+  if (!st.ok()) {
+    ++ctx.report.injected_refresh_failures;
+    line += " -> ERROR " + std::string(StatusCodeName(st.code()));
+    if (!ctx.refresh_fault_armed) {
+      ctx.Violation(step, "refresh failed with no refresh fault armed: " +
+                              st.ToString());
+    }
+    // Failure atomicity: a failed Refresh must leave the cube exactly
+    // as it was — same generation, still answering queries.
+    if (ctx.tabula->generation() != gen_before) {
+      ctx.Violation(step, "failed refresh advanced the generation");
+    }
+    // Clear the injected fault and retry; the cube must recover.
+    for (const char* p : {"refresh.begin", "refresh.sample"}) {
+      if (ctx.armed.erase(p) > 0) FaultInjector::Global().Disarm(p);
+    }
+    ctx.refresh_fault_armed = false;
+    st = ctx.server->Refresh(&stats);
+    if (!st.ok()) {
+      ctx.Violation(step, "refresh retry failed after disarm: " +
+                              st.ToString());
+      ctx.Trace(std::move(line));
+      return Status::OK();
+    }
+    line += " retry";
+  }
+  ++ctx.report.refreshes;
+  line += " -> gen=" + std::to_string(ctx.tabula->generation()) +
+          " new_rows=" + std::to_string(stats.new_rows) +
+          " new_ice=" + std::to_string(stats.new_iceberg_cells) +
+          " dropped=" + std::to_string(stats.dropped_iceberg_cells) +
+          " resampled=" + std::to_string(stats.resampled_cells) +
+          (stats.full_rebuild ? " rebuild" : "");
+  if (ctx.tabula->generation() != gen_before + 1) {
+    ctx.Violation(step, "successful refresh did not advance generation "
+                        "by exactly one");
+  }
+  ctx.Trace(std::move(line));
+
+  // Staleness probe: a cached-path answer right after the refresh must
+  // match a cache-bypassing one — the fence may not leak one stale
+  // entry. Both go through the server (they count as queries).
+  TABULA_ASSIGN_OR_RETURN(std::vector<WorkloadQuery> qs, DrawQueries(ctx, 1));
+  QueryRequest cached(qs[0].where);
+  QueryRequest bypass(qs[0].where);
+  bypass.consistency = ConsistencyHint::kBypassCache;
+  Result<ServeAnswer> a1 = ctx.server->Query(cached);
+  Result<ServeAnswer> a2 = ctx.server->Query(bypass);
+  ctx.report.queries += 2;
+  ++ctx.bypass_queries;
+  if (!a1.ok() || !a2.ok()) {
+    ctx.Violation(step, "post-refresh probe failed");
+    return Status::OK();
+  }
+  if (a1.value().result->sample.ToRowIds() !=
+      a2.value().result->sample.ToRowIds()) {
+    ctx.Violation(step, "post-refresh probe: cached path diverges from "
+                        "bypass path (stale cache after fence)");
+  }
+  return Status::OK();
+}
+
+Status OpSave(SoakContext& ctx, size_t step) {
+  Status st = ctx.tabula->Save(ctx.cube_path);
+  std::string line = "step=" + std::to_string(step) + " save";
+  if (st.ok()) {
+    ++ctx.report.saves;
+    ctx.file_valid = true;
+    ctx.file_generation = ctx.tabula->generation();
+    line += " -> ok gen=" + std::to_string(ctx.file_generation);
+  } else {
+    ++ctx.report.injected_save_failures;
+    line += " -> ERROR " + std::string(StatusCodeName(st.code()));
+    if (!ctx.persistence_fault_armed) {
+      ctx.Violation(step, "save failed with no persistence fault armed: " +
+                              st.ToString());
+    }
+    // Atomicity: a failed Save must not clobber the previous file —
+    // verified by the next OpLoad via the untouched file_generation.
+  }
+  // Never leave a temp file behind, success or failure.
+  std::error_code ec;
+  if (std::filesystem::exists(ctx.cube_path + ".tmp", ec)) {
+    ctx.Violation(step, "save left a .tmp file behind");
+  }
+  ctx.Trace(std::move(line));
+  return Status::OK();
+}
+
+Status OpLoad(SoakContext& ctx, size_t step) {
+  ++ctx.report.loads;
+  TabulaOptions opts = ctx.tabula->options();
+  Result<std::unique_ptr<Tabula>> loaded =
+      Tabula::Load(*ctx.table, std::move(opts), ctx.cube_path);
+  std::string line = "step=" + std::to_string(step) + " load";
+  const bool fresh_file =
+      ctx.file_valid && ctx.file_generation == ctx.tabula->generation();
+  if (!loaded.ok()) {
+    line += " -> ERROR " + std::string(StatusCodeName(loaded.status().code()));
+    if (!ctx.file_valid) {
+      // Expected: nothing was ever saved (or every save failed).
+    } else if (fresh_file && !ctx.persistence_fault_armed) {
+      ctx.Violation(step, "load of a current-generation file failed: " +
+                              loaded.status().ToString());
+    }
+    // A stale file (generation moved on → table grew → fingerprint
+    // mismatch) or an armed read fault may fail; both are correct.
+    ctx.Trace(std::move(line));
+    return Status::OK();
+  }
+  line += " -> ok";
+  if (!ctx.file_valid) {
+    ctx.Violation(step, "load succeeded but no save ever succeeded");
+  } else if (!fresh_file) {
+    ctx.Violation(step, "load accepted a cube saved at generation " +
+                            std::to_string(ctx.file_generation) +
+                            " against the grown table (stale cube)");
+  } else {
+    // The restored cube must answer exactly like the live one.
+    TABULA_ASSIGN_OR_RETURN(std::vector<WorkloadQuery> qs,
+                            DrawQueries(ctx, 3));
+    for (const auto& q : qs) {
+      Result<QueryResponse> a = loaded.value()->Query(QueryRequest(q.where));
+      Result<QueryResponse> b = ctx.tabula->Query(QueryRequest(q.where));
+      if (!a.ok() || !b.ok()) {
+        ctx.Violation(step, "load probe query failed");
+        continue;
+      }
+      if (a.value().result.sample.ToRowIds() !=
+          b.value().result.sample.ToRowIds()) {
+        ctx.Violation(step, "loaded cube answers differently from the "
+                            "live cube for " + q.ToString());
+      }
+    }
+  }
+  ctx.Trace(std::move(line));
+  return Status::OK();
+}
+
+void OpFaultToggle(SoakContext& ctx, size_t step) {
+  ++ctx.report.fault_toggles;
+  if (!ctx.armed.empty() && ctx.rng.Bernoulli(0.45)) {
+    FaultInjector::Global().DisarmAll();
+    ctx.armed.clear();
+    ctx.refresh_fault_armed = false;
+    ctx.persistence_fault_armed = false;
+    ctx.Trace("step=" + std::to_string(step) + " fault disarm-all");
+    return;
+  }
+  // Error faults go only on single-threaded, deterministic paths
+  // (persistence, refresh); concurrent paths (thread pool, admission)
+  // get delay-only faults, so which request absorbs an injection never
+  // depends on scheduling — the property replay-by-seed relies on.
+  // serve.execute error injection is covered by fault_injection_test.
+  struct MenuEntry {
+    const char* point;
+    bool fail;
+  };
+  static constexpr MenuEntry kMenu[] = {
+      {"persistence.open", true},   {"persistence.write", true},
+      {"persistence.read", true},   {"refresh.begin", true},
+      {"refresh.sample", true},     {"threadpool.dispatch", false},
+      {"serve.admit", false},       {"serve.refresh", false},
+  };
+  const MenuEntry& entry =
+      kMenu[static_cast<size_t>(ctx.rng.UniformInt(0, 7))];
+  FaultSpec spec;
+  spec.fail = entry.fail;
+  if (entry.fail) {
+    spec.every_nth = 1 + static_cast<uint64_t>(ctx.rng.UniformInt(0, 1));
+    spec.max_triggers = 1 + static_cast<uint64_t>(ctx.rng.UniformInt(0, 2));
+    spec.code = ctx.rng.Bernoulli(0.5) ? StatusCode::kIOError
+                                       : StatusCode::kUnavailable;
+  } else {
+    spec.probability = 0.3;
+    spec.seed = static_cast<uint64_t>(ctx.rng.UniformInt(0, 1 << 20));
+    spec.delay_ms = 0.05 + ctx.rng.UniformDouble(0.0, 0.3);
+  }
+  FaultInjector::Global().Arm(entry.point, spec);
+  ctx.armed.insert(entry.point);
+  std::string p(entry.point);
+  if (p.rfind("refresh.", 0) == 0) ctx.refresh_fault_armed = true;
+  if (p.rfind("persistence.", 0) == 0) ctx.persistence_fault_armed = true;
+  ctx.Trace("step=" + std::to_string(step) + " fault arm " + p +
+            (entry.fail ? " fail code=" + std::string(StatusCodeName(
+                                              spec.code)) +
+                              " nth=" + std::to_string(spec.every_nth) +
+                              " max=" + std::to_string(spec.max_triggers)
+                        : " delay"));
+}
+
+/// Metrics and trace-span accounting must agree exactly with the
+/// request counts the driver issued.
+void CheckAccounting(SoakContext& ctx) {
+  MetricsRegistry& mm = ctx.server->metrics();
+  const size_t total = ctx.report.queries + ctx.report.batch_items;
+  auto expect = [&](const char* name, uint64_t got, uint64_t want) {
+    if (got != want) {
+      ctx.report.violations.push_back(
+          std::string("accounting: ") + name + "=" + std::to_string(got) +
+          " expected " + std::to_string(want));
+    }
+  };
+  expect("serve_queries_total", mm.counter("serve_queries_total").value(),
+         total);
+  expect("serve_batches", mm.counter("serve_batches").value(),
+         ctx.report.batches);
+  expect("serve_refreshes", mm.counter("serve_refreshes").value(),
+         ctx.report.refreshes);
+  expect("serve_rejected", mm.counter("serve_rejected").value(), 0);
+  expect("serve_degraded", mm.counter("serve_degraded").value(), 0);
+  expect("serve_errors", mm.counter("serve_errors").value(), 0);
+  // Every non-bypass request counts exactly one of hit/miss.
+  expect("serve_cache_hits+misses",
+         mm.counter("serve_cache_hits").value() +
+             mm.counter("serve_cache_misses").value(),
+         total - ctx.bypass_queries);
+
+  size_t query_spans = 0;
+  for (const SpanRecord& rec : ctx.tracer->Snapshot()) {
+    if (rec.name == "serve.query") ++query_spans;
+  }
+  expect("serve.query spans", query_spans, total);
+}
+
+}  // namespace
+
+Result<SoakReport> RunSoak(const SoakOptions& options) {
+  // The FaultInjector is process-global; own it for the whole run and
+  // guarantee nothing stays armed afterwards, even on early error.
+  ScopedFaultClear fault_guard;
+  FaultInjector::Global().DisarmAll();
+
+  SoakContext ctx;
+  ctx.opt = &options;
+  ctx.rng = Rng(options.seed);
+
+  // ---- Randomized schema + data, all derived from the seed. ----
+  SyntheticGeneratorOptions gen;
+  gen.seed = options.seed * 7919 + 1;
+  gen.num_rows = options.base_rows;
+  gen.cell_spread = ctx.rng.UniformDouble(0.6, 1.4);
+  gen.noise = 0.1;
+  size_t ncols = 2 + static_cast<size_t>(ctx.rng.UniformInt(0, 1));
+  gen.columns.clear();
+  for (size_t c = 0; c < ncols; ++c) {
+    SyntheticColumnSpec col;
+    col.name = "c" + std::to_string(c);
+    col.cardinality = 2 + static_cast<uint32_t>(ctx.rng.UniformInt(0, 3));
+    col.zipf_skew = ctx.rng.Bernoulli(0.5) ? 0.8 : 0.0;
+    gen.columns.push_back(col);
+  }
+  SyntheticGenerator generator(gen);
+  ctx.table = generator.Generate();
+  ctx.attrs = generator.CategoricalColumns();
+
+  // Donor rows appended over the run: same specs, different seed, so
+  // appends shift cell statistics (dropping/creating iceberg cells).
+  SyntheticGeneratorOptions donor_gen = gen;
+  donor_gen.seed = options.seed * 7919 + 2;
+  donor_gen.num_rows = options.append_pool;
+  ctx.donor = SyntheticGenerator(donor_gen).Generate();
+
+  // ---- Loss + cube. Mean loss dominates (cheap exact θ-checks); the
+  // spatial heatmap loss runs on a quarter of the seeds. ----
+  TabulaOptions topt;
+  topt.cubed_attributes = ctx.attrs;
+  if (ctx.rng.Bernoulli(0.25)) {
+    LossParams params;
+    params.columns = {"x", "y"};
+    TABULA_ASSIGN_OR_RETURN(std::unique_ptr<LossFunction> loss,
+                            MakeLossFunction("heatmap_loss", params));
+    topt.owned_loss = std::move(loss);
+    topt.threshold = 0.003 + ctx.rng.UniformDouble(0.0, 0.007);
+  } else {
+    LossParams params;
+    params.columns = {"value"};
+    TABULA_ASSIGN_OR_RETURN(std::unique_ptr<LossFunction> loss,
+                            MakeLossFunction("mean_loss", params));
+    topt.owned_loss = std::move(loss);
+    topt.threshold = 0.05 + ctx.rng.UniformDouble(0.0, 0.05);
+  }
+  topt.seed = options.seed;
+  topt.keep_maintenance_state = ctx.rng.Bernoulli(0.5);
+
+  TracerOptions tracer_opt;
+  tracer_opt.mode = TraceMode::kAll;
+  tracer_opt.capacity = options.steps * 64 + 1024;
+  ctx.tracer = std::make_unique<Tracer>(tracer_opt);
+  topt.tracer = ctx.tracer.get();
+
+  TABULA_ASSIGN_OR_RETURN(ctx.tabula,
+                          Tabula::Initialize(*ctx.table, std::move(topt)));
+
+  QueryServerOptions sopt;
+  sopt.max_queue = 4096;
+  sopt.tracer = ctx.tracer.get();
+  ctx.server =
+      std::make_unique<QueryServer>(ctx.tabula.get(), std::move(sopt));
+
+  ctx.cube_path = options.scratch_path;
+  if (ctx.cube_path.empty()) {
+    std::error_code ec;
+    std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+    if (ec) tmp = ".";
+    ctx.cube_path =
+        (tmp / ("tabula_soak_" + std::to_string(options.seed) + ".cube"))
+            .string();
+  }
+  std::error_code ec;
+  std::filesystem::remove(ctx.cube_path, ec);
+  std::filesystem::remove(ctx.cube_path + ".tmp", ec);
+
+  ctx.Trace("init seed=" + std::to_string(options.seed) + " rows=" +
+            std::to_string(options.base_rows) + " cols=" +
+            std::to_string(ncols) + " loss=" +
+            ctx.tabula->options().effective_loss()->name() + " theta=" +
+            std::to_string(ctx.tabula->options().threshold) +
+            " iceberg_cells=" +
+            std::to_string(ctx.tabula->init_stats().iceberg_cells));
+
+  // ---- The interleaved op loop. ----
+  const std::vector<double> weights =
+      options.faults
+          ? std::vector<double>{0.43, 0.15, 0.12, 0.09, 0.09, 0.12}
+          : std::vector<double>{0.49, 0.18, 0.15, 0.09, 0.09, 0.0};
+  for (size_t step = 0; step < options.steps; ++step) {
+    switch (ctx.rng.Discrete(weights)) {
+      case 0:
+        TABULA_RETURN_NOT_OK(OpQuery(ctx, step));
+        break;
+      case 1:
+        TABULA_RETURN_NOT_OK(OpBatch(ctx, step));
+        break;
+      case 2:
+        TABULA_RETURN_NOT_OK(OpRefresh(ctx, step));
+        break;
+      case 3:
+        TABULA_RETURN_NOT_OK(OpSave(ctx, step));
+        break;
+      case 4:
+        TABULA_RETURN_NOT_OK(OpLoad(ctx, step));
+        break;
+      default:
+        OpFaultToggle(ctx, step);
+        break;
+    }
+    ++ctx.report.steps_run;
+  }
+
+  // Faults off before the final accounting sweep (its probes must not
+  // absorb injections).
+  FaultInjector::Global().DisarmAll();
+  ctx.armed.clear();
+  CheckAccounting(ctx);
+  ctx.report.final_generation = ctx.tabula->generation();
+
+  std::filesystem::remove(ctx.cube_path, ec);
+  std::filesystem::remove(ctx.cube_path + ".tmp", ec);
+  return std::move(ctx.report);
+}
+
+}  // namespace tabula

@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 #include <unordered_set>
 
 #include "common/rng.h"
 #include "core/tabula.h"
+#include "cube/cost_model.h"
 #include "cube/dry_run.h"
 #include "data/taxi_gen.h"
 #include "data/workload.h"
@@ -368,6 +370,107 @@ INSTANTIATE_TEST_SUITE_P(AllLosses, RefreshGuaranteeProperty,
                          ::testing::Values("mean", "heatmap", "histogram",
                                            "regression"),
                          [](const auto& info) { return info.param; });
+
+/// ------------------------------------------------------------------
+/// Cost-model properties (paper Inequation 1). The chooser is pure
+/// arithmetic, so its edge cases can be pinned exhaustively: degenerate
+/// inputs must pick a sane path, and the decision must respect the
+/// obvious monotonicities.
+/// ------------------------------------------------------------------
+
+TEST(CostModelProperty, DegenerateInputsPickASanePath) {
+  // No iceberg cells: nothing to group — join (prune everything) wins
+  // regardless of the other arguments, including nonsense ones.
+  for (double n : {0.0, 1.0, 1e3, 1e9}) {
+    for (double k : {0.0, 1.0, 7.0, 1e6}) {
+      EXPECT_TRUE(PreferJoinPath(n, 0.0, k)) << "n=" << n << " k=" << k;
+      EXPECT_TRUE(PreferJoinPath(n, -3.0, k)) << "n=" << n << " k=" << k;
+    }
+  }
+  // A single-cell (or empty) cuboid: GroupBy degenerates to one scan and
+  // the join path can never beat it.
+  for (double n : {0.0, 1.0, 1e3, 1e9}) {
+    for (double i : {0.5, 1.0, 2.0}) {
+      EXPECT_FALSE(PreferJoinPath(n, i, 1.0)) << "n=" << n << " i=" << i;
+      EXPECT_FALSE(PreferJoinPath(n, i, 0.0)) << "n=" << n << " i=" << i;
+    }
+  }
+  // Empty and single-row tables must not crash or take the join path's
+  // per-row prune cost for free: with no log() advantage either way the
+  // comparison is 0 < 0 and GroupBy (the simpler plan) wins.
+  EXPECT_FALSE(PreferJoinPath(0.0, 2.0, 10.0));
+  EXPECT_FALSE(PreferJoinPath(1.0, 2.0, 10.0));
+}
+
+TEST(CostModelProperty, AllIcebergNeverPrefersJoin) {
+  // i == k: the prune keeps every row, so the join path pays the
+  // membership test for nothing. GroupBy must win at any scale.
+  for (double n : {10.0, 1e4, 1e8}) {
+    for (double k : {2.0, 64.0, 1e5}) {
+      EXPECT_FALSE(PreferJoinPath(n, k, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CostModelProperty, DecisionIsMonotoneInIcebergCells) {
+  // Fixing N and k, the join path can only get less attractive as i
+  // grows (both its terms are increasing in i): once the chooser flips
+  // to GroupBy it must never flip back.
+  for (double n : {1e4, 1e6, 1e8}) {
+    for (double k : {100.0, 1e4}) {
+      bool prev = PreferJoinPath(n, 1.0, k);
+      for (double i = 2.0; i <= k; i *= 2.0) {
+        bool cur = PreferJoinPath(n, std::min(i, k), k);
+        EXPECT_FALSE(!prev && cur)
+            << "flipped back to join at n=" << n << " k=" << k << " i=" << i;
+        prev = cur;
+      }
+    }
+  }
+}
+
+TEST(CostModelProperty, NonIntegerInputsBehaveLikeNearbyIntegers) {
+  // Estimates arrive as doubles (selectivity-scaled); fractional inputs
+  // must interpolate, not explode. Bracket each fractional decision by
+  // its integer neighbours: if both neighbours agree, so must it.
+  for (double n : {1e4, 1e6}) {
+    for (double k : {100.0, 1e4}) {
+      for (double i = 1.5; i < 40.0; i += 3.7) {
+        bool lo = PreferJoinPath(n, std::floor(i), k);
+        bool hi = PreferJoinPath(n, std::ceil(i), k);
+        if (lo == hi) {
+          EXPECT_EQ(PreferJoinPath(n, i, k), lo)
+              << "n=" << n << " k=" << k << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(CostModelProperty, IcebergRowFractionClampsAndDegrades) {
+  // Plain ratio inside the valid range...
+  EXPECT_DOUBLE_EQ(IcebergRowFraction(1.0, 4.0), 0.25);
+  EXPECT_DOUBLE_EQ(IcebergRowFraction(0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(IcebergRowFraction(4.0, 4.0), 1.0);
+  // ...clamped against estimator noise pushing it out of [0, 1]...
+  EXPECT_DOUBLE_EQ(IcebergRowFraction(5.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(IcebergRowFraction(-1.0, 4.0), 0.0);
+  // ...and a conservative 1.0 (prune keeps everything) when the total
+  // is unknown or nonsense, so a bad estimate can't starve the scan.
+  EXPECT_DOUBLE_EQ(IcebergRowFraction(3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(IcebergRowFraction(3.0, -2.0), 1.0);
+  // Monotone in i for fixed k.
+  for (double k : {1.0, 10.0, 1e6}) {
+    double prev = IcebergRowFraction(0.0, k);
+    for (double i = 0.25; i <= 2.0 * k; i *= 2.0) {
+      double cur = IcebergRowFraction(i, k);
+      EXPECT_GE(cur, prev) << "k=" << k << " i=" << i;
+      EXPECT_GE(cur, 0.0);
+      EXPECT_LE(cur, 1.0);
+      prev = cur;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace tabula

@@ -1,0 +1,81 @@
+/// Bounded in-tree runs of the seed-reproducible soak driver
+/// (src/testing/scenario.h). The full-length fault-matrix runs live in
+/// CI via tools/soak_runner; here we keep the step counts small enough
+/// for the tier-1 suite while still covering the properties the driver
+/// exists for: every invariant holds under injected faults, and the
+/// same seed replays to the identical scenario trace.
+
+#include <gtest/gtest.h>
+
+#include "testing/fault_injection.h"
+#include "testing/scenario.h"
+
+namespace tabula {
+namespace {
+
+SoakOptions BoundedOptions(uint64_t seed, size_t steps, bool faults) {
+  SoakOptions options;
+  options.seed = seed;
+  options.steps = steps;
+  options.faults = faults;
+  options.base_rows = 2000;
+  options.append_pool = 1500;
+  return options;
+}
+
+void ExpectClean(const SoakReport& report, uint64_t seed) {
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                           << report.violations.size() << " violation(s), "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+  EXPECT_GT(report.queries, 0u);
+  EXPECT_GT(report.theta_checks, 0u);
+}
+
+TEST(SoakTest, InvariantsHoldUnderFaultsAcrossSeeds) {
+  for (uint64_t seed : {1, 7, 23}) {
+    auto run = RunSoak(BoundedOptions(seed, 80, /*faults=*/true));
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ExpectClean(run.value(), seed);
+  }
+  EXPECT_FALSE(FaultInjector::AnyArmed())
+      << "the soak driver must disarm every fault it armed";
+}
+
+TEST(SoakTest, InvariantsHoldWithoutFaults) {
+  auto run = RunSoak(BoundedOptions(5, 80, /*faults=*/false));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectClean(run.value(), 5);
+  EXPECT_EQ(run.value().injected_refresh_failures, 0u);
+  EXPECT_EQ(run.value().injected_save_failures, 0u);
+  EXPECT_EQ(run.value().fault_toggles, 0u);
+}
+
+TEST(SoakTest, SameSeedReplaysToIdenticalTrace) {
+  SoakOptions options = BoundedOptions(11, 60, /*faults=*/true);
+  auto first = RunSoak(options);
+  auto second = RunSoak(options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_TRUE(first.value().ok());
+  ASSERT_TRUE(second.value().ok());
+  // Byte-identical traces: op choices, fault schedules, injected
+  // failures, and every deterministic outcome replay exactly.
+  EXPECT_EQ(first.value().trace, second.value().trace);
+  EXPECT_EQ(first.value().final_generation, second.value().final_generation);
+  EXPECT_EQ(first.value().injected_refresh_failures,
+            second.value().injected_refresh_failures);
+  EXPECT_EQ(first.value().injected_save_failures,
+            second.value().injected_save_failures);
+}
+
+TEST(SoakTest, DifferentSeedsDiverge) {
+  auto a = RunSoak(BoundedOptions(2, 60, /*faults=*/true));
+  auto b = RunSoak(BoundedOptions(3, 60, /*faults=*/true));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().trace, b.value().trace);
+}
+
+}  // namespace
+}  // namespace tabula
