@@ -85,6 +85,89 @@ inline uint64_t Budget1GB(const Table& table) {
   return std::max<uint64_t>(table.MemoryBytes() / 100, 1);
 }
 
+/// Renders a double as JSON: integral values print as integers so cell
+/// counts and thread counts stay exact, timings keep microsecond detail.
+inline std::string JsonNumber(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 9.0e15 && v > -9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+/// \brief Minimal ordered JSON-object builder for bench artifacts.
+///
+/// Benches write their headline numbers to `BENCH_<name>.json` in the
+/// working directory so before/after comparisons (e.g. the legacy vs
+/// flat-hash dry-run engines) are tracked as committed files and CI can
+/// gate on them, instead of living only in scrollback.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double value) {
+    fields_.emplace_back(key, JsonNumber(value));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    fields_.emplace_back(key, std::move(quoted));
+    return *this;
+  }
+  /// Pre-serialized value (nested object or array).
+  JsonObject& SetRaw(const std::string& key, std::string raw) {
+    fields_.emplace_back(key, std::move(raw));
+    return *this;
+  }
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Joins rendered objects into a JSON array.
+inline std::string JsonArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n  " + items[i];
+  }
+  out += "\n]";
+  return out;
+}
+
+/// Writes `BENCH_<name>.json`; returns false (with a note on stderr)
+/// when the file cannot be created.
+inline bool WriteBenchJson(const std::string& name,
+                           const JsonObject& payload) {
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string body = payload.Render();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  return true;
+}
+
 /// Section header in the bench output.
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -9,15 +9,134 @@
 /// Paper shapes to check: Tabula ≈ 40× faster to initialize than either
 /// cube; FullSamCube 50–100× more memory than Tabula; PartSamCube 5–8×.
 
+#include <algorithm>
+#include <cstring>
+
 #include "baselines/sample_cube.h"
 #include "bench_common.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/tabula.h"
+#include "cube/dry_run.h"
+#include "sampling/random_sampler.h"
 
-int main() {
+namespace {
+
+using namespace tabula;
+using namespace tabula::bench;
+
+/// Before/after comparison of the dry-run engines: the preserved
+/// std::unordered_map reference (RunDryRunLegacy) vs the flat-hash
+/// parallel roll-up (RunDryRun), on identical inputs. Also a
+/// differential check — both engines must find the exact same iceberg
+/// cells. Writes BENCH_fig10_cubing_overhead.json; returns the
+/// flat/legacy speedup (0 on error).
+double CompareDryRunEngines(const Table& table, double theta) {
+  // All 7 experiment attributes: the lattice then has 128 cuboids and
+  // ~30K cells, the regime the flat-hash engine targets (insert-heavy
+  // folds and roll-ups where std::unordered_map pays a node allocation
+  // per new cell). Mean loss, whose Accumulate is two additions, so the
+  // measured time is the aggregation engine — key packing plus hash-table
+  // traffic — rather than per-row loss evaluation, which is byte-for-byte
+  // identical in both engines (the histogram loss would spend ~90% of the
+  // dry run in nearest-neighbor queries and mask the comparison). The
+  // figure sweep below keeps the paper's histogram loss and 4 attributes.
+  auto attrs = Attributes(7);
+  MeanLoss mean_loss("fare_amount");
+  const LossFunction* loss = &mean_loss;
+  auto encoder = KeyEncoder::Make(table, attrs);
+  if (!encoder.ok()) return 0.0;
+  std::vector<size_t> all_cols(attrs.size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  auto packer = KeyPacker::Make(*encoder, all_cols);
+  if (!packer.ok()) return 0.0;
+  Lattice lattice(attrs.size());
+  Rng rng(42);
+  DatasetView all(&table);
+  std::vector<RowId> sample_rows =
+      RandomSample(all, SerflingSampleSize(), &rng);
+  DatasetView global_sample(&table, sample_rows);
+
+  // Best-of-3 per engine, interleaved so cache warm-up is symmetric.
+  double legacy_ms = 1e300, flat_ms = 1e300;
+  DryRunResult legacy_result, flat_result;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch t1;
+    auto legacy = RunDryRunLegacy(table, *encoder, *packer, lattice, *loss,
+                                  global_sample, theta);
+    double ms1 = t1.ElapsedMillis();
+    Stopwatch t2;
+    auto flat = RunDryRun(table, *encoder, *packer, lattice, *loss,
+                          global_sample, theta);
+    double ms2 = t2.ElapsedMillis();
+    if (!legacy.ok() || !flat.ok()) {
+      std::printf("dry-run engine ERROR: %s\n",
+                  (!legacy.ok() ? legacy.status() : flat.status())
+                      .ToString()
+                      .c_str());
+      return 0.0;
+    }
+    if (ms1 < legacy_ms) legacy_ms = ms1;
+    if (ms2 < flat_ms) flat_ms = ms2;
+    legacy_result = std::move(legacy).value();
+    flat_result = std::move(flat).value();
+  }
+
+  // Differential oracle: identical iceberg-cell sets, cuboid by cuboid
+  // (the legacy engine's keys are unsorted; sort before comparing).
+  bool identical = legacy_result.total_cells == flat_result.total_cells &&
+                   legacy_result.total_iceberg_cells ==
+                       flat_result.total_iceberg_cells;
+  for (size_t m = 0;
+       identical && m < legacy_result.cuboids.size(); ++m) {
+    std::vector<uint64_t> legacy_keys = legacy_result.cuboids[m].iceberg_keys;
+    std::sort(legacy_keys.begin(), legacy_keys.end());
+    identical = legacy_keys == flat_result.cuboids[m].iceberg_keys;
+  }
+
+  double speedup = flat_ms > 0.0 ? legacy_ms / flat_ms : 0.0;
+  PrintHeader("Dry-run engine: unordered_map (legacy) vs flat-hash");
+  std::printf("rows=%zu threads=%zu theta=$%.2f\n", table.num_rows(),
+              ThreadPool::Global().num_threads(), theta);
+  std::printf("%-24s %12s\n", "engine", "dry_run_ms");
+  std::printf("%-24s %12.1f\n", "legacy_unordered_map", legacy_ms);
+  std::printf("%-24s %12.1f\n", "flat_hash", flat_ms);
+  std::printf("speedup: %.2fx   iceberg sets identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+  PrintCsvHeader("figure,engine,dry_run_ms,speedup");
+  PrintCsvRow("10e,legacy_unordered_map," + std::to_string(legacy_ms) + ",1.0");
+  PrintCsvRow("10e,flat_hash," + std::to_string(flat_ms) + "," +
+              std::to_string(speedup));
+
+  JsonObject payload;
+  payload.Set("bench", std::string("fig10_cubing_overhead"))
+      .Set("rows", static_cast<double>(table.num_rows()))
+      .Set("threads", static_cast<double>(ThreadPool::Global().num_threads()))
+      .Set("theta", theta)
+      .Set("iceberg_cells",
+           static_cast<double>(flat_result.total_iceberg_cells))
+      .Set("total_cells", static_cast<double>(flat_result.total_cells))
+      .Set("legacy_dry_run_ms", legacy_ms)
+      .Set("flat_dry_run_ms", flat_ms)
+      .Set("speedup", speedup)
+      .Set("iceberg_sets_identical", std::string(identical ? "yes" : "no"));
+  WriteBenchJson("fig10_cubing_overhead", payload);
+
+  return identical ? speedup : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
 
   BenchConfig config = BenchConfig::FromEnv();
   TaxiGeneratorOptions gen;
@@ -31,6 +150,26 @@ int main() {
   std::printf("rows=%zu (paper: 5GB NYCtaxi), histogram-aware loss, "
               "%zu attributes\n",
               table->num_rows(), attrs.size());
+
+  // Engine before/after + differential check. In --smoke mode this is
+  // the whole run: CI fails the build on a >20% dry-run regression
+  // (speedup < 1/1.2 would mean flat-hash got slower than the legacy
+  // reference) or on an iceberg-set mismatch.
+  double speedup = CompareDryRunEngines(*table, 0.5);
+  if (smoke) {
+    if (speedup <= 0.0) {
+      std::printf("SMOKE FAIL: engines disagree or errored\n");
+      return 1;
+    }
+    if (speedup < 1.0 / 1.2) {
+      std::printf("SMOKE FAIL: flat-hash dry run regressed >20%% "
+                  "(speedup %.2fx)\n",
+                  speedup);
+      return 1;
+    }
+    std::printf("SMOKE OK: speedup %.2fx, iceberg sets identical\n", speedup);
+    return 0;
+  }
 
   PrintHeader("Figure 10(a,b): initialization time and memory");
   std::printf("%-10s %-14s %14s %14s %10s\n", "theta", "approach",

@@ -28,13 +28,13 @@ Status MaterializedSampleCube::Prepare() {
   // intentionally the straightforward 2^n-pass plan the paper's Tabula
   // avoids with the dry run.
   for (uint32_t mask = 0; mask < num_cuboids; ++mask) {
-    std::unordered_map<uint64_t, std::vector<RowId>> groups;
+    FlatHashMap<std::vector<RowId>> groups;
     for (size_t r = 0; r < table_->num_rows(); ++r) {
       groups[packer_.PackRowMasked(encoder_, static_cast<RowId>(r), mask)]
           .push_back(static_cast<RowId>(r));
     }
     total_cells_ += groups.size();
-    for (auto& [key, rows] : groups) {
+    for (auto& [key, rows] : groups.ExtractSorted()) {
       DatasetView cell(table_, rows);
       if (mode_ == Mode::kPartial) {
         // The initialization query's HAVING clause, evaluated literally.
@@ -43,7 +43,7 @@ Status MaterializedSampleCube::Prepare() {
         if (global_loss <= theta_) continue;  // non-iceberg cell
       }
       TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample, sampler.Sample(cell));
-      cell_samples_.emplace(key, std::move(sample));
+      cell_samples_[key] = std::move(sample);
     }
   }
   return Status::OK();
@@ -64,9 +64,9 @@ Result<DatasetView> MaterializedSampleCube::Execute(
     codes[k] = code.value();
   }
   uint64_t key = packer_.PackCodes(codes);
-  auto hit = cell_samples_.find(key);
-  if (hit != cell_samples_.end()) {
-    return DatasetView(table_, hit->second);
+  const std::vector<RowId>* hit = cell_samples_.Find(key);
+  if (hit != nullptr) {
+    return DatasetView(table_, *hit);
   }
   if (mode_ == Mode::kPartial) {
     return DatasetView(table_, global_rows_);  // non-iceberg cell
@@ -77,10 +77,9 @@ Result<DatasetView> MaterializedSampleCube::Execute(
 
 uint64_t MaterializedSampleCube::MemoryBytes() const {
   uint64_t tuples = global_rows_.size();
-  for (const auto& [key, sample] : cell_samples_) {
-    (void)key;
+  cell_samples_.ForEach([&](uint64_t, const std::vector<RowId>& sample) {
     tuples += sample.size();
-  }
+  });
   return tuples * TupleBytes(*table_);
 }
 

@@ -2,10 +2,10 @@
 #define TABULA_BASELINES_SAMPLE_CUBE_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "baselines/approach.h"
+#include "common/flat_hash.h"
 #include "exec/group_by.h"
 #include "loss/loss_function.h"
 #include "sampling/greedy_sampler.h"
@@ -67,7 +67,7 @@ class MaterializedSampleCube final : public Approach {
   KeyEncoder encoder_;
   KeyPacker packer_;
   std::vector<RowId> global_rows_;
-  std::unordered_map<uint64_t, std::vector<RowId>> cell_samples_;
+  FlatHashMap<std::vector<RowId>> cell_samples_;
   size_t total_cells_ = 0;
 };
 

@@ -38,8 +38,8 @@ Status SnappyLike::Prepare() {
       [target](NumericAggState* s, RowId r) { s->Add(target->At(r)); });
   population_stats_.resize(strata_->strata().size());
   for (size_t i = 0; i < strata_->strata().size(); ++i) {
-    auto it = stats.find(strata_->strata()[i].key);
-    if (it != stats.end()) population_stats_[i] = it->second;
+    const NumericAggState* s = stats.Find(strata_->strata()[i].key);
+    if (s != nullptr) population_stats_[i] = *s;
   }
   return Status::OK();
 }

@@ -1,0 +1,388 @@
+#ifndef TABULA_COMMON_FLAT_HASH_H_
+#define TABULA_COMMON_FLAT_HASH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace tabula {
+
+/// \brief Cube-build aggregation engine: an open-addressing, linear-probing
+/// hash map specialized for the 64-bit packed group keys produced by
+/// KeyPacker.
+///
+/// Every hot aggregation loop in the system — the dry run's finest-cuboid
+/// fold, the lattice roll-up's per-cuboid maps, real-run raw-row
+/// collection, the cube index, and the differential oracles — groups rows
+/// by a `uint64_t` packed key. `std::unordered_map` pays one node
+/// allocation plus a pointer chase per distinct key on exactly these
+/// paths; FlatHashMap stores keys, values, and a one-byte occupancy tag in
+/// three parallel flat arrays, so probes are sequential memory touches and
+/// inserts never allocate (outside of growth).
+///
+/// Design points:
+///  - Keys are hashed through a SplitMix64/wyhash-style finalizing mixer;
+///    packed keys are extremely regular (dictionary codes bit-packed into
+///    the low bits) and would cluster catastrophically if used raw.
+///  - Capacity is a power of two, so the probe start is `hash & mask` and
+///    wrap-around is a mask, not a modulo.
+///  - An explicit occupancy byte per slot means key 0 — a valid packed key
+///    (every attribute at dictionary code 0) — needs no reserved sentinel.
+///  - No tombstones. Build paths only ever insert; the one consumer that
+///    erases (CubeTable::Remove during refresh) uses backward-shift
+///    deletion, which restores the invariant "every key is reachable from
+///    its home slot without crossing an empty slot" instead of leaving a
+///    marker. Probe sequences therefore never degrade with churn.
+///  - `reserve()` from table statistics (row counts, key-space sizes)
+///    pre-sizes the arrays so the build never rehashes mid-fold.
+///  - Values live in uninitialized storage and are constructed only when a
+///    slot is occupied. The dominant value type is LossState (~150 bytes);
+///    default-constructing a whole capacity's worth of those on every
+///    reserve/rehash — what a `std::vector<V>` backing array would do —
+///    costs more than the probes it saves, so an empty slot costs 9 bytes
+///    (key + occupancy tag), never a V.
+///
+/// Iteration order is slot order, which depends on insertion order under
+/// collisions; consumers that need deterministic output extract
+/// `SortedKeys()` and walk keys in ascending packed-key order. That is the
+/// ordering contract the determinism tests pin down: sorted packed keys
+/// are byte-identical regardless of thread count or stdlib hash.
+///
+/// Not thread-safe; build loops use one map per deterministic chunk and
+/// merge in chunk order.
+
+/// SplitMix64 finalizer — full-avalanche 64-bit mixer.
+inline uint64_t HashKey64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename V>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+  explicit FlatHashMap(size_t expected_keys) { reserve(expected_keys); }
+
+  ~FlatHashMap() { DestroyAndFree(); }
+
+  FlatHashMap(const FlatHashMap& other) { CopyFrom(other); }
+  FlatHashMap& operator=(const FlatHashMap& other) {
+    if (this != &other) {
+      DestroyAndFree();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  FlatHashMap(FlatHashMap&& other) noexcept { MoveFrom(&other); }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      DestroyAndFree();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Flat-array footprint, for the memory accounting that drives the
+  /// paper's Figure 9 comparisons.
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(capacity_) *
+           (sizeof(uint64_t) + sizeof(V) + sizeof(uint8_t));
+  }
+
+  void clear() {
+    DestroyAndFree();
+    keys_.clear();
+    used_.clear();
+    capacity_ = 0;
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  /// Pre-sizes for `expected_keys` distinct keys so the subsequent build
+  /// never rehashes. Safe to call on a non-empty map (rehashes once).
+  void reserve(size_t expected_keys) {
+    size_t needed = expected_keys + expected_keys / 3 + 1;  // <= 0.75 load
+    if (needed <= capacity_) return;
+    Rehash(NextPow2(std::max<size_t>(needed, kMinCapacity)));
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  V* Find(uint64_t key) {
+    size_t i;
+    return FindSlot(key, &i) ? &values_[i] : nullptr;
+  }
+  const V* Find(uint64_t key) const {
+    size_t i;
+    return FindSlot(key, &i) ? &values_[i] : nullptr;
+  }
+  bool contains(uint64_t key) const {
+    size_t i;
+    return FindSlot(key, &i);
+  }
+
+  /// Inserts a default-constructed value for `key` if absent. Returns
+  /// {value pointer, inserted}. The pointer stays valid until the next
+  /// insertion (growth moves slots).
+  std::pair<V*, bool> TryEmplace(uint64_t key) {
+    GrowIfNeeded();
+    size_t i;
+    if (FindSlot(key, &i)) return {&values_[i], false};
+    used_[i] = 1;
+    keys_[i] = key;
+    ::new (static_cast<void*>(&values_[i])) V();
+    ++size_;
+    return {&values_[i], true};
+  }
+
+  /// Like TryEmplace(key), but on insert the slot is copy/move-constructed
+  /// from `value` in one step instead of default-construct-then-assign —
+  /// the merge loops run this once per cell, and LossState is large enough
+  /// that the doubled construction shows up in the dry-run profile. When
+  /// the key already exists `value` is left untouched (a moved argument is
+  /// only consumed on insert).
+  template <typename U>
+  std::pair<V*, bool> TryEmplace(uint64_t key, U&& value) {
+    GrowIfNeeded();
+    size_t i;
+    if (FindSlot(key, &i)) return {&values_[i], false};
+    used_[i] = 1;
+    keys_[i] = key;
+    ::new (static_cast<void*>(&values_[i])) V(std::forward<U>(value));
+    ++size_;
+    return {&values_[i], true};
+  }
+
+  /// Value for `key`, default-constructing it on first access.
+  V& operator[](uint64_t key) { return *TryEmplace(key).first; }
+
+  /// Backward-shift deletion: re-homes every displaced key in the probe
+  /// run following `key` so no tombstone is needed and lookups never scan
+  /// past deletion debris. Returns false when `key` was absent.
+  bool Erase(uint64_t key) {
+    size_t i;
+    if (!FindSlot(key, &i)) return false;
+    size_t hole = i;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!used_[j]) break;
+      size_t home = static_cast<size_t>(HashKey64(keys_[j])) & mask_;
+      // Shift keys_[j] into the hole only if the hole lies cyclically
+      // between its home slot and j — otherwise the key would become
+      // unreachable from its home.
+      bool between = (j > hole) ? (home <= hole || home > j)
+                                : (home <= hole && home > j);
+      if (between) {
+        keys_[hole] = keys_[j];
+        values_[hole] = std::move(values_[j]);
+        hole = j;
+      }
+    }
+    used_[hole] = 0;
+    values_[hole].~V();
+    --size_;
+    return true;
+  }
+
+  /// Visits every (key, value) in slot order. Insertion-order dependent
+  /// under collisions — use SortedKeys() when output order matters.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+
+  /// All keys in ascending packed-key order — the deterministic iteration
+  /// contract used by the dry-run roll-up and every output path.
+  std::vector<uint64_t> SortedKeys() const {
+    std::vector<uint64_t> keys;
+    keys.reserve(size_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) keys.push_back(keys_[i]);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  /// Moves the contents out as (key, value) pairs sorted by key, leaving
+  /// the map empty. One allocation; values are moved, not copied.
+  std::vector<std::pair<uint64_t, V>> ExtractSorted() {
+    std::vector<std::pair<uint64_t, V>> entries;
+    entries.reserve(size_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) entries.emplace_back(keys_[i], std::move(values_[i]));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    clear();
+    return entries;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  static size_t NextPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  /// Locates `key`. Returns true with *slot = its index when present;
+  /// false with *slot = the empty slot where it would be inserted. With
+  /// zero capacity returns false and an unusable slot — callers that
+  /// insert go through GrowIfNeeded() first.
+  bool FindSlot(uint64_t key, size_t* slot) const {
+    if (capacity_ == 0) {
+      *slot = 0;
+      return false;
+    }
+    size_t i = static_cast<size_t>(HashKey64(key)) & mask_;
+    for (;;) {
+      if (!used_[i]) {
+        *slot = i;
+        return false;
+      }
+      if (keys_[i] == key) {
+        *slot = i;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void GrowIfNeeded() {
+    // Max load factor 0.75: (size + 1) > 3/4 * capacity triggers growth.
+    if (capacity_ == 0 || (size_ + 1) * 4 > capacity_ * 3) {
+      Rehash(std::max(capacity_ * 2, kMinCapacity));
+    }
+  }
+
+  /// Values sit in uninitialized storage; only occupied slots hold a
+  /// constructed V, so growing a sparse table moves `size_` values, not
+  /// `capacity_` — and an over-estimated reserve() costs 9 bytes per
+  /// unused slot instead of a default-constructed V.
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    V* old_values = values_;
+    std::vector<uint8_t> old_used = std::move(used_);
+    size_t old_capacity = capacity_;
+
+    capacity_ = new_capacity;
+    mask_ = capacity_ - 1;
+    keys_.assign(capacity_, 0);
+    values_ = std::allocator<V>().allocate(capacity_);
+    used_.assign(capacity_, 0);
+
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (!old_used[i]) continue;
+      size_t j = static_cast<size_t>(HashKey64(old_keys[i])) & mask_;
+      while (used_[j]) j = (j + 1) & mask_;
+      used_[j] = 1;
+      keys_[j] = old_keys[i];
+      ::new (static_cast<void*>(&values_[j])) V(std::move(old_values[i]));
+      old_values[i].~V();
+    }
+    if (old_values != nullptr) {
+      std::allocator<V>().deallocate(old_values, old_capacity);
+    }
+  }
+
+  /// Destroys every live value and releases the value array; leaves the
+  /// key/occupancy vectors to the caller (clear reuses them, the
+  /// destructor drops them).
+  void DestroyAndFree() {
+    if (values_ == nullptr) return;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) values_[i].~V();
+    }
+    std::allocator<V>().deallocate(values_, capacity_);
+    values_ = nullptr;
+  }
+
+  /// *this must be empty/default; copies other's layout slot for slot so
+  /// the copy iterates identically (determinism: a copied map is
+  /// indistinguishable from the original).
+  void CopyFrom(const FlatHashMap& other) {
+    keys_ = other.keys_;
+    used_ = other.used_;
+    capacity_ = other.capacity_;
+    mask_ = other.mask_;
+    size_ = other.size_;
+    values_ = nullptr;
+    if (capacity_ == 0) return;
+    values_ = std::allocator<V>().allocate(capacity_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) {
+        ::new (static_cast<void*>(&values_[i])) V(other.values_[i]);
+      }
+    }
+  }
+
+  /// *this must be empty/default; steals other's storage.
+  void MoveFrom(FlatHashMap* other) {
+    keys_ = std::move(other->keys_);
+    values_ = other->values_;
+    used_ = std::move(other->used_);
+    capacity_ = other->capacity_;
+    mask_ = other->mask_;
+    size_ = other->size_;
+    other->values_ = nullptr;
+    other->keys_.clear();
+    other->used_.clear();
+    other->capacity_ = 0;
+    other->mask_ = 0;
+    other->size_ = 0;
+  }
+
+  std::vector<uint64_t> keys_;
+  V* values_ = nullptr;
+  std::vector<uint8_t> used_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Set of packed keys with the same probing scheme; used for iceberg-key
+/// and dirty-cell tracking during refresh.
+class FlatHashSet {
+ public:
+  FlatHashSet() = default;
+  explicit FlatHashSet(size_t expected_keys) : map_(expected_keys) {}
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void reserve(size_t expected_keys) { map_.reserve(expected_keys); }
+  void clear() { map_.clear(); }
+
+  /// Returns true when `key` was newly inserted.
+  bool Insert(uint64_t key) { return map_.TryEmplace(key).second; }
+  bool Contains(uint64_t key) const { return map_.contains(key); }
+  bool Erase(uint64_t key) { return map_.Erase(key); }
+
+  std::vector<uint64_t> SortedKeys() const { return map_.SortedKeys(); }
+
+ private:
+  struct Empty {};
+  FlatHashMap<Empty> map_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_FLAT_HASH_H_

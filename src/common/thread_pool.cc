@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <exception>
 
@@ -87,6 +88,32 @@ void ThreadPool::ParallelForChunked(
     fn(0, 0, n);
     return;
   }
+  RunChunks(n, chunks, fn);
+}
+
+void ThreadPool::ParallelForDeterministic(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  // Boundaries are a function of n only. Nesting and worker count change
+  // only how chunks are scheduled, never how [0, n) is split.
+  size_t chunks = DeterministicChunkCount(n);
+  if (t_inside_worker || chunks <= 1 || num_threads() <= 1) {
+    // Inline: same chunks, ascending order, current thread.
+    size_t chunk_size = (n + chunks - 1) / chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+      size_t begin = c * chunk_size;
+      size_t end = std::min(n, begin + chunk_size);
+      if (begin >= end) break;
+      fn(c, begin, end);
+    }
+    return;
+  }
+  RunChunks(n, chunks, fn);
+}
+
+void ThreadPool::RunChunks(
+    size_t n, size_t chunks,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
   size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -110,7 +137,13 @@ void ThreadPool::ParallelForChunked(
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
+namespace {
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+}  // namespace
+
 ThreadPool& ThreadPool::Global() {
+  ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire);
+  if (override_pool != nullptr) return *override_pool;
   static ThreadPool pool([] {
     const char* env = std::getenv("TABULA_THREADS");
     if (env != nullptr) {
@@ -120,6 +153,10 @@ ThreadPool& ThreadPool::Global() {
     return static_cast<size_t>(0);
   }());
   return pool;
+}
+
+void ThreadPool::SetGlobalForTest(ThreadPool* pool) {
+  g_pool_override.store(pool, std::memory_order_release);
 }
 
 }  // namespace tabula

@@ -41,7 +41,45 @@ class ThreadPool {
   /// throws, every chunk still runs to completion (they reference the
   /// caller's fn, which must stay alive) and the first exception is
   /// rethrown afterwards.
+  ///
+  /// Chunk boundaries depend on num_threads(), so per-chunk floating-point
+  /// accumulation merged across chunks is NOT reproducible across thread
+  /// counts — aggregation paths that must be use ParallelForDeterministic.
   void ParallelForChunked(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Maximum chunk fan-out of ParallelForDeterministic. Fixed (not a
+  /// function of the worker count) so that chunk boundaries — and thus
+  /// any per-chunk accumulation merged in chunk order — are a pure
+  /// function of n.
+  static constexpr size_t kDeterministicChunks = 16;
+
+  /// Minimum items per deterministic chunk. Chunked aggregation pays a
+  /// merge cost proportional to chunks × groups (every chunk rediscovers
+  /// roughly the same group set and its partial states must be folded
+  /// together), so a chunk has to hold enough rows to amortize its share
+  /// of the merge; small inputs use fewer chunks rather than slower ones.
+  static constexpr size_t kDeterministicChunkFloor = 32768;
+
+  /// Number of chunks ParallelForDeterministic uses for `n` items —
+  /// min(kDeterministicChunks, max(1, n / kDeterministicChunkFloor)).
+  /// Still a pure function of n (never of the worker count), preserving
+  /// the cross-thread-count determinism contract.
+  static size_t DeterministicChunkCount(size_t n) {
+    if (n == 0) return 0;
+    size_t by_floor = n / kDeterministicChunkFloor;
+    if (by_floor == 0) return 1;
+    return by_floor < kDeterministicChunks ? by_floor : kDeterministicChunks;
+  }
+
+  /// Like ParallelForChunked, but chunk boundaries are a function of n
+  /// only: min(n, kDeterministicChunks) equal chunks, regardless of
+  /// worker count or nesting. Callers that merge per-chunk partial
+  /// aggregates in ascending chunk order therefore produce byte-identical
+  /// results at any TABULA_THREADS setting — the determinism contract
+  /// the soak replay tests pin down. Error semantics match
+  /// ParallelForChunked (drain all chunks, rethrow first exception).
+  void ParallelForDeterministic(
       size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }
@@ -49,8 +87,15 @@ class ThreadPool {
   /// Process-wide pool sized from TABULA_THREADS (default: hw concurrency).
   static ThreadPool& Global();
 
+  /// Test-only: redirects Global() to `pool` (nullptr restores the real
+  /// global). Lets determinism tests run the same workload under pools of
+  /// different widths inside one process. Not for production use.
+  static void SetGlobalForTest(ThreadPool* pool);
+
  private:
   void WorkerLoop();
+  void RunChunks(size_t n, size_t chunks,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -6,9 +6,9 @@
 /// reclassifies every cell without touching the table again, and only
 /// cells that actually need new samples trigger raw-data collection.
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
+#include "common/flat_hash.h"
 #include "common/stopwatch.h"
 #include "core/tabula.h"
 #include "cube/lattice.h"
@@ -133,21 +133,22 @@ Status Tabula::Refresh(RefreshStats* stats) {
 
   // 1. Fold the appended rows into a STAGED copy of the finest states
   //    (committed only once all fallible work succeeded).
-  std::unordered_map<uint64_t, LossState> staged_finest = finest_states_;
-  std::unordered_set<uint64_t> dirty_finest;
+  FlatHashMap<LossState> staged_finest = finest_states_;
+  FlatHashSet dirty_finest;
   for (size_t r = n0; r < n1; ++r) {
     uint64_t key = packer_.PackRow(new_encoder, static_cast<RowId>(r));
     maintenance_bound_->Accumulate(&staged_finest[key],
                                    static_cast<RowId>(r));
-    dirty_finest.insert(key);
+    dirty_finest.Insert(key);
   }
 
   // 2. Roll the states up the lattice (no table scan) and reclassify.
+  //    Parents fold in slot order; layouts are deterministic, so every
+  //    ordering derived below is thread-count independent.
   Lattice lattice(options_.cubed_attributes.size());
   const size_t n_attrs = lattice.num_attributes();
-  std::vector<std::unordered_map<uint64_t, LossState>> maps(
-      lattice.num_cuboids());
-  std::vector<std::unordered_set<uint64_t>> dirty(lattice.num_cuboids());
+  std::vector<FlatHashMap<LossState>> maps(lattice.num_cuboids());
+  std::vector<FlatHashSet> dirty(lattice.num_cuboids());
   maps[lattice.finest()] = staged_finest;  // copy: roll-up consumes it
   dirty[lattice.finest()] = std::move(dirty_finest);
   for (CuboidMask mask : lattice.TopDownOrder()) {
@@ -155,42 +156,47 @@ Status Tabula::Refresh(RefreshStats* stats) {
     size_t j = 0;
     while (j < n_attrs && (mask & (CuboidMask{1} << j))) ++j;
     CuboidMask parent = mask | (CuboidMask{1} << j);
-    for (const auto& [key, state] : maps[parent]) {
+    FlatHashMap<LossState>& my_map = maps[mask];
+    my_map.reserve(maps[parent].size());
+    maps[parent].ForEach([&](uint64_t key, const LossState& state) {
       uint64_t rolled = packer_.WithNull(key, j);
-      auto [it, inserted] = maps[mask].try_emplace(rolled, state);
-      if (!inserted) it->second.Merge(state);
-    }
-    for (uint64_t key : dirty[parent]) {
-      dirty[mask].insert(packer_.WithNull(key, j));
+      auto [slot, inserted] = my_map.TryEmplace(rolled);
+      if (inserted) {
+        *slot = state;
+      } else {
+        slot->Merge(state);
+      }
+    });
+    for (uint64_t key : dirty[parent].SortedKeys()) {
+      dirty[mask].Insert(packer_.WithNull(key, j));
     }
   }
 
   // Classify the work per cuboid. Drops are only recorded here; the
   // cube itself mutates in the commit block below.
   struct CellWork {
-    CuboidMask cuboid;
-    bool is_new;  // newly iceberg vs existing-but-dirty
+    CuboidMask cuboid = 0;
+    bool is_new = false;  // newly iceberg vs existing-but-dirty
   };
-  std::unordered_map<uint64_t, CellWork> needs_rows;
+  FlatHashMap<CellWork> needs_rows;
   std::vector<uint64_t> to_remove;
   for (size_t m = 0; m < lattice.num_cuboids(); ++m) {
     CuboidMask mask = static_cast<CuboidMask>(m);
-    for (const auto& [key, state] : maps[m]) {
+    maps[m].ForEach([&](uint64_t key, const LossState& state) {
       bool iceberg = maintenance_bound_->Finalize(state) > options_.threshold;
       const IcebergCell* existing = cube_.Find(key);
       if (iceberg && existing == nullptr) {
-        needs_rows.emplace(key, CellWork{mask, /*is_new=*/true});
+        needs_rows[key] = CellWork{mask, /*is_new=*/true};
         ++out->new_iceberg_cells;
       } else if (!iceberg && existing != nullptr) {
         // The global sample now covers this cell (state says loss <= θ):
         // serve it from the global sample again.
         to_remove.push_back(key);
         ++out->dropped_iceberg_cells;
-      } else if (iceberg && existing != nullptr &&
-                 dirty[m].count(key) > 0) {
-        needs_rows.emplace(key, CellWork{mask, /*is_new=*/false});
+      } else if (iceberg && existing != nullptr && dirty[m].Contains(key)) {
+        needs_rows[key] = CellWork{mask, /*is_new=*/false};
       }
-    }
+    });
   }
 
   // Staged mutations, applied only after every fallible step succeeded.
@@ -201,26 +207,32 @@ Status Tabula::Refresh(RefreshStats* stats) {
   if (!needs_rows.empty()) {
     // 3. One pass per affected cuboid collecting the raw rows of cells
     //    that need (re)sampling.
-    std::unordered_set<CuboidMask> affected;
-    for (const auto& [key, work] : needs_rows) affected.insert(work.cuboid);
-    std::unordered_map<uint64_t, std::vector<RowId>> cell_rows;
+    std::vector<CuboidMask> affected;
+    needs_rows.ForEach([&](uint64_t, const CellWork& work) {
+      affected.push_back(work.cuboid);
+    });
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    FlatHashMap<std::vector<RowId>> cell_rows;
     for (CuboidMask mask : affected) {
       for (size_t r = 0; r < n1; ++r) {
         uint64_t key =
             packer_.PackRowMasked(new_encoder, static_cast<RowId>(r), mask);
-        auto it = needs_rows.find(key);
-        if (it != needs_rows.end() && it->second.cuboid == mask) {
+        const CellWork* work = needs_rows.Find(key);
+        if (work != nullptr && work->cuboid == mask) {
           cell_rows[key].push_back(static_cast<RowId>(r));
         }
       }
     }
 
-    // 4. Verify / (re)sample into the staging area.
+    // 4. Verify / (re)sample into the staging area, in ascending key
+    //    order so sample-table ids assign deterministically.
     GreedySamplerOptions sampler_opts = options_.sampler;
     sampler_opts.seed = options_.seed;
     GreedySampler sampler(loss_fn(), options_.threshold, sampler_opts);
-    for (auto& [key, rows] : cell_rows) {
-      const CellWork& work = needs_rows.at(key);
+    for (auto& [key, rows] : cell_rows.ExtractSorted()) {
+      const CellWork& work = *needs_rows.Find(key);
       DatasetView raw(table_, rows);
       TABULA_FAULT_POINT("refresh.sample");
       if (work.is_new) {

@@ -256,7 +256,7 @@ class Tabula {
 
   /// Incremental-maintenance state (see Refresh()).
   std::unique_ptr<BoundLoss> maintenance_bound_;
-  std::unordered_map<uint64_t, LossState> finest_states_;
+  FlatHashMap<LossState> finest_states_;
   size_t refreshed_rows_ = 0;
 
   /// Fires every registered refresh listener (after a cube mutation).

@@ -5,33 +5,36 @@
 namespace tabula {
 
 void CubeTable::Add(IcebergCell cell) {
-  auto [it, inserted] = index_.emplace(cell.key, cells_.size());
+  auto [slot, inserted] = index_.TryEmplace(cell.key);
   TABULA_CHECK(inserted);
-  (void)it;
+  *slot = cells_.size();
   cells_.push_back(std::move(cell));
 }
 
+void CubeTable::Reserve(size_t expected_cells) {
+  cells_.reserve(expected_cells);
+  index_.reserve(expected_cells);
+}
+
 const IcebergCell* CubeTable::Find(uint64_t key) const {
-  auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  return &cells_[it->second];
+  const size_t* idx = index_.Find(key);
+  return idx == nullptr ? nullptr : &cells_[*idx];
 }
 
 IcebergCell* CubeTable::FindMutable(uint64_t key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  return &cells_[it->second];
+  const size_t* idx = index_.Find(key);
+  return idx == nullptr ? nullptr : &cells_[*idx];
 }
 
 bool CubeTable::Remove(uint64_t key) {
-  auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  size_t idx = it->second;
-  index_.erase(it);
+  const size_t* found = index_.Find(key);
+  if (found == nullptr) return false;
+  size_t idx = *found;
+  index_.Erase(key);
   size_t last = cells_.size() - 1;
   if (idx != last) {
     cells_[idx] = std::move(cells_[last]);
-    index_[cells_[idx].key] = idx;
+    *index_.Find(cells_[idx].key) = idx;
   }
   cells_.pop_back();
   return true;
@@ -50,8 +53,7 @@ uint64_t CubeTable::MemoryBytes() const {
   // Normalized layout: packed key + cuboid + sample link per cell, plus
   // the hash index.
   uint64_t per_cell = sizeof(uint64_t) + sizeof(CuboidMask) + sizeof(uint32_t);
-  return cells_.size() * per_cell +
-         index_.size() * (sizeof(uint64_t) + sizeof(size_t) + 16);
+  return cells_.size() * per_cell + index_.MemoryBytes();
 }
 
 uint64_t CubeTable::RawDataBytes() const {

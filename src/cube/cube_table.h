@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "cube/lattice.h"
 #include "exec/group_by.h"
 #include "storage/table.h"
@@ -64,9 +64,15 @@ class CubeTable {
   /// Bytes transiently held by raw-row id vectors (diagnostics).
   uint64_t RawDataBytes() const;
 
+  /// Pre-sizes the key index for `expected_cells` cells (from dry-run
+  /// iceberg counts) so the real-run build never rehashes.
+  void Reserve(size_t expected_cells);
+
  private:
   std::vector<IcebergCell> cells_;
-  std::unordered_map<uint64_t, size_t> index_;
+  /// Packed key → position in cells_. Flat-hash: Remove uses
+  /// backward-shift deletion, so refresh churn never degrades probes.
+  FlatHashMap<size_t> index_;
 };
 
 /// \brief The sample table: representative samples only (paper Figure 4b).

@@ -1,11 +1,33 @@
 #include "cube/dry_run.h"
 
-#include <bit>
+#include <algorithm>
 #include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace tabula {
+
+namespace {
+
+/// Minimum cells per pool worker before a roll-up level or the finalize
+/// pass is worth fanning out. Merging or finalizing a cell costs on the
+/// order of 100ns; waking a blocked worker costs tens of microseconds (and
+/// far more when workers are oversubscribed), so a dispatch must hand each
+/// worker thousands of cells to pay for itself.
+constexpr size_t kCellsPerWorkerDispatch = 8192;
+
+size_t Popcount(CuboidMask mask) {
+  size_t count = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
 
 Result<DryRunResult> RunDryRun(const Table& table, const KeyEncoder& encoder,
                                const KeyPacker& packer, const Lattice& lattice,
@@ -17,26 +39,168 @@ Result<DryRunResult> RunDryRun(const Table& table, const KeyEncoder& encoder,
                           loss.Bind(table, global_sample));
 
   // One full-table GroupBy at the finest cuboid, folding each row into its
-  // cell's algebraic LossState.
+  // cell's algebraic LossState. Deterministic chunking + chunk-order merge
+  // + sorted emission make the result a pure function of the data: the
+  // finest cuboid's cells arrive in ascending packed-key order, the
+  // canonical parent order for the roll-up below.
   DatasetView all(&table);
-  std::unordered_map<uint64_t, LossState> finest =
-      GroupAccumulate<LossState>(
-          encoder, packer, all,
-          [&bound](LossState* state, RowId row) {
-            bound->Accumulate(state, row);
-          });
+  GroupedStates<LossState> finest = GroupAccumulateSorted<LossState>(
+      encoder, packer, all,
+      [&bound](LossState* state, RowId row) { bound->Accumulate(state, row); });
+
+  const size_t n = lattice.num_attributes();
+
+  // Cuboid cells live in dense parallel key/state arrays in insertion
+  // order; a flat-hash index maps a packed key to its array position
+  // only while the cuboid is being built and is dropped afterwards. This
+  // keeps every hash-table slot at 12 bytes — the probe arrays stay
+  // cache-resident and a growth rehash moves uint32 indices — while the
+  // ~150-byte LossStates are only ever written sequentially, once each.
+  struct CuboidCells {
+    std::vector<uint64_t> keys;
+    std::vector<LossState> states;
+  };
+  std::vector<CuboidCells> cells(lattice.num_cuboids());
+  cells[lattice.finest()].keys = std::move(finest.keys);
+  cells[lattice.finest()].states = std::move(finest.states);
+
+  // Roll up along the lattice, finest first, one popcount level at a time.
+  // Each cuboid derives from a parent with exactly one more grouped
+  // attribute by nulling that attribute's position and merging states — no
+  // further table scans. Cuboids at one level only read parent-level cells
+  // and write their own, so a level's cuboids run in parallel without
+  // locking; determinism holds because each cuboid folds its parent in
+  // array order and the parent's order is itself deterministic.
+  std::vector<std::vector<CuboidMask>> levels(n);
+  for (size_t m = 0; m < lattice.num_cuboids(); ++m) {
+    CuboidMask mask = static_cast<CuboidMask>(m);
+    if (mask == lattice.finest()) continue;
+    levels[Popcount(mask)].push_back(mask);
+  }
+  auto& pool = ThreadPool::Global();
+  for (size_t level = n; level-- > 0;) {
+    const std::vector<CuboidMask>& cuboids = levels[level];
+    auto roll_up = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        CuboidMask mask = cuboids[i];
+        // Lowest attribute not in this mask picks the roll-up parent.
+        size_t j = 0;
+        while (j < n && (mask & (CuboidMask{1} << j))) ++j;
+        CuboidMask parent = mask | (CuboidMask{1} << j);
+        const CuboidCells& parent_cells = cells[parent];
+        CuboidCells& my_cells = cells[mask];
+        FlatHashMap<uint32_t> index;
+        for (size_t p = 0; p < parent_cells.keys.size(); ++p) {
+          uint64_t rolled = packer.WithNull(parent_cells.keys[p], j);
+          auto [slot, inserted] = index.TryEmplace(
+              rolled, static_cast<uint32_t>(my_cells.keys.size()));
+          if (inserted) {
+            my_cells.keys.push_back(rolled);
+            my_cells.states.push_back(parent_cells.states[p]);
+          } else {
+            my_cells.states[*slot].Merge(parent_cells.states[p]);
+          }
+        }
+      }
+    };
+    // Fan a level out only when every worker gets enough cells to amortize
+    // its wake-up (a blocked pool dispatch costs milliseconds when workers
+    // are oversubscribed); small levels run inline on the calling thread.
+    // Safe for determinism: cuboids are independent, so the result never
+    // depends on which thread runs them.
+    size_t level_cells = 0;
+    for (CuboidMask mask : cuboids) {
+      size_t j = 0;
+      while (j < n && (mask & (CuboidMask{1} << j))) ++j;
+      level_cells += cells[mask | (CuboidMask{1} << j)].keys.size();
+    }
+    if (level_cells < kCellsPerWorkerDispatch * pool.num_threads()) {
+      roll_up(0, cuboids.size());
+    } else {
+      pool.ParallelFor(cuboids.size(), roll_up);
+    }
+  }
+
+  // Finalize every cuboid in parallel (BoundLoss::Finalize is const and
+  // thread-compatible); iceberg keys are emitted in ascending packed-key
+  // order — the deterministic output contract.
+  DryRunResult result;
+  result.cuboids.resize(lattice.num_cuboids());
+  auto finalize = [&](size_t begin, size_t end) {
+    for (size_t m = begin; m < end; ++m) {
+      CuboidDryRunInfo& info = result.cuboids[m];
+      info.mask = static_cast<CuboidMask>(m);
+      info.total_cells = cells[m].keys.size();
+      for (size_t i = 0; i < cells[m].keys.size(); ++i) {
+        if (bound->Finalize(cells[m].states[i]) > theta) {
+          info.iceberg_keys.push_back(cells[m].keys[i]);
+        }
+      }
+      std::sort(info.iceberg_keys.begin(), info.iceberg_keys.end());
+    }
+  };
+  size_t lattice_cells = 0;
+  for (const auto& c : cells) lattice_cells += c.keys.size();
+  if (lattice_cells < kCellsPerWorkerDispatch * pool.num_threads()) {
+    finalize(0, lattice.num_cuboids());
+  } else {
+    pool.ParallelFor(lattice.num_cuboids(), finalize);
+  }
+  for (const CuboidDryRunInfo& info : result.cuboids) {
+    result.total_cells += info.total_cells;
+    result.total_iceberg_cells += info.iceberg_keys.size();
+    if (!info.iceberg_keys.empty()) ++result.iceberg_cuboids;
+  }
+  result.millis = timer.ElapsedMillis();
+  return result;
+}
+
+Result<DryRunResult> RunDryRunLegacy(const Table& table,
+                                     const KeyEncoder& encoder,
+                                     const KeyPacker& packer,
+                                     const Lattice& lattice,
+                                     const LossFunction& loss,
+                                     const DatasetView& global_sample,
+                                     double theta) {
+  Stopwatch timer;
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<BoundLoss> bound,
+                          loss.Bind(table, global_sample));
+
+  // Thread-chunked fold into per-chunk std::unordered_maps, merged in
+  // chunk order — the pre-flat-hash engine, preserved verbatim.
+  auto& pool = ThreadPool::Global();
+  DatasetView all(&table);
+  size_t num_rows = all.size();
+  std::vector<std::unordered_map<uint64_t, LossState>> partials(
+      pool.num_threads() + 1);
+  pool.ParallelForChunked(num_rows, [&](size_t chunk, size_t begin,
+                                        size_t end) {
+    auto& map = partials[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      RowId r = all.row(i);
+      bound->Accumulate(&map[packer.PackRow(encoder, r)], r);
+    }
+  });
+  std::unordered_map<uint64_t, LossState> finest;
+  for (auto& partial : partials) {
+    if (finest.empty()) {
+      finest = std::move(partial);
+      continue;
+    }
+    for (auto& [key, state] : partial) {
+      auto [it, inserted] = finest.try_emplace(key, std::move(state));
+      if (!inserted) it->second.Merge(state);
+    }
+  }
 
   const size_t n = lattice.num_attributes();
   std::vector<std::unordered_map<uint64_t, LossState>> maps(
       lattice.num_cuboids());
   maps[lattice.finest()] = std::move(finest);
 
-  // Roll up along the lattice, finest first. Each cuboid derives from a
-  // parent with exactly one more grouped attribute by nulling that
-  // attribute's position and merging states — no further table scans.
+  // Serial roll-up, coarsest-last.
   for (CuboidMask mask : lattice.TopDownOrder()) {
     if (mask == lattice.finest()) continue;
-    // Lowest attribute not in this mask picks the roll-up parent.
     size_t j = 0;
     while (j < n && (mask & (CuboidMask{1} << j))) ++j;
     CuboidMask parent = mask | (CuboidMask{1} << j);

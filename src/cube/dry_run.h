@@ -43,11 +43,29 @@ struct DryRunResult {
 /// finalized loss exceeds θ are iceberg cells; everything else will be
 /// answered by the global sample with the guarantee already verified.
 ///
+/// The fold runs on the flat-hash engine (common/flat_hash.h) with
+/// deterministic chunking, the lattice roll-up is parallel across
+/// same-level cuboids, and every cuboid's iceberg_keys come out sorted —
+/// so the result is byte-identical at any thread count.
+///
 /// \param packer full-width packer over all cubed attributes.
 Result<DryRunResult> RunDryRun(const Table& table, const KeyEncoder& encoder,
                                const KeyPacker& packer, const Lattice& lattice,
                                const LossFunction& loss,
                                const DatasetView& global_sample, double theta);
+
+/// The pre-flat-hash dry-run engine — std::unordered_map folds, serial
+/// lattice roll-up, thread-count-dependent chunking — preserved as the
+/// reference implementation for bench_fig10_cubing_overhead's
+/// before/after comparison and as a differential oracle for the new
+/// engine (iceberg-cell sets must match modulo ordering).
+Result<DryRunResult> RunDryRunLegacy(const Table& table,
+                                     const KeyEncoder& encoder,
+                                     const KeyPacker& packer,
+                                     const Lattice& lattice,
+                                     const LossFunction& loss,
+                                     const DatasetView& global_sample,
+                                     double theta);
 
 }  // namespace tabula
 

@@ -1,9 +1,9 @@
 #include "cube/real_run.h"
 
+#include <algorithm>
 #include <mutex>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -13,72 +13,78 @@ namespace tabula {
 
 namespace {
 
-using CellRowsMap = std::unordered_map<uint64_t, std::vector<RowId>>;
+using CellRowsMap = FlatHashMap<std::vector<RowId>>;
+
+/// Merges per-chunk maps in ascending chunk order; each cell's rows end
+/// up in ascending row order because chunks are contiguous ascending
+/// ranges. Deterministic chunking makes the merged map a pure function
+/// of the data.
+CellRowsMap MergeChunkMaps(std::vector<CellRowsMap> partials,
+                           size_t expected_cells) {
+  if (partials.empty()) return CellRowsMap();
+  CellRowsMap merged = std::move(partials[0]);
+  merged.reserve(expected_cells);
+  for (size_t c = 1; c < partials.size(); ++c) {
+    partials[c].ForEach([&](uint64_t key, std::vector<RowId>& rows) {
+      auto [slot, inserted] = merged.TryEmplace(key);
+      if (inserted) {
+        *slot = std::move(rows);
+      } else {
+        slot->insert(slot->end(), rows.begin(), rows.end());
+      }
+    });
+  }
+  return merged;
+}
 
 /// Semi-join path: one scan; only rows whose cell key is an iceberg key
 /// are collected (paper's "equi-join with the iceberg cell table").
 CellRowsMap CollectJoinPath(const Table& table, const KeyEncoder& enc,
                             const KeyPacker& packer, CuboidMask mask,
-                            const std::unordered_set<uint64_t>& iceberg) {
+                            const FlatHashSet& iceberg) {
   auto& pool = ThreadPool::Global();
-  std::vector<CellRowsMap> partials(pool.num_threads() + 1);
-  pool.ParallelForChunked(
+  size_t chunks = ThreadPool::DeterministicChunkCount(table.num_rows());
+  std::vector<CellRowsMap> partials(chunks);
+  pool.ParallelForDeterministic(
       table.num_rows(), [&](size_t chunk, size_t begin, size_t end) {
         auto& map = partials[chunk];
+        map.reserve(iceberg.size());
         for (size_t r = begin; r < end; ++r) {
           uint64_t key =
               packer.PackRowMasked(enc, static_cast<RowId>(r), mask);
-          if (iceberg.count(key) > 0) {
+          if (iceberg.Contains(key)) {
             map[key].push_back(static_cast<RowId>(r));
           }
         }
       });
-  CellRowsMap merged;
-  for (auto& partial : partials) {
-    if (merged.empty()) {
-      merged = std::move(partial);
-      continue;
-    }
-    for (auto& [key, rows] : partial) {
-      auto& dst = merged[key];
-      dst.insert(dst.end(), rows.begin(), rows.end());
-    }
-  }
-  return merged;
+  return MergeChunkMaps(std::move(partials), iceberg.size());
 }
 
 /// Full-GroupBy path: group *all* rows of the cuboid, then keep iceberg
 /// groups only.
 CellRowsMap CollectGroupByPath(const Table& table, const KeyEncoder& enc,
                                const KeyPacker& packer, CuboidMask mask,
-                               const std::unordered_set<uint64_t>& iceberg) {
+                               const FlatHashSet& iceberg,
+                               size_t total_cells) {
   auto& pool = ThreadPool::Global();
-  std::vector<CellRowsMap> partials(pool.num_threads() + 1);
-  pool.ParallelForChunked(
+  size_t chunks = ThreadPool::DeterministicChunkCount(table.num_rows());
+  std::vector<CellRowsMap> partials(chunks);
+  pool.ParallelForDeterministic(
       table.num_rows(), [&](size_t chunk, size_t begin, size_t end) {
         auto& map = partials[chunk];
+        map.reserve(std::min(total_cells, end - begin));
         for (size_t r = begin; r < end; ++r) {
           uint64_t key =
               packer.PackRowMasked(enc, static_cast<RowId>(r), mask);
           map[key].push_back(static_cast<RowId>(r));
         }
       });
-  CellRowsMap merged;
-  for (auto& partial : partials) {
-    if (merged.empty()) {
-      merged = std::move(partial);
-      continue;
-    }
-    for (auto& [key, rows] : partial) {
-      auto& dst = merged[key];
-      dst.insert(dst.end(), rows.begin(), rows.end());
-    }
-  }
+  CellRowsMap merged = MergeChunkMaps(std::move(partials), total_cells);
   // Filter to iceberg cells.
-  CellRowsMap filtered;
-  for (auto& [key, rows] : merged) {
-    if (iceberg.count(key) > 0) filtered.emplace(key, std::move(rows));
-  }
+  CellRowsMap filtered(iceberg.size());
+  merged.ForEach([&](uint64_t key, std::vector<RowId>& rows) {
+    if (iceberg.Contains(key)) filtered[key] = std::move(rows);
+  });
   return filtered;
 }
 
@@ -94,13 +100,14 @@ Result<RealRunResult> RunRealRun(
   RealRunResult result;
   GreedySampler sampler(&loss, theta, sampler_options);
   auto& pool = ThreadPool::Global();
+  result.cube.Reserve(dry_run.total_iceberg_cells);
 
   for (const CuboidDryRunInfo& info : dry_run.cuboids) {
     if (info.iceberg_keys.empty()) continue;  // skip non-iceberg cuboids
     Stopwatch cuboid_timer;
 
-    std::unordered_set<uint64_t> iceberg(info.iceberg_keys.begin(),
-                                         info.iceberg_keys.end());
+    FlatHashSet iceberg(info.iceberg_keys.size());
+    for (uint64_t key : info.iceberg_keys) iceberg.Insert(key);
     bool join_path;
     switch (path_policy) {
       case RealRunPathPolicy::kAlwaysJoin:
@@ -120,13 +127,16 @@ Result<RealRunResult> RunRealRun(
     CellRowsMap cell_rows =
         join_path
             ? CollectJoinPath(table, encoder, packer, info.mask, iceberg)
-            : CollectGroupByPath(table, encoder, packer, info.mask, iceberg);
+            : CollectGroupByPath(table, encoder, packer, info.mask, iceberg,
+                                 info.total_cells);
 
     // Draw a local sample for each iceberg cell (parallel across cells;
-    // the greedy sampler runs inline inside workers).
+    // the greedy sampler runs inline inside workers). Cells are laid out
+    // in ascending key order so cube insertion order — and every
+    // downstream ordering derived from it — is deterministic.
     std::vector<IcebergCell> cells;
     cells.reserve(cell_rows.size());
-    for (auto& [key, rows] : cell_rows) {
+    for (auto& [key, rows] : cell_rows.ExtractSorted()) {
       IcebergCell cell;
       cell.key = key;
       cell.cuboid = info.mask;

@@ -51,33 +51,44 @@ std::vector<uint32_t> KeyPacker::Unpack(uint64_t key) const {
 }
 
 GroupedRows GroupRows(const KeyEncoder& enc, const KeyPacker& packer,
-                      const DatasetView& view) {
+                      const DatasetView& view, size_t expected_groups) {
   auto& pool = ThreadPool::Global();
   size_t n = view.size();
-  using LocalMap = std::unordered_map<uint64_t, std::vector<RowId>>;
-  std::vector<LocalMap> partials(pool.num_threads() + 1);
-  pool.ParallelForChunked(n, [&](size_t chunk, size_t begin, size_t end) {
+  using LocalMap = FlatHashMap<std::vector<RowId>>;
+  size_t chunks = ThreadPool::DeterministicChunkCount(n);
+  std::vector<LocalMap> partials(chunks);
+  pool.ParallelForDeterministic(n, [&](size_t chunk, size_t begin,
+                                       size_t end) {
     auto& map = partials[chunk];
+    if (expected_groups > 0) {
+      map.reserve(std::min(expected_groups, end - begin));
+    }
     for (size_t i = begin; i < end; ++i) {
       RowId r = view.row(i);
       map[packer.PackRow(enc, r)].push_back(r);
     }
   });
-  LocalMap merged;
-  for (auto& partial : partials) {
-    if (merged.empty()) {
-      merged = std::move(partial);
-      continue;
-    }
-    for (auto& [key, rows] : partial) {
-      auto& dst = merged[key];
-      dst.insert(dst.end(), rows.begin(), rows.end());
-    }
-  }
   GroupedRows out;
-  out.keys.reserve(merged.size());
-  out.rows.reserve(merged.size());
-  for (auto& [key, rows] : merged) {
+  if (chunks == 0) return out;
+  // Merging in ascending chunk order keeps every group's row list in view
+  // order; sorting the final keys makes group order independent of hash
+  // layout and thread count.
+  LocalMap merged = std::move(partials[0]);
+  if (expected_groups > 0) merged.reserve(expected_groups);
+  for (size_t c = 1; c < chunks; ++c) {
+    partials[c].ForEach([&](uint64_t key, std::vector<RowId>& rows) {
+      auto [slot, inserted] = merged.TryEmplace(key);
+      if (inserted) {
+        *slot = std::move(rows);
+      } else {
+        slot->insert(slot->end(), rows.begin(), rows.end());
+      }
+    });
+  }
+  auto entries = merged.ExtractSorted();
+  out.keys.reserve(entries.size());
+  out.rows.reserve(entries.size());
+  for (auto& [key, rows] : entries) {
     out.keys.push_back(key);
     out.rows.push_back(std::move(rows));
   }

@@ -1,10 +1,11 @@
 #ifndef TABULA_EXEC_GROUP_BY_H_
 #define TABULA_EXEC_GROUP_BY_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/key_encoder.h"
@@ -40,6 +41,23 @@ class KeyPacker {
   /// Packs explicit codes (one per key column; kNullCode allowed and maps
   /// to the column's reserved '*' pattern).
   uint64_t PackCodes(const std::vector<uint32_t>& codes) const;
+
+  /// Packs rows [begin, end) of `view` into `out[begin..end)`, one key
+  /// column at a time. Columnar order turns the per-row 7-column gather of
+  /// PackRow into sequential streaming passes (one branch-free inner loop
+  /// per column), which is how the cube-build fold amortizes key packing
+  /// over the whole table.
+  void PackRows(const KeyEncoder& enc, const DatasetView& view, size_t begin,
+                size_t end, uint64_t* out) const {
+    for (size_t i = begin; i < end; ++i) out[i] = 0;
+    for (size_t c = 0; c < key_cols_.size(); ++c) {
+      const size_t col = key_cols_[c];
+      const uint32_t shift = shifts_[c];
+      for (size_t i = begin; i < end; ++i) {
+        out[i] |= static_cast<uint64_t>(enc.Encode(col, view.row(i))) << shift;
+      }
+    }
+  }
 
   /// Packs a row's codes keeping only the key columns whose bit is set in
   /// `grouped` (by key-column index); others take the '*' pattern. This is
@@ -79,54 +97,170 @@ class KeyPacker {
   std::vector<uint32_t> null_patterns_;  // reserved '*' bit pattern
 };
 
-/// Result of a GroupBy that materializes per-group row lists.
+/// Result of a GroupBy that materializes per-group row lists. Groups are
+/// in ascending packed-key order; rows within a group are in view order —
+/// both independent of thread count.
 struct GroupedRows {
-  /// Packed key per group (see KeyPacker).
+  /// Packed key per group (see KeyPacker), ascending.
   std::vector<uint64_t> keys;
   /// Row ids per group, parallel to `keys`.
   std::vector<std::vector<RowId>> rows;
 };
 
 /// Hash GroupBy over `view`, grouping on the packer's key columns and
-/// collecting row-id lists. Runs chunked on the global thread pool.
+/// collecting row-id lists. Runs on the global thread pool with
+/// deterministic chunking; output is sorted by packed key.
+///
+/// \param expected_groups optional pre-size hint (e.g. the packer's key
+///        space, or a prior group count) so the hash tables never rehash
+///        mid-build; 0 means "unknown".
 GroupedRows GroupRows(const KeyEncoder& enc, const KeyPacker& packer,
-                      const DatasetView& view);
+                      const DatasetView& view, size_t expected_groups = 0);
 
 /// Hash GroupBy that folds rows straight into a mergeable accumulator
 /// state instead of materializing row lists — the dry-run stage's workhorse
 /// (the loss measure is algebraic, so states merge).
 ///
+/// Builds one FlatHashMap per deterministic chunk and merges them in
+/// ascending chunk order, so the merged map — including the order of
+/// floating-point Merge() folds per key — is byte-identical at any
+/// thread count.
+///
 /// \tparam State default-constructible, with Merge(const State&).
 /// \param add  invoked as add(&state, row) for every row.
+/// \param expected_groups optional pre-size hint (see GroupRows).
 template <typename State, typename AddFn>
-std::unordered_map<uint64_t, State> GroupAccumulate(const KeyEncoder& enc,
-                                                    const KeyPacker& packer,
-                                                    const DatasetView& view,
-                                                    const AddFn& add) {
+FlatHashMap<State> GroupAccumulate(const KeyEncoder& enc,
+                                   const KeyPacker& packer,
+                                   const DatasetView& view, const AddFn& add,
+                                   size_t expected_groups = 0) {
   auto& pool = ThreadPool::Global();
   size_t n = view.size();
-  std::vector<std::unordered_map<uint64_t, State>> partials(
-      pool.num_threads() + 1);
-  pool.ParallelForChunked(n, [&](size_t chunk, size_t begin, size_t end) {
+  size_t chunks = ThreadPool::DeterministicChunkCount(n);
+  std::vector<FlatHashMap<State>> partials(chunks);
+  pool.ParallelForDeterministic(n, [&](size_t chunk, size_t begin,
+                                       size_t end) {
     auto& map = partials[chunk];
+    // Pre-size only from a *tight* hint. Statistics bounds routinely
+    // saturate at the row count (e.g. a 7-attribute key space), and a
+    // loose reserve is worse than growing: probes scatter across a
+    // mostly-empty key array instead of staying cache-resident, and every
+    // fresh page the oversized arrays touch is a fault the dense map
+    // never takes. Geometric growth moves only live values, so sizing by
+    // growth costs at most one extra pass over the data.
+    if (expected_groups > 0 && expected_groups < (end - begin) / 8) {
+      map.reserve(expected_groups);
+    }
     for (size_t i = begin; i < end; ++i) {
       RowId r = view.row(i);
       uint64_t key = packer.PackRow(enc, r);
       add(&map[key], r);
     }
   });
-  std::unordered_map<uint64_t, State> merged;
-  for (auto& partial : partials) {
-    if (merged.empty()) {
-      merged = std::move(partial);
-      continue;
-    }
-    for (auto& [key, state] : partial) {
-      auto [it, inserted] = merged.try_emplace(key, std::move(state));
-      if (!inserted) it->second.Merge(state);
-    }
+  if (chunks == 0) return FlatHashMap<State>();
+  // No pre-size for the merge either: partials[0] is already within a
+  // factor of the final group count, so the merge rehashes at most a
+  // couple of times, and the result stays dense for the roll-up scans
+  // that consume it.
+  FlatHashMap<State> merged = std::move(partials[0]);
+  for (size_t c = 1; c < chunks; ++c) {
+    partials[c].ForEach([&](uint64_t key, State& state) {
+      auto [slot, inserted] = merged.TryEmplace(key, std::move(state));
+      if (!inserted) slot->Merge(state);
+    });
   }
   return merged;
+}
+
+/// Dense GroupBy output: cells as parallel key/state arrays in ascending
+/// packed-key order — the layout the dry-run roll-up and every
+/// deterministic output path consume directly.
+template <typename State>
+struct GroupedStates {
+  std::vector<uint64_t> keys;
+  std::vector<State> states;
+};
+
+/// GroupAccumulate variant that returns dense sorted arrays instead of a
+/// hash map. The accumulation keeps states in append-only arrays and
+/// probes a FlatHashMap<uint32_t> position index, so hash-table slots stay
+/// 12 bytes (probe arrays remain cache-resident; a growth rehash moves
+/// uint32 indices, never a state) and states are written sequentially.
+/// Chunking and chunk-order merging are identical to GroupAccumulate, so
+/// the result — including per-key floating-point Merge order — is
+/// byte-identical at any thread count.
+template <typename State, typename AddFn>
+GroupedStates<State> GroupAccumulateSorted(const KeyEncoder& enc,
+                                           const KeyPacker& packer,
+                                           const DatasetView& view,
+                                           const AddFn& add) {
+  struct Chunk {
+    FlatHashMap<uint32_t> index;
+    std::vector<uint64_t> keys;
+    std::vector<State> states;
+  };
+  auto& pool = ThreadPool::Global();
+  size_t n = view.size();
+
+  // Each chunk first materializes its rows' packed keys with columnar
+  // streaming passes (PackRows turns the per-row multi-column gather into
+  // one branch-predictable inner loop per column), then folds over the
+  // pre-packed keys. Both happen inside one deterministic dispatch;
+  // row_keys writes are disjoint across chunks.
+  std::vector<uint64_t> row_keys(n);
+  size_t chunks = ThreadPool::DeterministicChunkCount(n);
+  std::vector<Chunk> partials(chunks);
+  pool.ParallelForDeterministic(n, [&](size_t chunk, size_t begin,
+                                       size_t end) {
+    packer.PackRows(enc, view, begin, end, row_keys.data());
+    Chunk& c = partials[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      RowId r = view.row(i);
+      uint64_t key = row_keys[i];
+      auto [slot, inserted] =
+          c.index.TryEmplace(key, static_cast<uint32_t>(c.keys.size()));
+      if (inserted) {
+        c.keys.push_back(key);
+        c.states.emplace_back();
+        add(&c.states.back(), r);
+      } else {
+        add(&c.states[*slot], r);
+      }
+    }
+  });
+  GroupedStates<State> result;
+  if (chunks == 0) return result;
+
+  // Merge in ascending chunk order through the first chunk's index.
+  Chunk merged = std::move(partials[0]);
+  for (size_t c = 1; c < chunks; ++c) {
+    Chunk& part = partials[c];
+    for (size_t i = 0; i < part.keys.size(); ++i) {
+      auto [slot, inserted] = merged.index.TryEmplace(
+          part.keys[i], static_cast<uint32_t>(merged.keys.size()));
+      if (inserted) {
+        merged.keys.push_back(part.keys[i]);
+        merged.states.push_back(std::move(part.states[i]));
+      } else {
+        merged.states[*slot].Merge(part.states[i]);
+      }
+    }
+  }
+
+  // Emit in ascending key order: sort (key, position) pairs — 16-byte
+  // PODs — then move each state once into its final slot.
+  std::vector<std::pair<uint64_t, uint32_t>> order(merged.keys.size());
+  for (size_t i = 0; i < merged.keys.size(); ++i) {
+    order[i] = {merged.keys[i], static_cast<uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end());
+  result.keys.reserve(order.size());
+  result.states.reserve(order.size());
+  for (const auto& [key, pos] : order) {
+    result.keys.push_back(key);
+    result.states.push_back(std::move(merged.states[pos]));
+  }
+  return result;
 }
 
 }  // namespace tabula

@@ -40,10 +40,11 @@ std::string SlowQueryLog::RenderText() const {
   char line[256];
   for (const auto& entry : Snapshot()) {
     std::snprintf(line, sizeof(line),
-                  "slow query %8.3f ms (queue %6.3f ms)%s%s  where=%s\n",
+                  "slow query %8.3f ms (queue %6.3f ms)%s%s%s  where=%s\n",
                   entry.total_millis, entry.queue_millis,
                   entry.cache_hit ? "  [cache hit]" : "",
                   entry.degraded ? "  [degraded]" : "",
+                  entry.error ? "  [error]" : "",
                   entry.predicate_key.empty() ? "<all>"
                                               : entry.predicate_key.c_str());
     out += line;

@@ -17,6 +17,9 @@ struct SlowQueryEntry {
   double queue_millis = 0.0;
   bool cache_hit = false;
   bool degraded = false;
+  /// True when the request failed (the caller got a Status); the entry
+  /// then records how long the failure took, not a served answer.
+  bool error = false;
   /// Root span id of the request (0 when it was not traced).
   uint64_t span_id = 0;
   /// Rendered span tree of the request (empty when not traced) — the

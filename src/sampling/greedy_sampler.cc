@@ -63,14 +63,20 @@ Result<std::vector<RowId>> GreedySampler::Sample(
 
   // Parallel exhaustive scan over the active candidate pool; returns the
   // candidate with minimal loss-with-candidate, or n when none remain.
+  // Exact-loss ties break by pool_order position — a total order that
+  // does not depend on how the scan was chunked — so the chosen
+  // candidate (and therefore the whole sample) is identical at any
+  // thread count. Within a chunk the strict `<` keeps the earliest
+  // position; across chunks the merge compares (loss, position)
+  // lexicographically.
   auto ExhaustiveBest = [&]() -> std::pair<size_t, double> {
     size_t chunks = pool.num_threads() + 1;
     std::vector<std::pair<double, size_t>> best_per_chunk(
-        chunks, {kInfiniteLoss, n});
+        chunks, {kInfiniteLoss, pool_size});
     pool.ParallelForChunked(
         pool_size, [&](size_t chunk, size_t begin, size_t end) {
           double best_loss = kInfiniteLoss;
-          size_t best_cand = n;
+          size_t best_pos = pool_size;
           size_t evals = 0;
           for (size_t i = begin; i < end; ++i) {
             size_t cand = pool_order[i];
@@ -79,17 +85,22 @@ Result<std::vector<RowId>> GreedySampler::Sample(
             ++evals;
             if (l < best_loss) {
               best_loss = l;
-              best_cand = cand;
+              best_pos = i;
             }
           }
-          best_per_chunk[chunk] = {best_loss, best_cand};
+          best_per_chunk[chunk] = {best_loss, best_pos};
           eval_count.fetch_add(evals, std::memory_order_relaxed);
         });
-    std::pair<double, size_t> best{kInfiniteLoss, n};
+    std::pair<double, size_t> best{kInfiniteLoss, pool_size};
     for (const auto& b : best_per_chunk) {
-      if (b.second != n && b.first < best.first) best = b;
+      if (b.second == pool_size) continue;
+      if (b.first < best.first ||
+          (b.first == best.first && b.second < best.second)) {
+        best = b;
+      }
     }
-    return {best.second, best.first};
+    if (best.second == pool_size) return {n, best.first};
+    return {pool_order[best.second], best.first};
   };
 
   // Lazy-forward (CELF): gains only shrink for submodular losses, so a

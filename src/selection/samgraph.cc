@@ -46,8 +46,12 @@ Result<SamGraph> SamGraph::Build(const Table& base, const CubeTable& cube,
   const bool have_signatures = !raw_sig[0].empty();
 
   // For each representative candidate u, bind the loss to sample(u) once
-  // (amortizing per-sample indexes) and test its closest cells.
-  std::mutex edges_mu;
+  // (amortizing per-sample indexes) and test its closest cells. Each
+  // worker writes only its own found_per_u slots; the adjacency lists are
+  // assembled serially afterwards in ascending-u order so InEdges/OutEdges
+  // ordering — which rep_selection uses to break representative-link ties
+  // — is independent of worker scheduling.
+  std::vector<std::vector<uint32_t>> found_per_u(m);
   std::atomic<size_t> evals{0};
   Status first_error = Status::OK();
   std::mutex error_mu;
@@ -97,15 +101,17 @@ Result<SamGraph> SamGraph::Build(const Table& base, const CubeTable& cube,
         }
       }
 
-      std::lock_guard<std::mutex> lock(edges_mu);
-      for (uint32_t v : found) {
-        graph.out_[u].push_back(v);
-        graph.in_[v].push_back(static_cast<uint32_t>(u));
-        ++graph.num_edges_;
-      }
+      found_per_u[u] = std::move(found);
     }
   });
   TABULA_RETURN_NOT_OK(first_error);
+  for (size_t u = 0; u < m; ++u) {
+    for (uint32_t v : found_per_u[u]) {
+      graph.out_[u].push_back(v);
+      graph.in_[v].push_back(static_cast<uint32_t>(u));
+      ++graph.num_edges_;
+    }
+  }
   graph.loss_evaluations_ = evals.load();
   return graph;
 }

@@ -77,6 +77,7 @@ void QueryServer::MaybeLogSlowQuery(const std::string& key,
   entry.queue_millis = answer.queue_millis;
   entry.cache_hit = answer.cache_hit;
   entry.degraded = answer.degraded;
+  entry.error = answer.error;
   entry.span_id = answer.span_id;
   if (answer.span_id != 0 && options_.tracer != nullptr) {
     entry.span_tree = RenderSpanTree(
@@ -194,6 +195,7 @@ Result<ServeAnswer> QueryServer::Query(const QueryRequest& request) {
       span.SetAttribute("cache_hit", answer->cache_hit);
       span.SetAttribute("degraded", answer->degraded);
       span.SetAttribute("queue_ms", answer->queue_millis);
+      if (answer->error) span.SetAttribute("error", true);
       answer->total_millis = span.End();
     } else {
       answer->total_millis = total.ElapsedMillis();
@@ -241,7 +243,16 @@ Result<ServeAnswer> QueryServer::Query(const QueryRequest& request) {
       Execute(std::move(canonical), key, request.trace, span.id());
   metrics_.gauge(kInFlight).Decrement();
   ReleaseSlot();
-  if (!executed.ok()) return executed.status();
+  if (!executed.ok()) {
+    // Failed requests still burn serving capacity; run them through the
+    // same epilogue so the latency histogram and slow-query log account
+    // for them instead of silently under-reporting under error storms.
+    ServeAnswer failed;
+    failed.error = true;
+    failed.queue_millis = waited_ms;
+    finish(&failed);
+    return executed.status();
+  }
 
   ServeAnswer answer = std::move(executed).value();
   answer.queue_millis = waited_ms;
@@ -264,6 +275,10 @@ BatchItem QueryServer::ServeBatchItem(const QueryRequest& request,
   }
   Stopwatch total;
   metrics_.counter(kQueriesTotal).Increment();
+  // Time this item spent queued behind earlier items of the same batch
+  // (pool width < batch size): batch start → this item's turn.
+  const double queued_ms = batch_timer.ElapsedMillis();
+  item.answer.queue_millis = queued_ms;
 
   std::vector<PredicateTerm> canonical = CanonicalizeTerms(request.where);
   std::string key = CanonicalPredicateKey(canonical);
@@ -274,6 +289,8 @@ BatchItem QueryServer::ServeBatchItem(const QueryRequest& request,
       span.SetAttribute("predicates", key);
       span.SetAttribute("cache_hit", item.answer.cache_hit);
       span.SetAttribute("degraded", item.answer.degraded);
+      span.SetAttribute("queue_ms", item.answer.queue_millis);
+      if (item.answer.error) span.SetAttribute("error", true);
       item.answer.total_millis = span.End();
     } else {
       item.answer.total_millis = total.ElapsedMillis();
@@ -297,7 +314,7 @@ BatchItem QueryServer::ServeBatchItem(const QueryRequest& request,
   // Items whose turn comes after the batch deadline degrade instead of
   // stretching the pan's tail latency.
   if (deadline_ms > 0.0 && batch_timer.ElapsedMillis() > deadline_ms) {
-    item.answer = DegradedAnswer(0.0);
+    item.answer = DegradedAnswer(queued_ms);
     finish();
     return item;
   }
@@ -307,10 +324,15 @@ BatchItem QueryServer::ServeBatchItem(const QueryRequest& request,
       Execute(std::move(canonical), key, request.trace, span.id());
   metrics_.gauge(kInFlight).Decrement();
   if (!executed.ok()) {
+    // Same contract as Query(): a failed item still flows through the
+    // latency epilogue so metrics and the slow-query log see it.
     item.status = executed.status();
+    item.answer.error = true;
+    finish();
     return item;
   }
   item.answer = std::move(executed).value();
+  item.answer.queue_millis = queued_ms;
   finish();
   return item;
 }
@@ -370,24 +392,42 @@ Result<std::vector<BatchItem>> QueryServer::BatchQuery(
     admitted_ += requests.size();
   }
 
+  // RAII release of the batch's admission slots: an exception unwinding
+  // out of the fan-out (e.g. one thrown from a pool task and rethrown
+  // by ParallelFor) must not leave the slots counted forever — that
+  // would shrink effective capacity until every later request is
+  // rejected. Local classes share the enclosing member function's
+  // access to slot_mu_/admitted_/slot_cv_.
+  struct AdmissionRelease {
+    QueryServer* server;
+    size_t count;
+    ~AdmissionRelease() {
+      {
+        std::lock_guard<std::mutex> lock(server->slot_mu_);
+        server->admitted_ -= count;
+      }
+      server->slot_cv_.notify_all();
+    }
+  } release{this, requests.size()};
+
   std::vector<BatchItem> items(requests.size());
   const uint64_t batch_span_id = batch_span.id();
-  pool_->ParallelFor(requests.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const QueryRequest& request = requests[i];
-      const double deadline = request.deadline_ms < 0.0
-                                  ? options_.default_deadline_ms
-                                  : request.deadline_ms;
-      items[i] = ServeBatchItem(request, deadline, batch_timer,
-                                batch_span_id);
-    }
-  });
-
-  {
-    std::lock_guard<std::mutex> lock(slot_mu_);
-    admitted_ -= requests.size();
+  try {
+    pool_->ParallelFor(requests.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const QueryRequest& request = requests[i];
+        const double deadline = request.deadline_ms < 0.0
+                                    ? options_.default_deadline_ms
+                                    : request.deadline_ms;
+        items[i] = ServeBatchItem(request, deadline, batch_timer,
+                                  batch_span_id);
+      }
+    });
+  } catch (const std::exception& e) {
+    metrics_.counter(kErrors).Increment();
+    if (batch_span.recording()) batch_span.SetAttribute("error", true);
+    return Status::Internal(std::string("batch fan-out threw: ") + e.what());
   }
-  slot_cv_.notify_all();
   return items;
 }
 

@@ -70,6 +70,10 @@ struct ServeAnswer {
   /// Id of the "serve.query" span that timed this request (0 when not
   /// traced); look its subtree up in the server's Tracer.
   uint64_t span_id = 0;
+  /// True when the request failed; `result` is null and the caller got a
+  /// Status instead. Failed requests still flow through the latency
+  /// epilogue, so the histogram and slow-query log account for them.
+  bool error = false;
 };
 
 /// Per-item outcome of a BatchQuery (Result<T> is not

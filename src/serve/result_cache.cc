@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "testing/fault_injection.h"
+
 namespace tabula {
 
 namespace {
@@ -96,9 +98,18 @@ uint64_t ResultCache::EntryBytes(const std::string& key,
 
 std::shared_ptr<const TabulaQueryResult> ResultCache::Get(
     const std::string& key) {
-  const uint64_t current = generation();
   Shard& shard = ShardFor(key);
+  // Delay-only seam between shard selection and the locked lookup:
+  // widens the window an InvalidateAll() can land in, so the TOCTOU
+  // below (a generation loaded before the lock going stale) stays
+  // reachable in tests instead of only under lucky scheduling.
+  TABULA_FAULT_DELAY("cache.get");
   std::lock_guard<std::mutex> lock(shard.mu);
+  // The generation must be loaded UNDER the shard lock. Loading it
+  // before would let an InvalidateAll() landing in between match a
+  // pre-refresh entry against the pre-bump generation and serve a
+  // fenced answer (TOCTOU).
+  const uint64_t current = generation();
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);

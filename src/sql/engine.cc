@@ -408,13 +408,13 @@ Result<SqlEngine::ExecResult> SqlEngine::ExecSelect(const SelectStmt& stmt) {
     // general analytics.)
     const uint32_t num_cuboids = uint32_t{1} << stmt.group_by.size();
     for (uint32_t mask = 0; mask < num_cuboids; ++mask) {
-      std::unordered_map<uint64_t, std::vector<RowId>> cells;
+      FlatHashMap<std::vector<RowId>> cells;
       for (size_t i = 0; i < view.size(); ++i) {
         RowId r = view.row(i);
         cells[packer.PackRowMasked(enc, r, mask)].push_back(r);
       }
       GroupedRows groups;
-      for (auto& [key, rows] : cells) {
+      for (auto& [key, rows] : cells.ExtractSorted()) {
         groups.keys.push_back(key);
         groups.rows.push_back(std::move(rows));
       }

@@ -1,6 +1,7 @@
 #include "testing/fault_injection.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 namespace tabula {
@@ -50,6 +51,8 @@ void FaultInjector::DisarmAll() {
 
 Status FaultInjector::Hit(std::string_view point) {
   double delay_ms = 0.0;
+  bool do_throw = false;
+  std::string throw_message;
   Status injected = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -74,10 +77,13 @@ Status FaultInjector::Hit(std::string_view point) {
     if (!trigger) return Status::OK();
     ++armed.stats.triggers;
     delay_ms = spec.delay_ms;
-    if (spec.fail) {
-      std::string msg = spec.message.empty()
-                            ? "injected fault at '" + std::string(point) + "'"
-                            : spec.message;
+    std::string msg = spec.message.empty()
+                          ? "injected fault at '" + std::string(point) + "'"
+                          : spec.message;
+    if (spec.throw_exception) {
+      do_throw = true;
+      throw_message = std::move(msg);
+    } else if (spec.fail) {
       injected = Status::FromCode(spec.code, std::move(msg));
     }
   }
@@ -85,6 +91,7 @@ Status FaultInjector::Hit(std::string_view point) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(delay_ms));
   }
+  if (do_throw) throw std::runtime_error(throw_message);
   return injected;
 }
 

@@ -35,6 +35,12 @@ struct FaultSpec {
   /// When true a triggered hit returns an error Status; when false the
   /// hit only delays.
   bool fail = true;
+  /// When true a triggered hit THROWS std::runtime_error instead of
+  /// returning a Status. Models code that raises across a seam designed
+  /// for Status returns (e.g. an exception unwinding out of a ThreadPool
+  /// task mid-batch) — exactly the failure mode RAII cleanup guards
+  /// exist for. Takes precedence over `fail`.
+  bool throw_exception = false;
   /// Code of the injected error.
   StatusCode code = StatusCode::kIOError;
   /// Message of the injected error ("" → "injected fault at '<point>'").

@@ -7,8 +7,8 @@
 namespace tabula {
 
 const OracleCell* OracleCube::Find(uint64_t key) const {
-  auto it = index.find(key);
-  return it == index.end() ? nullptr : &cells[it->second];
+  const size_t* idx = index.Find(key);
+  return idx == nullptr ? nullptr : &cells[*idx];
 }
 
 Result<OracleCube> BuildOracleCube(const Table& table,
@@ -23,14 +23,15 @@ Result<OracleCube> BuildOracleCube(const Table& table,
   for (size_t m = 0; m < lattice.num_cuboids(); ++m) {
     CuboidMask mask = static_cast<CuboidMask>(m);
     // Independent full scan per cuboid — deliberately NOT the single
-    // finest-scan + roll-up the dry run uses.
-    std::unordered_map<uint64_t, std::vector<RowId>> by_key;
+    // finest-scan + roll-up the dry run uses. Cells come out in ascending
+    // key order, matching the production path's deterministic ordering.
+    FlatHashMap<std::vector<RowId>> by_key;
     for (size_t r = 0; r < n; ++r) {
       uint64_t key =
           packer.PackRowMasked(encoder, static_cast<RowId>(r), mask);
       by_key[key].push_back(static_cast<RowId>(r));
     }
-    for (auto& [key, rows] : by_key) {
+    for (auto& [key, rows] : by_key.ExtractSorted()) {
       OracleCell cell;
       cell.key = key;
       cell.cuboid = mask;
@@ -38,7 +39,7 @@ Result<OracleCube> BuildOracleCube(const Table& table,
       TABULA_ASSIGN_OR_RETURN(cell.loss, loss.Loss(raw, global_sample));
       cell.iceberg = cell.loss > theta;
       cell.rows = std::move(rows);
-      cube.index.emplace(key, cube.cells.size());
+      cube.index[key] = cube.cells.size();
       cube.cells.push_back(std::move(cell));
       ++cube.total_cells;
       if (cube.cells.back().iceberg) ++cube.iceberg_cells;

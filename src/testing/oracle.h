@@ -2,9 +2,9 @@
 #define TABULA_TESTING_ORACLE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "cube/lattice.h"
 #include "exec/group_by.h"
@@ -44,7 +44,7 @@ struct OracleCube {
   /// Cell by full-width packed key (nullptr when absent/empty).
   const OracleCell* Find(uint64_t key) const;
 
-  std::unordered_map<uint64_t, size_t> index;
+  FlatHashMap<size_t> index;
 };
 
 /// Builds the exact cube by enumerating every cuboid independently:

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "exec/aggregate.h"
@@ -155,6 +156,25 @@ TEST(KeyPackerTest, PackRowMatchesPackCodes) {
   }
 }
 
+TEST(KeyPackerTest, PackRowsMatchesPackRow) {
+  // The columnar bulk packer must produce exactly what the per-row
+  // packer does, including on subset views and partial [begin, end)
+  // ranges (out[i] is indexed by view position, not row id).
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "b", "n"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0, 1, 2});
+  ASSERT_TRUE(packer.ok());
+  DatasetView view(table.get(), {5, 2, 0, 3});
+  std::vector<uint64_t> bulk(view.size(), ~uint64_t{0});
+  packer->PackRows(*enc, view, 1, 3, bulk.data());
+  for (size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(bulk[i], packer->PackRow(*enc, view.row(i))) << "pos " << i;
+  }
+  EXPECT_EQ(bulk[0], ~uint64_t{0});  // outside the range: untouched
+  EXPECT_EQ(bulk[3], ~uint64_t{0});
+}
+
 TEST(KeyPackerTest, PackRowMaskedRollsUp) {
   auto table = MakeTable();
   auto enc = KeyEncoder::Make(*table, {"a", "b"});
@@ -199,16 +219,43 @@ TEST(GroupByTest, GroupAccumulateMatchesManualAggregation) {
   ASSERT_EQ(map.size(), 2u);
   // Group p: rows 0,2,4,5 → values 1,3,5,6. Group q: rows 1,3 → 2,4.
   double sum_p = 0.0, sum_q = 0.0;
-  for (const auto& [key, state] : map) {
+  map.ForEach([&](uint64_t key, const NumericAggState& state) {
     uint32_t code = packer->CodeAt(key, 0);
     if (enc->Decode(0, code).AsString() == "p") {
       sum_p = state.sum;
     } else {
       sum_q = state.sum;
     }
-  }
+  });
   EXPECT_DOUBLE_EQ(sum_p, 15.0);
   EXPECT_DOUBLE_EQ(sum_q, 6.0);
+}
+
+TEST(GroupByTest, GroupAccumulateSortedMatchesHashEngine) {
+  // The dense-array engine must agree with the hash-map engine group for
+  // group, and emit keys in ascending order — the deterministic-output
+  // contract the dry run builds on.
+  auto table = MakeTable();
+  auto enc = KeyEncoder::Make(*table, {"a", "b"});
+  ASSERT_TRUE(enc.ok());
+  auto packer = KeyPacker::Make(*enc, {0, 1});
+  ASSERT_TRUE(packer.ok());
+  const auto* v = table->column(3).As<DoubleColumn>();
+  auto add = [&](NumericAggState* s, RowId r) { s->Add(v->At(r)); };
+  DatasetView view(table.get());
+  auto map = GroupAccumulate<NumericAggState>(*enc, *packer, view, add);
+  GroupedStates<NumericAggState> dense =
+      GroupAccumulateSorted<NumericAggState>(*enc, *packer, view, add);
+
+  ASSERT_EQ(dense.keys.size(), map.size());
+  ASSERT_EQ(dense.states.size(), dense.keys.size());
+  EXPECT_TRUE(std::is_sorted(dense.keys.begin(), dense.keys.end()));
+  for (size_t i = 0; i < dense.keys.size(); ++i) {
+    const NumericAggState* expected = map.Find(dense.keys[i]);
+    ASSERT_NE(expected, nullptr) << "key " << dense.keys[i];
+    EXPECT_DOUBLE_EQ(dense.states[i].sum, expected->sum);
+    EXPECT_DOUBLE_EQ(dense.states[i].count, expected->count);
+  }
 }
 
 TEST(GroupByTest, GroupRowsOnSubsetView) {

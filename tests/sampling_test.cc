@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "loss/mean_loss.h"
 #include "loss/min_dist_loss.h"
 #include "sampling/greedy_sampler.h"
@@ -207,6 +208,42 @@ TEST(GreedySamplerTest, MaxSampleSizeCapsGrowth) {
   auto sample = sampler.Sample(raw);
   ASSERT_TRUE(sample.ok());
   EXPECT_EQ(sample->size(), 5u);
+}
+
+TEST(GreedySamplerTest, TiedLossesPickSameSampleAtAnyThreadCount) {
+  // Regression: ExhaustiveBest used to break exact-loss ties by whichever
+  // chunk reported first, so the chosen candidate — and every later round
+  // built on it — depended on the thread count. With only 4 distinct
+  // values repeated 100× each, nearly every round is a massive tie.
+  Schema schema({{"v", DataType::kDouble}});
+  auto table = std::make_unique<Table>(schema);
+  for (size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        table->AppendRow({Value(static_cast<double>(i % 4) * 10.0)}).ok());
+  }
+  MeanLoss loss("v");
+  DatasetView raw(table.get());
+
+  auto run = [&](size_t threads) {
+    ThreadPool pool(threads);
+    ThreadPool::SetGlobalForTest(&pool);
+    GreedySamplerOptions opts;
+    opts.lazy_forward = false;
+    opts.max_candidates = 0;
+    GreedySampler sampler(&loss, 0.5, opts);
+    auto sample = sampler.Sample(raw);
+    ThreadPool::SetGlobalForTest(nullptr);
+    EXPECT_TRUE(sample.ok());
+    return sample.value();
+  };
+
+  std::vector<RowId> single = run(1);
+  std::vector<RowId> multi = run(4);
+  EXPECT_FALSE(single.empty());
+  EXPECT_EQ(single, multi)
+      << "tie-break must be by pool position, not chunk schedule";
+  // And stable across repeated runs at the same width.
+  EXPECT_EQ(run(4), multi);
 }
 
 TEST(GreedySamplerTest, SampleSizeShrinksWithLooserThreshold) {

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/result_cache.h"
+#include "testing/fault_injection.h"
 
 namespace tabula {
 namespace {
@@ -154,6 +157,35 @@ TEST_F(ResultCacheTest, InvalidateAllFencesEveryEntry) {
   // Fresh inserts under the new generation serve normally again.
   Put("k1");
   EXPECT_TRUE(Contains("k1"));
+}
+
+TEST_F(ResultCacheTest, GetRacingInvalidateAllNeverServesFencedEntry) {
+  // Regression: Get() used to load generation() BEFORE taking the shard
+  // lock. An InvalidateAll() landing between the load and the lookup
+  // then matched the fenced entry against the pre-bump generation and
+  // served a stale answer. The "cache.get" delay seam widens exactly
+  // that window so the race is deterministic, not schedule-dependent.
+  MakeCache(4);
+  ScopedFaultClear clear;
+  Put("k1");
+  ASSERT_TRUE(Contains("k1"));
+
+  FaultSpec delay;
+  delay.fail = false;
+  delay.delay_ms = 50.0;
+  FaultInjector::Global().Arm("cache.get", delay);
+
+  std::shared_ptr<const TabulaQueryResult> raced;
+  std::thread reader([&] { raced = cache_->Get(Key("k1")); });
+  // Land the invalidation squarely inside the reader's 50 ms window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache_->InvalidateAll();
+  reader.join();
+
+  EXPECT_EQ(raced, nullptr)
+      << "Get returned an entry fenced by a concurrent InvalidateAll";
+  FaultInjector::Global().DisarmAll();
+  EXPECT_FALSE(Contains("k1"));
 }
 
 TEST_F(ResultCacheTest, StaleGenerationPutIsIgnored) {

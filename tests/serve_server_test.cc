@@ -12,6 +12,7 @@
 #include "loss/mean_loss.h"
 #include "serve/metrics.h"
 #include "serve/query_server.h"
+#include "testing/fault_injection.h"
 
 namespace tabula {
 namespace {
@@ -178,6 +179,91 @@ TEST_F(QueryServerTest, BatchBeyondQueueBoundIsRejected) {
   auto batch = server.BatchQuery(cells);
   ASSERT_FALSE(batch.ok());
   EXPECT_EQ(batch.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(QueryServerTest, BatchExceptionDoesNotLeakAdmissionSlots) {
+  // Regression: BatchQuery incremented admitted_ before the fan-out and
+  // decremented only after it. An exception rethrown by ParallelFor
+  // (here: the serve.execute seam throwing mid-batch) skipped the
+  // decrement, permanently shrinking the admission queue.
+  ScopedFaultClear clear;
+  QueryServerOptions sopts;
+  sopts.enable_cache = false;
+  sopts.max_concurrency = 2;
+  sopts.max_queue = 8;
+  QueryServer server(tabula_.get(), sopts);
+
+  FaultSpec boom;
+  boom.throw_exception = true;
+  boom.max_triggers = 1;
+  FaultInjector::Global().Arm("serve.execute", boom);
+
+  std::vector<std::vector<PredicateTerm>> cells(
+      8, {{"payment_type", CompareOp::kEq, Value("Cash")}});
+  auto batch = server.BatchQuery(cells);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInternal);
+  FaultInjector::Global().DisarmAll();
+
+  // With the slots released during unwinding, a max-size batch and a
+  // plain query both still fit; a leak would reject them forever.
+  auto retry = server.BatchQuery(cells);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  for (const BatchItem& item : *retry) EXPECT_TRUE(item.status.ok());
+  EXPECT_TRUE(server.Query(cells[0]).ok());
+}
+
+TEST_F(QueryServerTest, FailedQueryIsAccountedInLatencyAndSlowLog) {
+  // Regression: the Query error path returned before the finish
+  // epilogue, so failed requests never reached the serve_latency
+  // histogram or the slow-query log — under an error storm the p99
+  // looked healthy while every request failed.
+  ScopedFaultClear clear;
+  QueryServerOptions sopts;
+  sopts.enable_cache = false;
+  sopts.slow_query_ms = 1e-6;  // log every request
+  QueryServer server(tabula_.get(), sopts);
+
+  FaultSpec fail;
+  fail.fail = true;
+  FaultInjector::Global().Arm("serve.execute", fail);
+  auto answer = server.Query(workload_[0].where);
+  ASSERT_FALSE(answer.ok());
+  FaultInjector::Global().DisarmAll();
+
+  MetricsSnapshot snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.CounterValue("serve_errors"), 1u);
+  EXPECT_EQ(server.metrics().histogram("serve_latency").Snapshot().count, 1u)
+      << "failed request missing from the latency histogram";
+  auto slow = server.slow_query_log().Snapshot();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_TRUE(slow[0].error);
+  EXPECT_GT(slow[0].total_millis, 0.0);
+}
+
+TEST_F(QueryServerTest, FailingBatchItemsKeepQueueMillisAndLatency) {
+  // Regression: ServeBatchItem's error path skipped finish() and never
+  // set queue_millis, so failing items vanished from the histogram.
+  ScopedFaultClear clear;
+  QueryServerOptions sopts;
+  sopts.enable_cache = false;
+  QueryServer server(tabula_.get(), sopts);
+
+  FaultSpec fail;
+  fail.fail = true;
+  FaultInjector::Global().Arm("serve.execute", fail);
+  std::vector<std::vector<PredicateTerm>> cells(
+      4, {{"payment_type", CompareOp::kEq, Value("Cash")}});
+  auto batch = server.BatchQuery(cells);
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(batch.ok());
+  for (const BatchItem& item : *batch) {
+    EXPECT_FALSE(item.status.ok());
+    EXPECT_TRUE(item.answer.error);
+    EXPECT_GT(item.answer.total_millis, 0.0);
+  }
+  EXPECT_EQ(server.metrics().histogram("serve_latency").Snapshot().count,
+            cells.size());
 }
 
 TEST_F(QueryServerTest, ExpiredDeadlineDegradesToGlobalSample) {

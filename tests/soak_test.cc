@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "testing/fault_injection.h"
 #include "testing/scenario.h"
 
@@ -68,6 +69,34 @@ TEST(SoakTest, SameSeedReplaysToIdenticalTrace) {
             second.value().injected_refresh_failures);
   EXPECT_EQ(first.value().injected_save_failures,
             second.value().injected_save_failures);
+}
+
+TEST(SoakTest, SameSeedIsThreadCountInvariant) {
+  // The determinism guarantee the flat-hash build engine pins down:
+  // aggregation maps have no stdlib-hash iteration order, parallel folds
+  // merge fixed chunks in ascending order, and every output path walks
+  // sorted packed keys — so the whole scenario trace is byte-identical
+  // whether the global pool has 1 worker or 8 (oversubscribed or not).
+  SoakOptions options = BoundedOptions(19, 60, /*faults=*/true);
+
+  auto run_with_threads = [&](size_t threads) {
+    ThreadPool pool(threads);
+    ThreadPool::SetGlobalForTest(&pool);
+    auto run = RunSoak(options);
+    ThreadPool::SetGlobalForTest(nullptr);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return std::move(run).value();
+  };
+
+  SoakReport single = run_with_threads(1);
+  SoakReport multi = run_with_threads(8);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(single.trace, multi.trace)
+      << "scenario trace depends on thread count";
+  EXPECT_EQ(single.final_generation, multi.final_generation);
+  EXPECT_EQ(single.queries, multi.queries);
+  EXPECT_EQ(single.theta_checks, multi.theta_checks);
 }
 
 TEST(SoakTest, DifferentSeedsDiverge) {
