@@ -15,11 +15,11 @@
 #include "common/string_util.h"
 #include "core/tabula.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   TaxiGeneratorOptions gen;
   gen.num_rows = std::min<size_t>(config.rows, 30000);
   gen.seed = config.seed;

@@ -30,10 +30,10 @@ void AppendFrom(Table* target, const Table& source, size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula::bench;
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   size_t base_rows = std::min<size_t>(config.rows, 40000);
   auto extra = FreshTable(base_rows, config.seed + 1);
   auto attrs = Attributes(5);

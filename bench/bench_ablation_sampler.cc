@@ -15,11 +15,16 @@
 
 namespace tabula {
 namespace bench {
+
+/// Set by main() from the command line before google-benchmark runs, so
+/// the table is generated with the effective (post-override) seed.
+BenchConfig g_sampler_config = BenchConfig::FromEnv();
+
 namespace {
 
 const Table& BenchTable() {
   static BenchConfig config = [] {
-    BenchConfig c = BenchConfig::FromEnv();
+    BenchConfig c = g_sampler_config;
     c.rows = std::min<size_t>(c.rows, 20000);  // micro-bench scale
     return c;
   }();
@@ -105,4 +110,14 @@ BENCHMARK(BM_GreedyMeanLoss)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace tabula
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so --seed/--rows/--queries are applied
+// before the first BenchTable() call (google-benchmark would otherwise
+// reject them as unrecognized arguments).
+int main(int argc, char** argv) {
+  tabula::bench::g_sampler_config =
+      tabula::bench::BenchConfig::FromArgs(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

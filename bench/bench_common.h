@@ -2,6 +2,8 @@
 #define TABULA_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +39,31 @@ struct BenchConfig {
         static_cast<size_t>(EnvInt64("TABULA_SCALE", 60000));
     config.queries = static_cast<size_t>(EnvInt64("TABULA_QUERIES", 50));
     config.seed = static_cast<uint64_t>(EnvInt64("TABULA_SEED", 7));
+    return config;
+  }
+
+  /// FromEnv plus command-line overrides (`--seed N`, `--rows N`,
+  /// `--queries N`; flags a bench doesn't know, e.g. `--smoke`, are left
+  /// for its own parser). Benches must use THIS before the first
+  /// TaxiTable() call so the seed the table is generated — and logged —
+  /// with is the effective one, not the pre-override env default.
+  static BenchConfig FromArgs(int argc, char** argv) {
+    BenchConfig config = FromEnv();
+    for (int i = 1; i + 1 < argc; ++i) {
+      auto value = [&] {
+        return static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr, 10));
+      };
+      if (std::strcmp(argv[i], "--seed") == 0) {
+        config.seed = value();
+        ++i;
+      } else if (std::strcmp(argv[i], "--rows") == 0) {
+        config.rows = static_cast<size_t>(value());
+        ++i;
+      } else if (std::strcmp(argv[i], "--queries") == 0) {
+        config.queries = static_cast<size_t>(value());
+        ++i;
+      }
+    }
     return config;
   }
 };

@@ -77,11 +77,11 @@ void RunSweep(const Table& table, const std::string& figure,
 }  // namespace bench
 }  // namespace tabula
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   const Table& table = TaxiTable(config);
   std::printf("Figure 8 reproduction: Tabula initialization time\n");
   std::printf("rows=%zu (paper: 700M on a 5-node cluster)\n",

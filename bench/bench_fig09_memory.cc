@@ -68,11 +68,11 @@ void RunSweep(const Table& table, const std::string& figure,
 }  // namespace bench
 }  // namespace tabula
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   const Table& table = TaxiTable(config);
   std::printf("Figure 9 reproduction: memory footprint (log-scale plot in "
               "the paper)\nrows=%zu, table=%s\n",

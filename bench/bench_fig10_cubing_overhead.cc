@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   TaxiGeneratorOptions gen;
   gen.num_rows = std::max<size_t>(config.rows / 4, 1000);
   gen.seed = config.seed;

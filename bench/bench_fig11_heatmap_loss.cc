@@ -15,11 +15,11 @@
 #include "baselines/tabula_approach.h"
 #include "bench_approaches.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   const Table& table = TaxiTable(config);
   auto attrs = Attributes(5);
   auto loss = MakeLossFunction("heatmap_loss", {.columns = {"pickup_x", "pickup_y"}}).value();

@@ -13,11 +13,11 @@
 #include "bench_approaches.h"
 #include "loss/regression_loss.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   const Table& table = TaxiTable(config);
   auto attrs = Attributes(5);
   RegressionLoss loss("fare_amount", "tip_amount");

@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_section = true;
   }
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   size_t clients = static_cast<size_t>(EnvInt64("TABULA_CLIENTS", 8));
   size_t queries_per_thread =
       static_cast<size_t>(EnvInt64("TABULA_SERVE_QUERIES", 4000));

@@ -42,11 +42,11 @@ Cell Measure(Approach* approach, const Table& table,
 }  // namespace bench
 }  // namespace tabula
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabula;
   using namespace tabula::bench;
 
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
   const Table& table = TaxiTable(config);
   auto attrs = Attributes(5);
 

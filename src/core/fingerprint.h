@@ -1,0 +1,23 @@
+#ifndef TABULA_CORE_FINGERPRINT_H_
+#define TABULA_CORE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace tabula {
+
+/// Cheap content fingerprint of the base table: cardinality plus a few
+/// probed cells, enough to catch "wrong table" mistakes without a full
+/// hash pass. Persisted cube files (Tabula::Save and the shard
+/// manifest) embed it and refuse to load against a different table.
+uint64_t TableFingerprint(const Table& table);
+
+/// FNV fold of a shard's row-id list (count + every id). The shard
+/// manifest stores one per shard so Load can verify the persisted
+/// partition matches what it reconstructs.
+uint64_t RowListFingerprint(const std::vector<RowId>& rows);
+
+}  // namespace tabula
+
+#endif  // TABULA_CORE_FINGERPRINT_H_

@@ -4,6 +4,7 @@
 
 #include "common/binary_io.h"
 #include "common/stopwatch.h"
+#include "core/fingerprint.h"
 #include "core/tabula.h"
 #include "testing/fault_injection.h"
 
@@ -14,9 +15,8 @@ namespace {
 constexpr uint32_t kMagic = 0x54424C43;  // "TBLC"
 constexpr uint32_t kVersion = 1;
 
-/// Cheap content fingerprint of the base table: cardinality plus a few
-/// probed cells, enough to catch "wrong table" mistakes without a full
-/// hash pass.
+}  // namespace
+
 uint64_t TableFingerprint(const Table& table) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
   auto mix = [&h](uint64_t v) {
@@ -47,7 +47,16 @@ uint64_t TableFingerprint(const Table& table) {
   return h;
 }
 
-}  // namespace
+uint64_t RowListFingerprint(const std::vector<RowId>& rows) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(rows.size());
+  for (RowId r : rows) mix(r);
+  return h;
+}
 
 Status Tabula::Save(const std::string& path) const {
   // Write-temp-then-rename: the destination is replaced atomically only

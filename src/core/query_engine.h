@@ -1,0 +1,74 @@
+#ifndef TABULA_CORE_QUERY_ENGINE_H_
+#define TABULA_CORE_QUERY_ENGINE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/query_request.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+struct QueryResponse;
+
+/// \brief Common surface of a sampling-cube query engine.
+///
+/// Both the single-instance middleware (`Tabula`, src/core/) and the
+/// horizontally sharded engine (`ShardedTabula`, src/shard/) implement
+/// this interface, so the serving layer (`QueryServer`) routes to either
+/// without knowing which one it fronts. The contracts mirror Tabula's:
+///
+///  - Query() is const ⇒ safe for any number of concurrent readers.
+///  - Refresh(), Save() and listener registration follow the
+///    external-serialization contract (QueryServer wraps them in an
+///    exclusive lock); a failed Refresh leaves the engine answering
+///    queries exactly as before, generation unchanged.
+///  - generation() is a monotone cube-content version; caches layered
+///    above key their coherence off it via AddRefreshListener().
+class QueryEngine {
+ public:
+  /// Diagnostics from one Refresh() pass. Defined here (not on Tabula)
+  /// so every engine reports maintenance work in the same shape;
+  /// `Tabula::RefreshStats` keeps naming it through inheritance.
+  struct RefreshStats {
+    size_t new_rows = 0;
+    size_t new_iceberg_cells = 0;
+    size_t dropped_iceberg_cells = 0;
+    size_t rechecked_cells = 0;
+    size_t resampled_cells = 0;
+    bool full_rebuild = false;
+    double millis = 0.0;
+  };
+
+  virtual ~QueryEngine() = default;
+
+  /// Answers a dashboard query (see Tabula::Query for the predicate
+  /// contract). Const ⇒ safe for concurrent readers.
+  virtual Result<QueryResponse> Query(const QueryRequest& request) const = 0;
+
+  /// Incremental maintenance after base-table appends.
+  virtual Status Refresh(RefreshStats* stats = nullptr) = 0;
+
+  /// Persists the engine state; Load is engine-specific (a saved file
+  /// names its own format via magic bytes).
+  virtual Status Save(const std::string& path) const = 0;
+
+  /// Monotone cube-content version (bumped by successful refreshes).
+  virtual uint64_t generation() const = 0;
+
+  /// Post-refresh invalidation hooks (see Tabula::AddRefreshListener).
+  virtual uint64_t AddRefreshListener(std::function<void()> listener) = 0;
+  virtual void RemoveRefreshListener(uint64_t id) = 0;
+
+  /// The engine's global random sample — the degraded-answer fallback
+  /// the serving layer snapshots for deadline misses.
+  virtual const DatasetView& global_sample() const = 0;
+
+  /// The base table the engine was built over.
+  virtual const Table& base_table() const = 0;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_CORE_QUERY_ENGINE_H_

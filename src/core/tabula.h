@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_engine.h"
 #include "core/query_request.h"
 #include "cube/cube_table.h"
 #include "cube/dry_run.h"
@@ -109,6 +110,15 @@ struct TabulaQueryResult {
   bool empty_cell = false;
   /// Middleware lookup latency (the data-system time of Tabula).
   double data_system_millis = 0.0;
+  /// Shards that could not be reached while gathering this answer
+  /// (sharded engine only; always empty for single-instance answers and
+  /// at K=1). When non-empty, the sample stands in the global sample
+  /// for the missing slices, so the deterministic θ bound no longer
+  /// holds — the dashboard should mark the tile provisional.
+  std::vector<uint32_t> unavailable_shards;
+  /// kUnavailable detail describing the first shard failure (OK when
+  /// `unavailable_shards` is empty).
+  Status shard_error = Status::OK();
 };
 
 /// Answer to a QueryRequest: the query result plus the id of the span
@@ -130,7 +140,11 @@ struct QueryResponse {
 /// SELECT sample FROM cube WHERE <equality predicates on cubed attrs>
 /// with a readily materialized sample whose accuracy loss w.r.t. the true
 /// query answer never exceeds θ (100% confidence).
-class Tabula {
+///
+/// Implements QueryEngine, the interface the serving layer routes
+/// through, so a `Tabula` and a sharded `ShardedTabula` (src/shard/)
+/// are interchangeable behind a QueryServer.
+class Tabula : public QueryEngine {
  public:
   /// Builds the partially materialized sampling cube over `table`.
   /// `table` must outlive the returned instance.
@@ -155,7 +169,7 @@ class Tabula {
   /// are NOT safe against in-flight Query() calls; callers must
   /// serialize them externally — QueryServer in src/serve/ does so with
   /// a shared/exclusive lock.
-  Result<QueryResponse> Query(const QueryRequest& request) const;
+  Result<QueryResponse> Query(const QueryRequest& request) const override;
 
   /// Deprecated bare-predicate overload; thin wrapper over
   /// Query(QueryRequest). Prefer the QueryRequest form.
@@ -168,10 +182,10 @@ class Tabula {
   /// init_stats() stage timings are these spans' durations.
   const std::vector<SpanRecord>& init_trace() const { return init_trace_; }
   const TabulaOptions& options() const { return options_; }
-  const Table& base_table() const { return *table_; }
+  const Table& base_table() const override { return *table_; }
   const CubeTable& cube_table() const { return cube_; }
   const SampleTable& sample_table() const { return samples_; }
-  const DatasetView& global_sample() const { return global_sample_; }
+  const DatasetView& global_sample() const override { return global_sample_; }
 
   /// Average bytes per materialized tuple of the base schema (used to
   /// cost sample memory like the paper's materialized tuples).
@@ -184,7 +198,7 @@ class Tabula {
   /// is only valid for the exact table it was built on; Load verifies a
   /// fingerprint (cardinality + content probes) and the loss/threshold
   /// configuration before accepting the file.
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path) const override;
 
   /// Restores a cube saved with Save(). `options` must name the same
   /// loss function, threshold, and cubed attributes used at build time.
@@ -192,16 +206,8 @@ class Tabula {
                                               TabulaOptions options,
                                               const std::string& path);
 
-  /// Diagnostics from one Refresh() pass.
-  struct RefreshStats {
-    size_t new_rows = 0;
-    size_t new_iceberg_cells = 0;
-    size_t dropped_iceberg_cells = 0;
-    size_t rechecked_cells = 0;
-    size_t resampled_cells = 0;
-    bool full_rebuild = false;
-    double millis = 0.0;
-  };
+  // RefreshStats is inherited from QueryEngine; `Tabula::RefreshStats`
+  // keeps naming it for existing callers.
 
   /// \brief Incremental maintenance after the base table grew (an
   /// extension beyond the paper, which builds the cube once).
@@ -218,20 +224,20 @@ class Tabula {
   /// RefreshStats::full_rebuild). Representative-sample sharing is not
   /// re-optimized here — memory may drift above optimal until the next
   /// full initialization.
-  Status Refresh(RefreshStats* stats = nullptr);
+  Status Refresh(RefreshStats* stats = nullptr) override;
 
   /// Monotone cube-content version, bumped by every successful
   /// Refresh() that saw appended rows (full rebuilds included). Caches
   /// layered above the middleware key their coherence off this counter.
-  uint64_t generation() const { return generation_; }
+  uint64_t generation() const override { return generation_; }
 
   /// Registers `listener` to run after every successful Refresh() (in
   /// the refreshing thread, once the cube has mutated) — the
   /// invalidation hook serve/ResultCache fences itself with. Returns a
   /// handle for RemoveRefreshListener(). Listener registration follows
   /// the same external-serialization contract as Refresh() itself.
-  uint64_t AddRefreshListener(std::function<void()> listener);
-  void RemoveRefreshListener(uint64_t id);
+  uint64_t AddRefreshListener(std::function<void()> listener) override;
+  void RemoveRefreshListener(uint64_t id) override;
 
  private:
   Tabula() = default;

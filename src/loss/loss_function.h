@@ -132,6 +132,28 @@ class LossFunction {
   /// lazy-forward acceleration.
   virtual bool SubmodularGain() const { return false; }
 
+  /// True when the loss is *union-closed*: for any partition of a cell's
+  /// raw data into slices, loss(∪ slices, ∪ per-slice samples) ≤
+  /// max over slices of loss(slice, its sample). Holds for losses that
+  /// average a per-tuple penalty depending only on the tuple and the
+  /// sample (e.g. avg-min-distance: each tuple's min-distance can only
+  /// shrink when the sample grows, and the total is a row-weighted
+  /// average of the per-slice averages). The sharded engine
+  /// (src/shard/) then accepts a merged union sample without
+  /// re-verification when every slice met θ locally. Ratio-of-aggregates
+  /// losses (relative mean error) are NOT union-closed — a union of
+  /// slice-accurate samples can misweight the slices.
+  virtual bool UnionClosed() const { return false; }
+
+  /// True when the LossState `Bind` accumulates depends on the bound
+  /// reference sample (e.g. min-distance's ref_dist_sum). When false,
+  /// the state summarizes the raw data alone, so
+  /// Bind(table, candidate)->Finalize(state(raw)) equals
+  /// Loss(raw, candidate) exactly — the sharded merge pass exploits
+  /// this to re-verify merged samples from rolled-up states without
+  /// re-scanning raw rows.
+  virtual bool StateDependsOnReference() const { return false; }
+
   /// Columns this loss reads (target attribute(s)); used for validation.
   virtual std::vector<std::string> InputColumns() const = 0;
 

@@ -40,6 +40,12 @@ class MinDistLoss final : public LossFunction {
   Result<std::unique_ptr<GreedyLossEvaluator>> MakeGreedyEvaluator(
       const DatasetView& raw) const override;
   bool SubmodularGain() const override { return true; }
+  /// Avg-min-distance is a row-weighted average of per-slice averages,
+  /// and each tuple's min-distance only shrinks as the sample grows, so
+  /// unioning per-slice θ-valid samples keeps the union within θ.
+  bool UnionClosed() const override { return true; }
+  /// ref_dist_sum is accumulated against the bound reference sample.
+  bool StateDependsOnReference() const override { return true; }
   std::vector<std::string> InputColumns() const override { return columns_; }
   std::vector<double> Signature(const DatasetView& view) const override;
 

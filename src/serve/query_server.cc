@@ -24,9 +24,9 @@ constexpr char kInFlight[] = "serve_in_flight";
 constexpr char kLatency[] = "serve_latency";
 }  // namespace
 
-QueryServer::QueryServer(Tabula* tabula, QueryServerOptions options,
+QueryServer::QueryServer(QueryEngine* engine, QueryServerOptions options,
                          ThreadPool* pool)
-    : tabula_(tabula),
+    : engine_(engine),
       options_(options),
       pool_(pool != nullptr ? pool : &ThreadPool::Global()),
       cache_(std::make_unique<ResultCache>(options_.cache)),
@@ -37,19 +37,19 @@ QueryServer::QueryServer(Tabula* tabula, QueryServerOptions options,
   options_.max_queue = std::max(options_.max_queue, options_.max_concurrency);
   // Cache-invalidation hook: any Refresh() of the underlying cube —
   // through this server or not — fences every cached answer.
-  refresh_listener_id_ = tabula_->AddRefreshListener([this] {
+  refresh_listener_id_ = engine_->AddRefreshListener([this] {
     cache_->InvalidateAll();
   });
   RebuildGlobalAnswer();
 }
 
 QueryServer::~QueryServer() {
-  tabula_->RemoveRefreshListener(refresh_listener_id_);
+  engine_->RemoveRefreshListener(refresh_listener_id_);
 }
 
 void QueryServer::RebuildGlobalAnswer() {
   auto answer = std::make_shared<TabulaQueryResult>();
-  answer->sample = tabula_->global_sample();
+  answer->sample = engine_->global_sample();
   std::lock_guard<std::mutex> lock(global_answer_mu_);
   global_answer_ = std::move(answer);
 }
@@ -145,7 +145,7 @@ Result<ServeAnswer> QueryServer::Execute(std::vector<PredicateTerm> canonical,
   inner.parent_span = parent_span;
   Result<QueryResponse> raw = [&]() -> Result<QueryResponse> {
     std::shared_lock<std::shared_mutex> lock(cube_mu_);
-    return tabula_->Query(inner);
+    return engine_->Query(inner);
   }();
   if (!raw.ok()) {
     metrics_.counter(kErrors).Increment();
@@ -431,13 +431,13 @@ Result<std::vector<BatchItem>> QueryServer::BatchQuery(
   return items;
 }
 
-Status QueryServer::Refresh(Tabula::RefreshStats* stats) {
+Status QueryServer::Refresh(QueryEngine::RefreshStats* stats) {
   std::unique_lock<std::shared_mutex> lock(cube_mu_);
   // Delay-only seam: widens the exclusive-lock window so refresh-vs-
   // query races (generation fencing, stale-cache checks) are reachable
   // deterministically instead of only under lucky scheduling.
   TABULA_FAULT_DELAY("serve.refresh");
-  Status st = tabula_->Refresh(stats);
+  Status st = engine_->Refresh(stats);
   if (st.ok()) {
     // The registered listener already fenced the cache; refresh the
     // degraded-answer snapshot (a full rebuild may replace the global

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/query_engine.h"
 #include "core/query_request.h"
 #include "core/tabula.h"
 #include "obs/slow_query_log.h"
@@ -83,7 +84,7 @@ struct BatchItem {
   ServeAnswer answer;
 };
 
-/// \brief Concurrent serving layer in front of a Tabula instance.
+/// \brief Concurrent serving layer in front of a query engine.
 ///
 /// Turns the single-caller middleware into a server: a sharded LRU
 /// result cache keyed on the canonical predicate set, a bounded
@@ -99,9 +100,11 @@ struct BatchItem {
 /// pre-refresh cube is never served afterwards.
 class QueryServer {
  public:
-  /// `tabula` must outlive the server. `pool` defaults to the global
-  /// pool; pass a dedicated one to isolate serving from init traffic.
-  explicit QueryServer(Tabula* tabula, QueryServerOptions options = {},
+  /// `engine` must outlive the server — a single-instance `Tabula` or
+  /// a `ShardedTabula` (src/shard/), routed through the shared
+  /// QueryEngine interface. `pool` defaults to the global pool; pass a
+  /// dedicated one to isolate serving from init traffic.
+  explicit QueryServer(QueryEngine* engine, QueryServerOptions options = {},
                        ThreadPool* pool = nullptr);
   ~QueryServer();
 
@@ -136,10 +139,10 @@ class QueryServer {
       const std::vector<std::vector<PredicateTerm>>& cells,
       double deadline_ms = -1.0);
 
-  /// Runs Tabula::Refresh() exclusively (in-flight queries drain first,
-  /// new ones queue) and fences the result cache so no stale sample is
-  /// served afterwards.
-  Status Refresh(Tabula::RefreshStats* stats = nullptr);
+  /// Runs the engine's Refresh() exclusively (in-flight queries drain
+  /// first, new ones queue) and fences the result cache so no stale
+  /// sample is served afterwards.
+  Status Refresh(QueryEngine::RefreshStats* stats = nullptr);
 
   const ResultCache& cache() const { return *cache_; }
   MetricsRegistry& metrics() { return metrics_; }
@@ -182,7 +185,7 @@ class QueryServer {
   Admission Admit(double deadline_ms, double* waited_ms);
   void ReleaseSlot();
 
-  Tabula* tabula_;
+  QueryEngine* engine_;
   QueryServerOptions options_;
   ThreadPool* pool_;
   std::unique_ptr<ResultCache> cache_;

@@ -1,0 +1,326 @@
+/// Shard-manifest persistence: one file holding the partition (per-shard
+/// row lists with fingerprints), every shard's local cube + samples, and
+/// the merged directory with its override samples. Written
+/// temp-then-rename like the plain cube format, so a failure mid-write
+/// (full disk, injected fault) never leaves a partial manifest at the
+/// destination. K = 1 delegates to the plain Tabula format (TBLC).
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "core/fingerprint.h"
+#include "shard/sharded_tabula.h"
+#include "testing/fault_injection.h"
+
+namespace tabula {
+
+namespace {
+
+constexpr uint32_t kShardMagic = 0x54424C53;  // "TBLS"
+constexpr uint32_t kShardVersion = 1;
+
+}  // namespace
+
+Status ShardedTabula::Save(const std::string& path) const {
+  if (single_ != nullptr) return single_->Save(path);
+
+  const std::string tmp = path + ".tmp";
+  Status written = [&]() -> Status {
+    TABULA_FAULT_POINT("persistence.open");
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    }
+    BinaryWriter w(&out);
+    w.WriteU32(kShardMagic);
+    w.WriteU32(kShardVersion);
+    w.WriteU64(TableFingerprint(*table_));
+    w.WriteString(options_.base.effective_loss()->name());
+    w.WriteDouble(options_.base.threshold);
+    w.WriteU64(options_.base.cubed_attributes.size());
+    for (const auto& attr : options_.base.cubed_attributes) {
+      w.WriteString(attr);
+    }
+    w.WriteU64(options_.num_shards);
+    w.WriteU32(static_cast<uint32_t>(options_.partition));
+    w.WriteVector(global_sample_rows_);
+    TABULA_FAULT_POINT("persistence.write");
+
+    for (const Shard& shard : shards_) {
+      w.WriteVector(shard.rows);
+      w.WriteU64(RowListFingerprint(shard.rows));
+      w.WriteU64(shard.cube.size());
+      for (const auto& cell : shard.cube.cells()) {
+        w.WriteU64(cell.key);
+        w.WriteU32(cell.cuboid);
+        w.WriteU32(cell.sample_id);
+      }
+      w.WriteU64(shard.samples.size());
+      for (uint32_t id = 0; id < shard.samples.size(); ++id) {
+        w.WriteVector(shard.samples.sample(id));
+      }
+      TABULA_FAULT_POINT("persistence.write");
+    }
+
+    // The merged directory in ascending key order, so the manifest
+    // bytes are a pure function of the cube (determinism tests compare
+    // manifests byte-for-byte).
+    w.WriteU64(merged_.size());
+    for (uint64_t key : merged_.SortedKeys()) {
+      const MergedCell* cell = merged_.Find(key);
+      w.WriteU64(key);
+      w.WriteU32(cell->cuboid);
+      // Flags word: bit 0 = override sample, bit 1 = global-augmented.
+      w.WriteU32((cell->has_override ? 1u : 0u) |
+                 (cell->augment_global ? 2u : 0u));
+      w.WriteU32(cell->override_id);
+    }
+    w.WriteU64(override_samples_.size());
+    for (uint32_t id = 0; id < override_samples_.size(); ++id) {
+      w.WriteVector(override_samples_.sample(id));
+    }
+    w.WriteU64(refreshed_rows_);
+    TABULA_FAULT_POINT("persistence.write");
+
+    out.flush();
+    if (!w.ok() || !out) {
+      return Status::IOError("write failed for '" + tmp + "'");
+    }
+    return Status::OK();
+  }();
+  std::error_code ec;
+  if (!written.ok()) {
+    std::filesystem::remove(tmp, ec);  // best effort; ignore errors
+    return written;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::string reason = ec.message();
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot move '" + tmp + "' over '" + path +
+                           "': " + reason);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
+    const Table& table, ShardedTabulaOptions options,
+    const std::string& path) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const LossFunction* loss = options.base.effective_loss();
+  if (loss == nullptr) {
+    return Status::InvalidArgument("TabulaOptions.loss must be set");
+  }
+  if (options.num_shards == 1) {
+    auto sharded = std::unique_ptr<ShardedTabula>(new ShardedTabula());
+    sharded->table_ = &table;
+    sharded->options_ = options;
+    TABULA_ASSIGN_OR_RETURN(sharded->single_,
+                            Tabula::Load(table, options.base, path));
+    sharded->stats_.num_shards = 1;
+    sharded->stats_.global_sample_tuples =
+        sharded->single_->init_stats().global_sample_tuples;
+    sharded->stats_.merged_iceberg_cells =
+        sharded->single_->init_stats().iceberg_cells;
+    sharded->stats_.shard_iceberg_cells = {
+        sharded->single_->init_stats().iceberg_cells};
+    return sharded;
+  }
+
+  TABULA_FAULT_POINT("persistence.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  BinaryReader r(&in);
+
+  TABULA_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  TABULA_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (magic != kShardMagic) {
+    return Status::ParseError("'" + path +
+                              "' is not a Tabula shard manifest");
+  }
+  if (version != kShardVersion) {
+    return Status::ParseError("unsupported shard manifest version " +
+                              std::to_string(version));
+  }
+  TABULA_ASSIGN_OR_RETURN(uint64_t fingerprint, r.ReadU64());
+  if (fingerprint != TableFingerprint(table)) {
+    return Status::InvalidArgument(
+        "shard manifest was built on a different table (fingerprint "
+        "mismatch); re-run Initialize()");
+  }
+  TABULA_ASSIGN_OR_RETURN(std::string loss_name, r.ReadString());
+  if (loss_name != loss->name()) {
+    return Status::InvalidArgument("manifest was built with loss '" +
+                                   loss_name + "', options specify '" +
+                                   loss->name() + "'");
+  }
+  TABULA_ASSIGN_OR_RETURN(double threshold, r.ReadDouble());
+  if (threshold != options.base.threshold) {
+    return Status::InvalidArgument(
+        "manifest was built with threshold " + std::to_string(threshold) +
+        ", options specify " + std::to_string(options.base.threshold));
+  }
+  TABULA_ASSIGN_OR_RETURN(uint64_t num_attrs, r.ReadU64());
+  std::vector<std::string> attrs(num_attrs);
+  for (auto& attr : attrs) {
+    TABULA_ASSIGN_OR_RETURN(attr, r.ReadString());
+  }
+  if (attrs != options.base.cubed_attributes) {
+    return Status::InvalidArgument(
+        "manifest's cubed attributes differ from options");
+  }
+  TABULA_ASSIGN_OR_RETURN(uint64_t num_shards, r.ReadU64());
+  if (num_shards != options.num_shards) {
+    return Status::InvalidArgument(
+        "manifest holds " + std::to_string(num_shards) +
+        " shards, options specify " + std::to_string(options.num_shards));
+  }
+  TABULA_ASSIGN_OR_RETURN(uint32_t partition, r.ReadU32());
+  if (partition != static_cast<uint32_t>(options.partition)) {
+    return Status::InvalidArgument(
+        "manifest partitioning differs from options");
+  }
+
+  auto sharded = std::unique_ptr<ShardedTabula>(new ShardedTabula());
+  sharded->table_ = &table;
+  sharded->options_ = std::move(options);
+  TABULA_ASSIGN_OR_RETURN(sharded->encoder_, KeyEncoder::Make(table, attrs));
+  std::vector<size_t> all_cols(attrs.size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  TABULA_ASSIGN_OR_RETURN(sharded->packer_,
+                          KeyPacker::Make(sharded->encoder_, all_cols));
+  sharded->lattice_ = Lattice(attrs.size());
+
+  TABULA_ASSIGN_OR_RETURN(sharded->global_sample_rows_,
+                          r.ReadVector<RowId>());
+  for (RowId row : sharded->global_sample_rows_) {
+    if (row >= table.num_rows()) {
+      return Status::DataLoss("manifest's global sample references row " +
+                              std::to_string(row) + " beyond the table");
+    }
+  }
+  sharded->global_sample_ =
+      DatasetView(&table, sharded->global_sample_rows_);
+
+  sharded->shards_.assign(num_shards, Shard{});
+  for (Shard& shard : sharded->shards_) {
+    TABULA_ASSIGN_OR_RETURN(shard.rows, r.ReadVector<RowId>());
+    TABULA_ASSIGN_OR_RETURN(uint64_t row_fp, r.ReadU64());
+    if (row_fp != RowListFingerprint(shard.rows)) {
+      return Status::DataLoss(
+          "shard row-list fingerprint mismatch; manifest is corrupt");
+    }
+    TABULA_ASSIGN_OR_RETURN(uint64_t num_cells, r.ReadU64());
+    for (uint64_t i = 0; i < num_cells; ++i) {
+      IcebergCell cell;
+      TABULA_ASSIGN_OR_RETURN(cell.key, r.ReadU64());
+      TABULA_ASSIGN_OR_RETURN(cell.cuboid, r.ReadU32());
+      TABULA_ASSIGN_OR_RETURN(cell.sample_id, r.ReadU32());
+      shard.cube.Add(std::move(cell));
+    }
+    TABULA_ASSIGN_OR_RETURN(uint64_t num_samples, r.ReadU64());
+    for (uint64_t i = 0; i < num_samples; ++i) {
+      TABULA_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                              r.ReadVector<RowId>());
+      for (RowId row : rows) {
+        if (row >= table.num_rows()) {
+          return Status::DataLoss("manifest references row " +
+                                  std::to_string(row) + " beyond the table");
+        }
+      }
+      shard.samples.Add(std::move(rows));
+    }
+    for (const auto& cell : shard.cube.cells()) {
+      if (cell.sample_id >= shard.samples.size()) {
+        return Status::DataLoss("manifest has a dangling sample link");
+      }
+    }
+  }
+
+  TABULA_ASSIGN_OR_RETURN(uint64_t num_merged, r.ReadU64());
+  sharded->merged_.reserve(num_merged);
+  for (uint64_t i = 0; i < num_merged; ++i) {
+    TABULA_ASSIGN_OR_RETURN(uint64_t key, r.ReadU64());
+    MergedCell cell;
+    TABULA_ASSIGN_OR_RETURN(cell.cuboid, r.ReadU32());
+    TABULA_ASSIGN_OR_RETURN(uint32_t flags, r.ReadU32());
+    if ((flags & ~3u) != 0) {
+      return Status::DataLoss("unknown merged-cell flags " +
+                              std::to_string(flags));
+    }
+    cell.has_override = (flags & 1u) != 0;
+    cell.augment_global = (flags & 2u) != 0;
+    TABULA_ASSIGN_OR_RETURN(cell.override_id, r.ReadU32());
+    auto [slot, inserted] = sharded->merged_.TryEmplace(key, cell);
+    (void)slot;
+    if (!inserted) {
+      return Status::DataLoss("manifest repeats merged cell key " +
+                              std::to_string(key));
+    }
+  }
+  TABULA_ASSIGN_OR_RETURN(uint64_t num_overrides, r.ReadU64());
+  for (uint64_t i = 0; i < num_overrides; ++i) {
+    TABULA_ASSIGN_OR_RETURN(std::vector<RowId> rows, r.ReadVector<RowId>());
+    for (RowId row : rows) {
+      if (row >= table.num_rows()) {
+        return Status::DataLoss("manifest references row " +
+                                std::to_string(row) + " beyond the table");
+      }
+    }
+    sharded->override_samples_.Add(std::move(rows));
+  }
+  Status override_status = Status::OK();
+  sharded->merged_.ForEach([&](uint64_t, const MergedCell& cell) {
+    if (cell.has_override &&
+        cell.override_id >= sharded->override_samples_.size()) {
+      override_status =
+          Status::DataLoss("manifest has a dangling override-sample link");
+    }
+  });
+  TABULA_RETURN_NOT_OK(override_status);
+
+  TABULA_ASSIGN_OR_RETURN(sharded->refreshed_rows_, r.ReadU64());
+  if (sharded->refreshed_rows_ > table.num_rows()) {
+    return Status::DataLoss(
+        "manifest covers more rows than the table holds");
+  }
+  // The persisted row lists must partition [0, refreshed_rows) exactly —
+  // every row in one shard, no row in two.
+  std::vector<uint8_t> seen(sharded->refreshed_rows_, 0);
+  size_t assigned = 0;
+  for (const Shard& shard : sharded->shards_) {
+    for (RowId row : shard.rows) {
+      if (row >= sharded->refreshed_rows_) {
+        return Status::DataLoss("shard row " + std::to_string(row) +
+                                " lies beyond the manifest's row horizon");
+      }
+      if (seen[row]) {
+        return Status::DataLoss("row " + std::to_string(row) +
+                                " assigned to two shards");
+      }
+      seen[row] = 1;
+      ++assigned;
+    }
+  }
+  if (assigned != sharded->refreshed_rows_) {
+    return Status::DataLoss(
+        "shard row lists do not cover the manifest's row horizon");
+  }
+
+  sharded->stats_.num_shards = num_shards;
+  sharded->stats_.global_sample_tuples = sharded->global_sample_.size();
+  sharded->stats_.merged_iceberg_cells = sharded->merged_.size();
+  sharded->stats_.shard_build_millis.assign(num_shards, 0.0);
+  for (const Shard& shard : sharded->shards_) {
+    sharded->stats_.shard_iceberg_cells.push_back(shard.cube.size());
+  }
+  // Finest states and present-key sets are NOT persisted; the first
+  // Refresh rebuilds them via EnsureFinestStates().
+  return sharded;
+}
+
+}  // namespace tabula

@@ -1,0 +1,158 @@
+#include <algorithm>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "shard/sharded_tabula.h"
+#include "testing/fault_injection.h"
+
+namespace tabula {
+
+/// Scatter-gather answer path (K > 1; K = 1 delegates to the plain
+/// engine for bit-identical behaviour).
+///
+/// The merged directory decides the shape of the answer:
+///  - key absent → non-iceberg cell; the global sample is within θ
+///    (verified at merge time from the exactly-merged loss states).
+///  - override entry → the union sample violated θ at merge time and a
+///    fresh sample was drawn from the full raw data; serve it directly,
+///    no fan-out.
+///  - plain entry → fan out to every shard and concatenate the
+///    shard-local samples in ascending shard order (deterministic);
+///    `augment_global` cells append the global sample, the verified
+///    stand-in for slices whose shards were individually within θ of
+///    it and therefore hold no local sample. A
+///    shard failing at the `shard.query` seam degrades the answer: its
+///    slice is covered by appending the global sample, the shard id
+///    lands in `unavailable_shards`, and `shard_error` carries the
+///    kUnavailable detail — the request still succeeds, but the θ bound
+///    is voided and the caller is told so.
+Result<QueryResponse> ShardedTabula::Query(const QueryRequest& request) const {
+  if (single_ != nullptr) return single_->Query(request);
+
+  Tracer* tracer = options_.base.tracer;
+  Span span;
+  if (tracer != nullptr) {
+    span = tracer->StartSpan("tabula.query", request.parent_span,
+                            request.trace);
+  }
+  Stopwatch timer;
+  QueryResponse response;
+  response.span_id = span.id();
+  TabulaQueryResult& result = response.result;
+  const std::vector<PredicateTerm>& where = request.where;
+
+  auto finish = [&]() {
+    if (span.recording()) {
+      span.SetAttribute("terms", where.size());
+      span.SetAttribute("from_local_sample", result.from_local_sample);
+      span.SetAttribute("empty_cell", result.empty_cell);
+      span.SetAttribute("sample_rows", result.sample.size());
+      span.SetAttribute("unavailable_shards",
+                        result.unavailable_shards.size());
+      result.data_system_millis = span.End();
+    } else {
+      result.data_system_millis = timer.ElapsedMillis();
+    }
+  };
+
+  // Identical WHERE-clause contract (and error wording) as the plain
+  // engine: equality predicates on cubed attributes only.
+  const auto& names = encoder_.column_names();
+  std::vector<uint32_t> codes(names.size(), kNullCode);
+  for (const auto& term : where) {
+    if (term.op != CompareOp::kEq) {
+      return Status::InvalidArgument(
+          "sampling-cube queries support equality predicates only (got '" +
+          term.column + " " + CompareOpName(term.op) + " ...')");
+    }
+    auto it = std::find(names.begin(), names.end(), term.column);
+    if (it == names.end()) {
+      return Status::InvalidArgument(
+          "'" + term.column +
+          "' is not a cubed attribute; WHERE-clause attributes must be a "
+          "subset of the cubed attributes of the initialization query");
+    }
+    size_t k = static_cast<size_t>(it - names.begin());
+    if (codes[k] != kNullCode) {
+      return Status::InvalidArgument("duplicate predicate on '" +
+                                     term.column + "'");
+    }
+    auto code = encoder_.CodeForValue(k, term.literal);
+    if (!code.ok()) {
+      result.empty_cell = true;
+      result.sample = DatasetView(table_, {});
+      finish();
+      return response;
+    }
+    codes[k] = code.value();
+  }
+
+  uint64_t key = packer_.PackCodes(codes);
+  const MergedCell* cell = merged_.Find(key);
+  if (cell == nullptr) {
+    result.sample = DatasetView(table_, global_sample_rows_);
+    finish();
+    return response;
+  }
+  result.from_local_sample = true;
+  if (cell->has_override) {
+    result.sample =
+        DatasetView(table_, override_samples_.sample(cell->override_id));
+    finish();
+    return response;
+  }
+
+  Span fanout_span;
+  if (span.recording() && tracer != nullptr) {
+    fanout_span = tracer->StartSpan("shard.query.fanout", span.id());
+    fanout_span.SetAttribute("shards", shards_.size());
+  }
+  Stopwatch fanout_timer;
+  std::vector<RowId> gathered;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Stopwatch shard_timer;
+    Status shard_status = Status::OK();
+    if (FaultInjector::AnyArmed()) {
+      shard_status = FaultInjector::Global().Hit("shard.query");
+    }
+    if (shard_status.ok()) {
+      const IcebergCell* local = shards_[s].cube.Find(key);
+      if (local != nullptr) {
+        const auto& sample = shards_[s].samples.sample(local->sample_id);
+        gathered.insert(gathered.end(), sample.begin(), sample.end());
+      }
+    } else {
+      result.unavailable_shards.push_back(static_cast<uint32_t>(s));
+      if (result.shard_error.ok()) {
+        result.shard_error = Status::Unavailable(
+            "shard " + std::to_string(s) +
+            " unavailable during scatter-gather: " + shard_status.message());
+      }
+      metrics_.counter("shard_unavailable_total").Increment();
+    }
+    metrics_.histogram("shard" + std::to_string(s) + "_query_latency")
+        .RecordMillis(shard_timer.ElapsedMillis());
+  }
+  if (!result.unavailable_shards.empty()) {
+    metrics_.counter("shard_degraded_answers").Increment();
+  }
+  if (cell->augment_global || !result.unavailable_shards.empty()) {
+    // The global sample stands in for slices the union does not cover.
+    // For an `augment_global` cell that is the *verified* answer: its
+    // conflict slices are within θ of the global sample and the merge
+    // checked union + global against θ. For a degraded answer (shard
+    // unavailable) the same rows are a best effort and the bound is
+    // voided — which `unavailable_shards` being non-empty signals.
+    gathered.insert(gathered.end(), global_sample_rows_.begin(),
+                    global_sample_rows_.end());
+  }
+  double fanout_millis = fanout_span.recording()
+                             ? fanout_span.End()
+                             : fanout_timer.ElapsedMillis();
+  metrics_.histogram("shard_fanout_latency").RecordMillis(fanout_millis);
+  result.sample = DatasetView(table_, std::move(gathered));
+  finish();
+  return response;
+}
+
+}  // namespace tabula

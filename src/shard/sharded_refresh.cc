@@ -1,0 +1,205 @@
+/// Incremental maintenance of a sharded cube: appended rows are routed
+/// to their owning shards (hash of the row id, or the smallest shard
+/// under range partitioning), ONLY the touched shards rebuild, and the
+/// merge + θ re-verification pass re-runs over the mix of rebuilt and
+/// untouched shards. Mirrors the single-instance Refresh contract:
+/// every fallible step is staged, so a failed Refresh (including an
+/// injected `shard.build` fault) leaves the instance answering queries
+/// exactly as before, generation unchanged.
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "shard/sharded_tabula.h"
+#include "testing/fault_injection.h"
+
+namespace tabula {
+
+Status ShardedTabula::Refresh(RefreshStats* stats) {
+  if (single_ != nullptr) return single_->Refresh(stats);
+
+  Stopwatch timer;
+  RefreshStats local;
+  RefreshStats* out = stats != nullptr ? stats : &local;
+  *out = RefreshStats{};
+
+  Tracer* tracer = options_.base.tracer;
+  Span span;
+  if (tracer != nullptr) span = tracer->StartSpan("tabula.refresh");
+  size_t touched_shards = 0;
+  auto finish = [&]() {
+    if (span.recording()) {
+      span.SetAttribute("new_rows", out->new_rows);
+      span.SetAttribute("new_iceberg_cells", out->new_iceberg_cells);
+      span.SetAttribute("dropped_iceberg_cells", out->dropped_iceberg_cells);
+      span.SetAttribute("rechecked_cells", out->rechecked_cells);
+      span.SetAttribute("resampled_cells", out->resampled_cells);
+      span.SetAttribute("full_rebuild", out->full_rebuild);
+      span.SetAttribute("touched_shards", touched_shards);
+      out->millis = span.End();
+    } else {
+      out->millis = timer.ElapsedMillis();
+    }
+  };
+
+  const size_t n0 = refreshed_rows_;
+  const size_t n1 = table_->num_rows();
+  if (n1 < n0) {
+    return Status::InvalidArgument(
+        "base table shrank; Refresh only supports appends");
+  }
+  out->new_rows = n1 - n0;
+  if (out->new_rows == 0) {
+    finish();
+    return Status::OK();
+  }
+
+  TABULA_FAULT_POINT("refresh.begin");
+
+  // Layout check, same as the plain engine: an unseen attribute value
+  // shifts the packed-key layout, and every stored key — in every
+  // shard — would be stale. Rebuild the whole sharded cube.
+  TABULA_ASSIGN_OR_RETURN(
+      KeyEncoder new_encoder,
+      KeyEncoder::Make(*table_, options_.base.cubed_attributes));
+  bool layout_changed = false;
+  for (size_t k = 0; k < new_encoder.num_columns(); ++k) {
+    if (new_encoder.Cardinality(k) != encoder_.Cardinality(k)) {
+      layout_changed = true;
+      break;
+    }
+  }
+  if (layout_changed) {
+    TABULA_ASSIGN_OR_RETURN(std::unique_ptr<ShardedTabula> fresh,
+                            Initialize(*table_, options_));
+    // Member-wise adoption instead of whole-object move: the metrics
+    // registry (mutexes) must stay put, and listeners + generation
+    // survive a rebuild like any other cube mutation.
+    encoder_ = std::move(fresh->encoder_);
+    packer_ = std::move(fresh->packer_);
+    lattice_ = fresh->lattice_;
+    global_sample_rows_ = std::move(fresh->global_sample_rows_);
+    global_sample_ = std::move(fresh->global_sample_);
+    shards_ = std::move(fresh->shards_);
+    merged_ = std::move(fresh->merged_);
+    override_samples_ = std::move(fresh->override_samples_);
+    stats_ = std::move(fresh->stats_);
+    refreshed_rows_ = fresh->refreshed_rows_;
+    ++generation_;
+    out->full_rebuild = true;
+    touched_shards = shards_.size();
+    finish();
+    NotifyRefreshListeners();
+    return Status::OK();
+  }
+
+  // Adopt the new encoder NOW, before the staged builds: the old one
+  // only carries per-row code arrays for rows [0, n0) and cannot encode
+  // the appended rows. This is safe ahead of the commit point — the
+  // layout check passed, so the two encoders assign identical codes to
+  // every existing value and the swap is unobservable if this Refresh
+  // fails below.
+  encoder_ = std::move(new_encoder);
+
+  // The merge pass needs every shard's finest states; rebuild any that
+  // are missing (e.g. after Load, which does not persist them). Safe
+  // before the commit point: the states describe rows [0, n0) only.
+  TABULA_RETURN_NOT_OK(EnsureFinestStates());
+
+  // Route appended rows to their owning shards. Range routing feeds
+  // the running sizes back in, so a burst of appends still lands on
+  // one (the smallest) shard at a time, deterministically.
+  const size_t k = options_.num_shards;
+  std::vector<size_t> sizes(k);
+  for (size_t s = 0; s < k; ++s) sizes[s] = shards_[s].rows.size();
+  std::vector<std::vector<RowId>> appended(k);
+  for (size_t r = n0; r < n1; ++r) {
+    size_t s = ShardForNewRow(static_cast<RowId>(r), sizes);
+    appended[s].push_back(static_cast<RowId>(r));
+    ++sizes[s];
+  }
+
+  // Rebuild ONLY the touched shards, into staged copies (parallel, one
+  // task per shard, like Initialize). Appended row ids exceed every
+  // existing id, so the staged row lists stay ascending.
+  std::vector<size_t> touched;
+  for (size_t s = 0; s < k; ++s) {
+    if (!appended[s].empty()) touched.push_back(s);
+  }
+  touched_shards = touched.size();
+  std::vector<Shard> staged(touched.size());
+  for (size_t i = 0; i < touched.size(); ++i) {
+    size_t s = touched[i];
+    staged[i].rows = shards_[s].rows;
+    staged[i].rows.insert(staged[i].rows.end(), appended[s].begin(),
+                          appended[s].end());
+  }
+  std::vector<Status> statuses(touched.size(), Status::OK());
+  std::vector<std::future<void>> futures;
+  futures.reserve(touched.size());
+  for (size_t i = 0; i < touched.size(); ++i) {
+    futures.push_back(
+        ThreadPool::Global().Submit([this, i, tracer, &span, &staged,
+                                     &statuses] {
+          statuses[i] = BuildShard(tracer, span.id(), &staged[i]);
+        }));
+  }
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < touched.size(); ++i) {
+    try {
+      futures[i].get();
+    } catch (const std::exception& e) {
+      if (first_error.ok()) {
+        first_error = Status::Internal(std::string("shard build threw: ") +
+                                       e.what());
+      }
+    }
+    if (first_error.ok() && !statuses[i].ok()) first_error = statuses[i];
+  }
+  TABULA_RETURN_NOT_OK(first_error);
+
+  // Re-merge over the mix of rebuilt and untouched shards (staged
+  // output; nothing committed yet).
+  std::vector<const Shard*> shard_ptrs(k);
+  for (size_t s = 0; s < k; ++s) shard_ptrs[s] = &shards_[s];
+  for (size_t i = 0; i < touched.size(); ++i) {
+    shard_ptrs[touched[i]] = &staged[i];
+  }
+  TABULA_ASSIGN_OR_RETURN(MergeOutput merge,
+                          MergeShardCubes(shard_ptrs, tracer, span.id()));
+
+  // Directory diff for the maintenance stats.
+  merge.merged.ForEach([&](uint64_t key, const MergedCell&) {
+    if (!merged_.contains(key)) ++out->new_iceberg_cells;
+  });
+  merged_.ForEach([&](uint64_t key, const MergedCell&) {
+    if (!merge.merged.contains(key)) ++out->dropped_iceberg_cells;
+  });
+  out->rechecked_cells = merge.verified_cells;
+  out->resampled_cells = merge.resampled_cells;
+
+  // ---- Commit point: nothing below can fail. ----
+  for (size_t i = 0; i < touched.size(); ++i) {
+    shards_[touched[i]] = std::move(staged[i]);
+  }
+  merged_ = std::move(merge.merged);
+  override_samples_ = std::move(merge.overrides);
+  stats_.merged_iceberg_cells = merged_.size();
+  stats_.conflict_cells = merge.conflict_cells;
+  stats_.union_accepted_cells = merge.union_accepted_cells;
+  stats_.verified_cells = merge.verified_cells;
+  stats_.resampled_cells = merge.resampled_cells;
+  for (size_t s = 0; s < k; ++s) {
+    stats_.shard_iceberg_cells[s] = shards_[s].cube.size();
+  }
+  refreshed_rows_ = n1;
+  ++generation_;
+  finish();
+  NotifyRefreshListeners();
+  return Status::OK();
+}
+
+}  // namespace tabula

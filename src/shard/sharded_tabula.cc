@@ -1,0 +1,633 @@
+#include "shard/sharded_tabula.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "sampling/random_sampler.h"
+#include "testing/fault_injection.h"
+
+namespace tabula {
+
+const char* ShardPartitionName(ShardPartition partition) {
+  switch (partition) {
+    case ShardPartition::kHash:
+      return "hash";
+    case ShardPartition::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Initialize(
+    const Table& table, ShardedTabulaOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  auto sharded = std::unique_ptr<ShardedTabula>(new ShardedTabula());
+  sharded->table_ = &table;
+  sharded->options_ = std::move(options);
+
+  if (sharded->options_.num_shards == 1) {
+    // Strict pass-through: the plain middleware answers everything, so
+    // K = 1 is bit-identical to an unsharded deployment by construction.
+    TABULA_ASSIGN_OR_RETURN(
+        sharded->single_, Tabula::Initialize(table, sharded->options_.base));
+    const TabulaInitStats& s = sharded->single_->init_stats();
+    sharded->stats_.num_shards = 1;
+    sharded->stats_.global_sample_tuples = s.global_sample_tuples;
+    sharded->stats_.merged_iceberg_cells = s.iceberg_cells;
+    sharded->stats_.build_millis = s.total_millis;
+    sharded->stats_.total_millis = s.total_millis;
+    sharded->stats_.critical_path_millis = s.total_millis;
+    sharded->stats_.shard_build_millis = {s.total_millis};
+    sharded->stats_.shard_iceberg_cells = {s.iceberg_cells};
+    return sharded;
+  }
+  TABULA_RETURN_NOT_OK(sharded->InitializeSharded(table));
+  return sharded;
+}
+
+Status ShardedTabula::InitializeSharded(const Table& table) {
+  const TabulaOptions& base = options_.base;
+  const LossFunction* loss = base.effective_loss();
+  if (loss == nullptr) {
+    return Status::InvalidArgument("TabulaOptions.loss must be set");
+  }
+  if (base.cubed_attributes.empty()) {
+    return Status::InvalidArgument("at least one cubed attribute required");
+  }
+  if (base.threshold <= 0.0) {
+    return Status::InvalidArgument("accuracy loss threshold must be > 0");
+  }
+  for (const auto& col : loss->InputColumns()) {
+    if (!table.schema().HasField(col)) {
+      return Status::NotFound("loss function input column '" + col +
+                              "' not in table");
+    }
+  }
+
+  // Same span discipline as Tabula::Initialize: a local always-on
+  // tracer stands in when the caller's cannot record, so stats are
+  // span-derived either way.
+  Tracer local_tracer(TracerOptions{TraceMode::kAll, /*capacity=*/256});
+  Tracer* tracer = base.tracer != nullptr && base.tracer->enabled()
+                       ? base.tracer
+                       : &local_tracer;
+  Span init_span = tracer->StartSpan("shard.init", 0, /*opt_in=*/true);
+  init_span.SetAttribute("table_rows", table.num_rows());
+  init_span.SetAttribute("num_shards", options_.num_shards);
+  init_span.SetAttribute("partition",
+                         ShardPartitionName(options_.partition));
+
+  TABULA_ASSIGN_OR_RETURN(encoder_,
+                          KeyEncoder::Make(table, base.cubed_attributes));
+  std::vector<size_t> all_cols(base.cubed_attributes.size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  TABULA_ASSIGN_OR_RETURN(packer_, KeyPacker::Make(encoder_, all_cols));
+  lattice_ = Lattice(base.cubed_attributes.size());
+
+  // ONE global sample over the FULL table, drawn exactly as the
+  // single-instance engine draws it. Sharing it across shards is what
+  // makes the per-shard loss states merge to the single-instance
+  // states (same reference ⇒ same accumulation), which in turn makes
+  // the merged iceberg set equal the single-instance set.
+  {
+    size_t global_size =
+        SerflingSampleSize(base.serfling_epsilon, base.serfling_delta);
+    Rng rng(base.seed);
+    DatasetView all(&table);
+    global_sample_rows_ = RandomSample(all, global_size, &rng);
+    global_sample_ = DatasetView(&table, global_sample_rows_);
+    stats_.global_sample_tuples = global_sample_.size();
+  }
+
+  // Partition the row space. Shard row lists stay ascending under both
+  // schemes, so per-shard accumulation order is deterministic.
+  const size_t k = options_.num_shards;
+  shards_.assign(k, Shard{});
+  const size_t n = table.num_rows();
+  if (options_.partition == ShardPartition::kHash) {
+    for (size_t s = 0; s < k; ++s) shards_[s].rows.reserve(n / k + 1);
+    for (size_t r = 0; r < n; ++r) {
+      shards_[HashKey64(r) % k].rows.push_back(static_cast<RowId>(r));
+    }
+  } else {
+    for (size_t s = 0; s < k; ++s) {
+      size_t begin = n * s / k;
+      size_t end = n * (s + 1) / k;
+      shards_[s].rows.reserve(end - begin);
+      for (size_t r = begin; r < end; ++r) {
+        shards_[s].rows.push_back(static_cast<RowId>(r));
+      }
+    }
+  }
+
+  // Parallel per-shard builds: one coarse task per shard. Nested
+  // ParallelFor calls inside a worker run inline, so each task is a
+  // self-contained sequential build — no cross-shard synchronization
+  // until the merge barrier below, and the output is a pure function
+  // of the shard's rows regardless of worker count.
+  Span build_span = tracer->StartSpan("shard.build_all", init_span.id());
+  Stopwatch build_timer;
+  std::vector<Status> statuses(k, Status::OK());
+  std::vector<std::future<void>> futures;
+  futures.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    futures.push_back(ThreadPool::Global().Submit([this, s, tracer,
+                                                   &build_span, &statuses] {
+      statuses[s] = BuildShard(tracer, build_span.id(), &shards_[s]);
+    }));
+  }
+  Status first_error = Status::OK();
+  for (size_t s = 0; s < k; ++s) {
+    try {
+      futures[s].get();
+    } catch (const std::exception& e) {
+      // A thrown injected fault (or any escaped exception) fails init
+      // like a Status would — atomically, nothing published.
+      if (first_error.ok()) {
+        first_error = Status::Internal(std::string("shard build threw: ") +
+                                       e.what());
+      }
+    }
+    if (first_error.ok() && !statuses[s].ok()) first_error = statuses[s];
+  }
+  stats_.build_millis = build_span.End();
+  if (!first_error.ok()) return first_error;
+
+  stats_.num_shards = k;
+  stats_.shard_build_millis.clear();
+  stats_.shard_iceberg_cells.clear();
+  for (const Shard& shard : shards_) {
+    stats_.shard_build_millis.push_back(shard.build_millis);
+    stats_.shard_iceberg_cells.push_back(shard.cube.size());
+  }
+
+  // Merge + θ re-verification.
+  Span merge_span = tracer->StartSpan("shard.merge", init_span.id());
+  std::vector<const Shard*> shard_ptrs;
+  shard_ptrs.reserve(k);
+  for (const Shard& shard : shards_) shard_ptrs.push_back(&shard);
+  TABULA_ASSIGN_OR_RETURN(
+      MergeOutput merge,
+      MergeShardCubes(shard_ptrs, tracer, merge_span.id()));
+  merged_ = std::move(merge.merged);
+  override_samples_ = std::move(merge.overrides);
+  stats_.merged_iceberg_cells = merged_.size();
+  stats_.conflict_cells = merge.conflict_cells;
+  stats_.union_accepted_cells = merge.union_accepted_cells;
+  stats_.verified_cells = merge.verified_cells;
+  stats_.resampled_cells = merge.resampled_cells;
+  merge_span.SetAttribute("merged_iceberg_cells", merged_.size());
+  merge_span.SetAttribute("conflict_cells", merge.conflict_cells);
+  merge_span.SetAttribute("resampled_cells", merge.resampled_cells);
+  stats_.merge_millis = merge_span.End();
+
+  refreshed_rows_ = n;
+  init_span.SetAttribute("merged_iceberg_cells",
+                         stats_.merged_iceberg_cells);
+  stats_.total_millis = init_span.End();
+  // Coordinator-serial work + slowest shard: the wall clock a pool with
+  // >= K workers delivers (see the ShardedInitStats doc).
+  double slowest_shard = 0.0;
+  for (double ms : stats_.shard_build_millis) {
+    slowest_shard = std::max(slowest_shard, ms);
+  }
+  stats_.critical_path_millis =
+      stats_.total_millis - stats_.build_millis + slowest_shard;
+  return Status::OK();
+}
+
+Status ShardedTabula::BuildShard(Tracer* tracer, uint64_t parent_span,
+                                 Shard* shard) const {
+  Span span;
+  if (tracer != nullptr) {
+    span = tracer->StartSpan("shard.build", parent_span, /*opt_in=*/true);
+  }
+  Stopwatch timer;
+  TABULA_FAULT_POINT("shard.build");
+
+  const TabulaOptions& base = options_.base;
+  const LossFunction* loss = base.effective_loss();
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<BoundLoss> bound,
+                          loss->Bind(*table_, global_sample_));
+
+  // Finest-cuboid states over this shard's rows (kept for refresh and
+  // for the coordinator's exact cross-shard state merge).
+  DatasetView view(table_, shard->rows);
+  const BoundLoss* bound_ptr = bound.get();
+  shard->finest = GroupAccumulate<LossState>(
+      encoder_, packer_, view,
+      [bound_ptr](LossState* state, RowId row) {
+        bound_ptr->Accumulate(state, row);
+      });
+
+  // Roll the shard's states up the lattice and classify shard-local
+  // iceberg cells — the same algebraic roll-up the dry run performs,
+  // restricted to this shard's slice.
+  std::vector<FlatHashMap<LossState>> maps = RollUpLattice(shard->finest);
+
+  FlatHashMap<CuboidMask> iceberg_cells;
+  size_t present_cells = 0;
+  for (size_t m = 0; m < lattice_.num_cuboids(); ++m) present_cells += maps[m].size();
+  shard->present = FlatHashSet(present_cells);
+  for (size_t m = 0; m < lattice_.num_cuboids(); ++m) {
+    CuboidMask mask = static_cast<CuboidMask>(m);
+    maps[m].ForEach([&](uint64_t key, const LossState& state) {
+      shard->present.Insert(key);
+      if (bound_ptr->Finalize(state) > base.threshold) {
+        iceberg_cells[key] = mask;
+      }
+    });
+  }
+
+  // Collect raw rows for shard-iceberg cells: one pass over the
+  // *shard's* rows per affected cuboid (the join path, shard-scoped).
+  std::vector<CuboidMask> affected;
+  iceberg_cells.ForEach(
+      [&](uint64_t, const CuboidMask& mask) { affected.push_back(mask); });
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  FlatHashMap<std::vector<RowId>> cell_rows(iceberg_cells.size());
+  for (CuboidMask mask : affected) {
+    for (RowId r : shard->rows) {
+      uint64_t key = packer_.PackRowMasked(encoder_, r, mask);
+      const CuboidMask* cm = iceberg_cells.Find(key);
+      if (cm != nullptr && *cm == mask) cell_rows[key].push_back(r);
+    }
+  }
+
+  // Local samples in ascending key order (deterministic sample-table
+  // ids). Sharding persists every local sample individually — the
+  // cross-cell representative-selection optimization is global and is
+  // documented as forgone at K > 1.
+  GreedySamplerOptions sampler_opts = base.sampler;
+  sampler_opts.seed = base.seed;
+  GreedySampler sampler(loss, base.threshold, sampler_opts);
+  for (auto& [key, rows] : cell_rows.ExtractSorted()) {
+    DatasetView raw(table_, rows);
+    TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample, sampler.Sample(raw));
+    IcebergCell cell;
+    cell.key = key;
+    cell.cuboid = *iceberg_cells.Find(key);
+    cell.sample_id = shard->samples.Add(std::move(sample));
+    // Retained (like the plain real run retains cell rows) so the merge
+    // can assemble a violating cell's raw rows from shard slices
+    // instead of re-scanning the base table.
+    cell.raw_rows = std::move(rows);
+    shard->cube.Add(std::move(cell));
+  }
+
+  if (span.recording()) {
+    span.SetAttribute("rows", shard->rows.size());
+    span.SetAttribute("iceberg_cells", shard->cube.size());
+    shard->build_millis = span.End();
+  } else {
+    shard->build_millis = timer.ElapsedMillis();
+  }
+  return Status::OK();
+}
+
+Result<ShardedTabula::MergeOutput> ShardedTabula::MergeShardCubes(
+    const std::vector<const Shard*>& shards, Tracer* tracer,
+    uint64_t parent_span) const {
+  (void)tracer;
+  (void)parent_span;
+  TABULA_FAULT_POINT("shard.merge");
+  const TabulaOptions& base = options_.base;
+  const LossFunction* loss = base.effective_loss();
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<BoundLoss> bound,
+                          loss->Bind(*table_, global_sample_));
+
+  // 1. Exact cross-shard state merge: each shard contributes at most
+  //    one finest state per key, folded in ascending shard order, so
+  //    the merged state equals the single-instance accumulation up to
+  //    floating-point fold order.
+  FlatHashMap<LossState> merged_finest;
+  for (const Shard* shard : shards) {
+    merged_finest.reserve(merged_finest.size() + shard->finest.size());
+    shard->finest.ForEach([&](uint64_t key, const LossState& state) {
+      auto [slot, inserted] = merged_finest.TryEmplace(key);
+      if (inserted) {
+        *slot = state;
+      } else {
+        slot->Merge(state);
+      }
+    });
+  }
+
+  // 2. Roll up the merged states and classify the *global* iceberg set.
+  std::vector<FlatHashMap<LossState>> maps = RollUpLattice(merged_finest);
+
+  // 3. Per merged-iceberg cell: gather the union of shard-local
+  //    samples and decide how the θ bound is restored (see DESIGN.md
+  //    "Sharding" for the per-loss-class argument):
+  //      - union-closed loss, no conflict → accept without a check;
+  //      - reference-free state → exact re-verification from the
+  //        merged state (no raw scan), re-sample on violation;
+  //      - otherwise (conflict under a reference-bound state) → direct
+  //        loss evaluation against the collected raw rows.
+  MergeOutput out;
+  struct PendingCell {
+    CuboidMask cuboid = 0;
+    bool verify_first = false;  ///< direct-loss check before resampling
+    bool augmented = false;     ///< candidate includes the global sample
+    std::vector<RowId> candidate;
+  };
+  FlatHashMap<PendingCell> needs_raw;
+  const bool union_closed = loss->UnionClosed();
+  const bool ref_free = !loss->StateDependsOnReference();
+  for (size_t m = 0; m < lattice_.num_cuboids(); ++m) {
+    CuboidMask mask = static_cast<CuboidMask>(m);
+    // Global-sample rows grouped by this cuboid's cell key: a conflict
+    // cell's absent slices are, per their shards' dry runs, within θ of
+    // the global sample, so these rows stand in for the slices the
+    // union sample misses (the same rows a WHERE-filtered global answer
+    // would serve). Only reference-dependent losses use this — their
+    // coverage-style loss can only improve with extra candidate rows,
+    // whereas a mean-style (reference-free) loss is evaluated exactly
+    // from the merged state and extra uniform rows would shift the
+    // union's statistic as often as they correct it.
+    FlatHashMap<std::vector<RowId>> global_in_cell;
+    if (!ref_free) {
+      for (RowId r : global_sample_rows_) {
+        global_in_cell[packer_.PackRowMasked(encoder_, r, mask)].push_back(r);
+      }
+    }
+    Status status = Status::OK();
+    maps[m].ForEach([&](uint64_t key, const LossState& state) {
+      if (!status.ok()) return;
+      if (bound->Finalize(state) <= base.threshold) return;  // global covers
+      std::vector<RowId> candidate;
+      bool conflict = false;
+      for (const Shard* shard : shards) {
+        const IcebergCell* cell = shard->cube.Find(key);
+        if (cell != nullptr) {
+          const auto& sample = shard->samples.sample(cell->sample_id);
+          candidate.insert(candidate.end(), sample.begin(), sample.end());
+        } else if (shard->present.Contains(key)) {
+          // This shard holds rows of the cell but its slice was within
+          // θ of the global sample — the union sample does not cover
+          // the slice, so the cell's shard-local statuses disagree.
+          conflict = true;
+        }
+      }
+      if (conflict) {
+        ++out.conflict_cells;
+        if (!ref_free) {
+          const std::vector<RowId>* aug = global_in_cell.Find(key);
+          if (aug != nullptr) {
+            candidate.insert(candidate.end(), aug->begin(), aug->end());
+          }
+        }
+      }
+      if (union_closed && !conflict) {
+        ++out.union_accepted_cells;
+        out.merged[key] = MergedCell{mask, false, false, 0};
+        return;
+      }
+      if (ref_free) {
+        // loss(raw, candidate) == Bind(candidate)->Finalize(state(raw))
+        // exactly — no raw rows needed for the check itself.
+        auto cand_bound =
+            loss->Bind(*table_, DatasetView(table_, candidate));
+        if (!cand_bound.ok()) {
+          status = cand_bound.status();
+          return;
+        }
+        ++out.verified_cells;
+        if (cand_bound.value()->Finalize(state) <= base.threshold) {
+          out.merged[key] = MergedCell{mask, false, false, 0};
+          return;
+        }
+        needs_raw[key] = PendingCell{mask, /*verify_first=*/false,
+                                     /*augmented=*/false,
+                                     std::move(candidate)};
+      } else {
+        needs_raw[key] = PendingCell{mask, /*verify_first=*/true, conflict,
+                                     std::move(candidate)};
+      }
+    });
+    TABULA_RETURN_NOT_OK(status);
+  }
+
+  // 4. Collect full raw rows for the cells still pending (conflicted
+  //    reference-bound cells and union-violating reference-free ones).
+  //    Shard builds retained each local iceberg cell's slice rows, so
+  //    most of a cell assembles by concatenation; only slices held by
+  //    shards *without* a local cube entry (conflict slices, or cubes
+  //    restored from disk, where slice rows are not persisted) fall
+  //    back to a scan — and that scan walks just the owning shard's
+  //    rows, not the whole table.
+  if (!needs_raw.empty()) {
+    FlatHashMap<std::vector<RowId>> raw_rows(needs_raw.size());
+    std::vector<FlatHashMap<CuboidMask>> scan_keys(shards.size());
+    needs_raw.ForEach([&](uint64_t key, const PendingCell& cell) {
+      std::vector<RowId>& rows = raw_rows[key];
+      for (size_t s = 0; s < shards.size(); ++s) {
+        const IcebergCell* local = shards[s]->cube.Find(key);
+        if (local != nullptr && !local->raw_rows.empty()) {
+          rows.insert(rows.end(), local->raw_rows.begin(),
+                      local->raw_rows.end());
+        } else if (shards[s]->present.Contains(key)) {
+          scan_keys[s][key] = cell.cuboid;
+        }
+      }
+    });
+    for (size_t s = 0; s < shards.size(); ++s) {
+      if (scan_keys[s].empty()) continue;
+      std::vector<CuboidMask> affected;
+      scan_keys[s].ForEach([&](uint64_t, const CuboidMask& mask) {
+        affected.push_back(mask);
+      });
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()),
+                     affected.end());
+      for (CuboidMask mask : affected) {
+        for (RowId r : shards[s]->rows) {
+          uint64_t key = packer_.PackRowMasked(encoder_, r, mask);
+          const CuboidMask* cm = scan_keys[s].Find(key);
+          if (cm != nullptr && *cm == mask) raw_rows[key].push_back(r);
+        }
+      }
+    }
+    // Shard slices are disjoint row sets; ascending order restores the
+    // exact vector a single full-table scan would have produced, so
+    // the re-drawn samples are independent of shard count and scheme.
+    raw_rows.ForEach([&](uint64_t, std::vector<RowId>& rows) {
+      std::sort(rows.begin(), rows.end());
+    });
+
+    // 5. Verify / re-sample in ascending key order so override sample
+    //    ids assign deterministically.
+    GreedySamplerOptions sampler_opts = base.sampler;
+    sampler_opts.seed = base.seed;
+    GreedySampler sampler(loss, base.threshold, sampler_opts);
+    for (auto& [key, rows] : raw_rows.ExtractSorted()) {
+      PendingCell* cell = needs_raw.Find(key);
+      TABULA_CHECK(cell != nullptr);
+      DatasetView raw(table_, std::move(rows));
+      if (cell->verify_first) {
+        ++out.verified_cells;
+        DatasetView cand(table_, cell->candidate);
+        TABULA_ASSIGN_OR_RETURN(double measured, loss->Loss(raw, cand));
+        if (measured <= base.threshold) {
+          out.merged[key] =
+              MergedCell{cell->cuboid, false, cell->augmented, 0};
+          continue;
+        }
+      }
+      TABULA_ASSIGN_OR_RETURN(std::vector<RowId> sample,
+                              sampler.Sample(raw));
+      uint32_t id = out.overrides.Add(std::move(sample));
+      out.merged[key] = MergedCell{cell->cuboid, true, false, id};
+      ++out.resampled_cells;
+    }
+  }
+  return out;
+}
+
+std::vector<FlatHashMap<LossState>> ShardedTabula::RollUpLattice(
+    const FlatHashMap<LossState>& finest) const {
+  const size_t n_attrs = lattice_.num_attributes();
+  std::vector<FlatHashMap<LossState>> maps(lattice_.num_cuboids());
+  maps[lattice_.finest()] = finest;  // copy: the roll-up consumes it
+  for (CuboidMask mask : lattice_.TopDownOrder()) {
+    if (mask == lattice_.finest()) continue;
+    // Roll up from the parent that re-adds the lowest missing
+    // attribute — the same single-parent evaluation the dry run uses,
+    // so per-key state folds happen in an order that is a pure
+    // function of the key layout.
+    size_t j = 0;
+    while (j < n_attrs && (mask & (CuboidMask{1} << j))) ++j;
+    CuboidMask parent = mask | (CuboidMask{1} << j);
+    FlatHashMap<LossState>& my_map = maps[mask];
+    my_map.reserve(maps[parent].size());
+    maps[parent].ForEach([&](uint64_t key, const LossState& state) {
+      uint64_t rolled = packer_.WithNull(key, j);
+      auto [slot, inserted] = my_map.TryEmplace(rolled);
+      if (inserted) {
+        *slot = state;
+      } else {
+        slot->Merge(state);
+      }
+    });
+  }
+  return maps;
+}
+
+Status ShardedTabula::EnsureFinestStates() {
+  const LossFunction* loss = options_.base.effective_loss();
+  TABULA_ASSIGN_OR_RETURN(std::unique_ptr<BoundLoss> bound,
+                          loss->Bind(*table_, global_sample_));
+  const BoundLoss* bound_ptr = bound.get();
+  for (Shard& shard : shards_) {
+    if (!shard.finest.empty() || shard.rows.empty()) continue;
+    DatasetView view(table_, shard.rows);
+    shard.finest = GroupAccumulate<LossState>(
+        encoder_, packer_, view,
+        [bound_ptr](LossState* state, RowId row) {
+          bound_ptr->Accumulate(state, row);
+        });
+    if (shard.present.size() == 0) {
+      std::vector<FlatHashMap<LossState>> maps = RollUpLattice(shard.finest);
+      size_t cells = 0;
+      for (const auto& map : maps) cells += map.size();
+      shard.present = FlatHashSet(cells);
+      for (auto& map : maps) {
+        map.ForEach(
+            [&](uint64_t key, const LossState&) { shard.present.Insert(key); });
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const ShardedInitStats& ShardedTabula::init_stats() const { return stats_; }
+
+size_t ShardedTabula::merged_iceberg_cells() const {
+  if (single_ != nullptr) return single_->cube_table().size();
+  return merged_.size();
+}
+
+std::vector<uint64_t> ShardedTabula::MergedIcebergKeys() const {
+  std::vector<uint64_t> keys;
+  if (single_ != nullptr) {
+    keys.reserve(single_->cube_table().size());
+    for (const auto& cell : single_->cube_table().cells()) {
+      keys.push_back(cell.key);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+  return merged_.SortedKeys();
+}
+
+const std::vector<RowId>& ShardedTabula::shard_rows(size_t i) const {
+  TABULA_CHECK(single_ == nullptr && i < shards_.size());
+  return shards_[i].rows;
+}
+
+const CubeTable& ShardedTabula::shard_cube(size_t i) const {
+  TABULA_CHECK(single_ == nullptr && i < shards_.size());
+  return shards_[i].cube;
+}
+
+uint64_t ShardedTabula::generation() const {
+  return single_ != nullptr ? single_->generation() : generation_;
+}
+
+uint64_t ShardedTabula::AddRefreshListener(std::function<void()> listener) {
+  if (single_ != nullptr) {
+    return single_->AddRefreshListener(std::move(listener));
+  }
+  uint64_t id = next_listener_id_++;
+  refresh_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void ShardedTabula::RemoveRefreshListener(uint64_t id) {
+  if (single_ != nullptr) {
+    single_->RemoveRefreshListener(id);
+    return;
+  }
+  for (auto it = refresh_listeners_.begin(); it != refresh_listeners_.end();
+       ++it) {
+    if (it->first == id) {
+      refresh_listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void ShardedTabula::NotifyRefreshListeners() {
+  for (auto& [id, listener] : refresh_listeners_) listener();
+}
+
+const DatasetView& ShardedTabula::global_sample() const {
+  return single_ != nullptr ? single_->global_sample() : global_sample_;
+}
+
+const Table& ShardedTabula::base_table() const { return *table_; }
+
+size_t ShardedTabula::ShardForNewRow(RowId row,
+                                     const std::vector<size_t>& sizes) const {
+  if (options_.partition == ShardPartition::kHash) {
+    return HashKey64(row) % options_.num_shards;
+  }
+  // kRange: the smallest shard owns the append (ties → lowest index),
+  // so steady appends touch one shard at a time and stay balanced.
+  size_t best = 0;
+  for (size_t s = 1; s < sizes.size(); ++s) {
+    if (sizes[s] < sizes[best]) best = s;
+  }
+  return best;
+}
+
+}  // namespace tabula

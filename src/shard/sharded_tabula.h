@@ -1,0 +1,259 @@
+#ifndef TABULA_SHARD_SHARDED_TABULA_H_
+#define TABULA_SHARD_SHARDED_TABULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/status.h"
+#include "core/query_engine.h"
+#include "core/tabula.h"
+#include "cube/cube_table.h"
+#include "cube/lattice.h"
+#include "serve/metrics.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+/// How ShardedTabula assigns base-table rows to shards.
+enum class ShardPartition {
+  /// shard(r) = mix(r) % K — rows scatter uniformly, every shard sees
+  /// an unbiased slice of every cell. Appends touch most shards.
+  kHash,
+  /// Contiguous row ranges at build time; appended rows go to the
+  /// currently smallest shard, so a small append touches one shard and
+  /// Refresh re-verifies only that shard.
+  kRange,
+};
+
+const char* ShardPartitionName(ShardPartition partition);
+
+/// Configuration of a sharded sampling cube.
+struct ShardedTabulaOptions {
+  /// Per-shard build parameters (loss, θ, cubed attributes, sampler,
+  /// seed, tracer). Two knobs behave differently under sharding:
+  /// `enable_sample_selection` is ignored at K > 1 (each shard persists
+  /// its local samples individually — cross-cell representative-sample
+  /// sharing is a global optimization the partitioned build forgoes),
+  /// and maintenance state is always kept (the merge pass needs every
+  /// shard's finest-cell loss states).
+  TabulaOptions base;
+  /// Number of shards K. K = 1 is a strict pass-through to a plain
+  /// `Tabula` — bit-identical answers, cube, and persistence format.
+  size_t num_shards = 1;
+  ShardPartition partition = ShardPartition::kHash;
+};
+
+/// Diagnostics of one sharded Initialize() (or the merge part of a
+/// Refresh). The merge counters document how the deterministic θ bound
+/// was restored for the merged cube — see DESIGN.md "Sharding".
+struct ShardedInitStats {
+  size_t num_shards = 0;
+  size_t global_sample_tuples = 0;
+  /// Iceberg cells of the merged cube (equals the single-instance
+  /// count: loss states merge exactly, so classification agrees).
+  size_t merged_iceberg_cells = 0;
+  /// Merged iceberg cells whose shard-local iceberg status disagreed
+  /// across shards (some slice was covered by the global sample alone).
+  size_t conflict_cells = 0;
+  /// Cells accepted by the union-closure argument, no check needed.
+  size_t union_accepted_cells = 0;
+  /// Cells whose merged sample was re-verified (state finalize or
+  /// direct loss evaluation).
+  size_t verified_cells = 0;
+  /// Cells whose union sample violated θ and were re-sampled from the
+  /// full raw data into an override sample.
+  size_t resampled_cells = 0;
+  double build_millis = 0.0;   ///< parallel per-shard build (wall)
+  double merge_millis = 0.0;   ///< merge + re-verification
+  double total_millis = 0.0;
+  /// Modeled K-worker wall clock: the coordinator's serial work
+  /// (partition, state merge, re-verification) plus the *slowest*
+  /// single shard build. Shard builds are independent pool tasks, so
+  /// measured wall clock converges to this once the pool has >= K
+  /// workers; on smaller pools the tasks time-share and total_millis
+  /// approaches the sum instead. bench_shard_scaling reports both.
+  double critical_path_millis = 0.0;
+  std::vector<double> shard_build_millis;   ///< per shard
+  std::vector<size_t> shard_iceberg_cells;  ///< per shard (local cubes)
+};
+
+/// \brief Horizontally sharded sampling cube behind the QueryEngine
+/// interface (the paper's middleware scaled out the way its testbed
+/// scaled SparkSQL executors).
+///
+/// Initialize() partitions the base table's rows into K shards, builds
+/// each shard's cube in parallel (one coarse task per shard on the
+/// global pool; the flat-hash GroupAccumulate engine runs inline inside
+/// the task), then merges: per-cell loss states merge *exactly* (they
+/// are algebraic), so the merged iceberg-cell set equals the
+/// single-instance cube's, and each merged iceberg cell's answer is the
+/// union of its shard-local samples — re-verified against θ at merge
+/// time and re-sampled from the full raw data when the union violates
+/// the bound (see DESIGN.md "Sharding" for the argument per loss
+/// class). Query() scatter-gathers shard samples; a shard failing at
+/// the `shard.query` fault seam degrades that answer (global sample
+/// stands in for the missing slice, `TabulaQueryResult::
+/// unavailable_shards` + `shard_error` populated) instead of failing
+/// the request.
+///
+/// Thread-safety matches Tabula: Query() is const ⇒ concurrent-safe;
+/// Refresh()/Save()/Load() require external serialization.
+class ShardedTabula : public QueryEngine {
+ public:
+  static Result<std::unique_ptr<ShardedTabula>> Initialize(
+      const Table& table, ShardedTabulaOptions options);
+
+  Result<QueryResponse> Query(const QueryRequest& request) const override;
+  Status Refresh(RefreshStats* stats = nullptr) override;
+
+  /// Persists the shard manifest: partition + per-shard row lists with
+  /// fingerprints, per-shard cubes and sample tables, and the merged
+  /// directory with override samples — one file, written
+  /// temp-then-rename so a failure mid-write never leaves a partial
+  /// manifest. K = 1 delegates to Tabula::Save (plain cube format).
+  Status Save(const std::string& path) const override;
+
+  /// Restores a manifest saved with Save(). `options` must match the
+  /// saved loss, threshold, attributes, shard count and partition; the
+  /// base-table fingerprint and every per-shard row-list fingerprint
+  /// are verified before the manifest is trusted.
+  static Result<std::unique_ptr<ShardedTabula>> Load(
+      const Table& table, ShardedTabulaOptions options,
+      const std::string& path);
+
+  uint64_t generation() const override;
+  uint64_t AddRefreshListener(std::function<void()> listener) override;
+  void RemoveRefreshListener(uint64_t id) override;
+  const DatasetView& global_sample() const override;
+  const Table& base_table() const override;
+
+  size_t num_shards() const { return options_.num_shards; }
+  const ShardedTabulaOptions& options() const { return options_; }
+  const ShardedInitStats& init_stats() const;
+
+  /// Number of iceberg cells of the merged cube.
+  size_t merged_iceberg_cells() const;
+  /// Sorted packed keys of every merged iceberg cell (for differential
+  /// tests against a single-instance cube).
+  std::vector<uint64_t> MergedIcebergKeys() const;
+
+  /// Row ids owned by shard `i` (K > 1 only).
+  const std::vector<RowId>& shard_rows(size_t i) const;
+  /// Shard `i`'s local cube (K > 1 only; tests and diagnostics).
+  const CubeTable& shard_cube(size_t i) const;
+
+  /// The underlying plain Tabula at K = 1 (nullptr at K > 1).
+  const Tabula* single_instance() const { return single_.get(); }
+
+  /// Per-shard serving metrics: `shard<i>_query_latency` histograms,
+  /// `shard_unavailable_total` / `shard_degraded_answers` counters and
+  /// the `shard_fanout_latency` histogram. Safe to read concurrently
+  /// with Query().
+  MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  ShardedTabula() = default;
+
+  /// One shard's slice of the cube.
+  struct Shard {
+    /// Base-table rows owned by this shard (ascending).
+    std::vector<RowId> rows;
+    /// Shard-local iceberg cells; sample ids link into `samples`.
+    CubeTable cube;
+    SampleTable samples;
+    /// Finest-cuboid loss states over `rows` — the mergeable roll-up
+    /// input the coordinator classifies the merged cube from.
+    FlatHashMap<LossState> finest;
+    /// Every cell key (all lattice levels) with at least one row in
+    /// this shard; distinguishes "slice empty" from "slice covered by
+    /// the global sample" during merge-conflict detection.
+    FlatHashSet present;
+    double build_millis = 0.0;
+  };
+
+  /// One entry of the merged cube directory.
+  struct MergedCell {
+    CuboidMask cuboid = 0;
+    /// When true the union sample violated θ and `override_id` names
+    /// the re-drawn sample in `override_samples_`; otherwise the
+    /// answer is the scatter-gathered union of shard samples.
+    bool has_override = false;
+    /// Conflict cell whose absent slices are covered by the global
+    /// sample: the answer (and the candidate the merge verified) is
+    /// the shard-sample union *plus* the global sample, exactly the
+    /// rows the missing slices would have been answered from anyway.
+    bool augment_global = false;
+    uint32_t override_id = 0;
+  };
+
+  /// Output of the merge + re-verification pass (staged, so a failed
+  /// Refresh commits nothing).
+  struct MergeOutput {
+    FlatHashMap<MergedCell> merged;
+    SampleTable overrides;
+    size_t conflict_cells = 0;
+    size_t union_accepted_cells = 0;
+    size_t verified_cells = 0;
+    size_t resampled_cells = 0;
+  };
+
+  Status InitializeSharded(const Table& table);
+
+  /// Builds one shard's cube over `shard->rows` (runs inside a pool
+  /// task; everything it calls parallelizes inline).
+  Status BuildShard(Tracer* tracer, uint64_t parent_span,
+                    Shard* shard) const;
+
+  /// Merges the given shards' states into a fresh directory, running
+  /// the θ re-verification pass (see DESIGN.md "Sharding").
+  Result<MergeOutput> MergeShardCubes(
+      const std::vector<const Shard*>& shards, Tracer* tracer,
+      uint64_t parent_span) const;
+
+  /// Rolls `finest` up the whole lattice, returning one state map per
+  /// cuboid (index = CuboidMask). Shared by the shard build, the merge
+  /// pass, and the post-Load state rebuild.
+  std::vector<FlatHashMap<LossState>> RollUpLattice(
+      const FlatHashMap<LossState>& finest) const;
+
+  /// Rebuilds any shard's finest states / present-key sets that are
+  /// missing (after Load, which does not persist them).
+  Status EnsureFinestStates();
+
+  /// Shard owning an appended row id under the configured partition.
+  size_t ShardForNewRow(RowId row, const std::vector<size_t>& sizes) const;
+
+  void NotifyRefreshListeners();
+
+  const Table* table_ = nullptr;
+  ShardedTabulaOptions options_;
+
+  /// K = 1 pass-through instance; when set, every entry point
+  /// delegates and the members below stay empty.
+  std::unique_ptr<Tabula> single_;
+
+  KeyEncoder encoder_;
+  KeyPacker packer_;
+  /// Placeholder size until Initialize/Load set the real lattice
+  /// (Lattice rejects zero attributes).
+  Lattice lattice_{1};
+  std::vector<RowId> global_sample_rows_;
+  DatasetView global_sample_;
+  std::vector<Shard> shards_;
+  FlatHashMap<MergedCell> merged_;
+  SampleTable override_samples_;
+  ShardedInitStats stats_;
+  size_t refreshed_rows_ = 0;
+
+  mutable MetricsRegistry metrics_;
+
+  uint64_t generation_ = 0;
+  uint64_t next_listener_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void()>>> refresh_listeners_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_SHARD_SHARDED_TABULA_H_

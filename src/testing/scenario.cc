@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <iterator>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -15,6 +16,7 @@
 #include "loss/loss_registry.h"
 #include "obs/trace.h"
 #include "serve/query_server.h"
+#include "shard/sharded_tabula.h"
 #include "storage/predicate.h"
 #include "testing/fault_injection.h"
 
@@ -33,7 +35,13 @@ struct SoakContext {
   std::vector<std::string> attrs;
 
   std::unique_ptr<Tracer> tracer;
-  std::unique_ptr<Tabula> tabula;
+  std::unique_ptr<Tabula> tabula;          ///< shards == 0
+  std::unique_ptr<ShardedTabula> sharded;  ///< shards >= 1
+  /// Whichever of the two is live; every per-op helper goes through
+  /// this, so the checks are engine-agnostic.
+  QueryEngine* engine = nullptr;
+  const LossFunction* loss = nullptr;  ///< effective loss of the engine
+  double theta = 0.0;
   std::unique_ptr<QueryServer> server;
 
   std::string cube_path;
@@ -93,7 +101,7 @@ std::string DescribeItem(const ServeAnswer& a) {
 void CheckCoherence(SoakContext& ctx, size_t step,
                     const std::vector<PredicateTerm>& where,
                     const TabulaQueryResult& served, const char* who) {
-  Result<QueryResponse> direct = ctx.tabula->Query(QueryRequest(where));
+  Result<QueryResponse> direct = ctx.engine->Query(QueryRequest(where));
   if (!direct.ok()) {
     ctx.Violation(step, std::string(who) + " direct re-query failed: " +
                             direct.status().ToString());
@@ -132,14 +140,13 @@ void CheckTheta(SoakContext& ctx, size_t step,
     return;
   }
   if (truth.empty()) return;
-  const LossFunction* loss = ctx.tabula->options().effective_loss();
   DatasetView truth_view(ctx.table.get(), std::move(truth));
-  Result<double> l = loss->Loss(truth_view, served.sample);
+  Result<double> l = ctx.loss->Loss(truth_view, served.sample);
   if (!l.ok()) {
     ctx.Violation(step, "theta-check loss failed: " + l.status().ToString());
     return;
   }
-  const double theta = ctx.tabula->options().threshold;
+  const double theta = ctx.theta;
   if (l.value() > theta * (1.0 + 1e-7) + 1e-12) {
     ctx.Violation(step, "theta bound broken: loss=" +
                             std::to_string(l.value()) +
@@ -229,7 +236,7 @@ Status OpRefresh(SoakContext& ctx, size_t step) {
     TABULA_RETURN_NOT_OK(ctx.table->AppendRowFrom(*ctx.donor, row));
   }
 
-  const uint64_t gen_before = ctx.tabula->generation();
+  const uint64_t gen_before = ctx.engine->generation();
   Tabula::RefreshStats stats;
   Status st = ctx.server->Refresh(&stats);
   std::string line = "step=" + std::to_string(step) + " refresh rows=" +
@@ -243,11 +250,12 @@ Status OpRefresh(SoakContext& ctx, size_t step) {
     }
     // Failure atomicity: a failed Refresh must leave the cube exactly
     // as it was — same generation, still answering queries.
-    if (ctx.tabula->generation() != gen_before) {
+    if (ctx.engine->generation() != gen_before) {
       ctx.Violation(step, "failed refresh advanced the generation");
     }
     // Clear the injected fault and retry; the cube must recover.
-    for (const char* p : {"refresh.begin", "refresh.sample"}) {
+    for (const char* p :
+         {"refresh.begin", "refresh.sample", "shard.build", "shard.merge"}) {
       if (ctx.armed.erase(p) > 0) FaultInjector::Global().Disarm(p);
     }
     ctx.refresh_fault_armed = false;
@@ -261,13 +269,13 @@ Status OpRefresh(SoakContext& ctx, size_t step) {
     line += " retry";
   }
   ++ctx.report.refreshes;
-  line += " -> gen=" + std::to_string(ctx.tabula->generation()) +
+  line += " -> gen=" + std::to_string(ctx.engine->generation()) +
           " new_rows=" + std::to_string(stats.new_rows) +
           " new_ice=" + std::to_string(stats.new_iceberg_cells) +
           " dropped=" + std::to_string(stats.dropped_iceberg_cells) +
           " resampled=" + std::to_string(stats.resampled_cells) +
           (stats.full_rebuild ? " rebuild" : "");
-  if (ctx.tabula->generation() != gen_before + 1) {
+  if (ctx.engine->generation() != gen_before + 1) {
     ctx.Violation(step, "successful refresh did not advance generation "
                         "by exactly one");
   }
@@ -297,12 +305,12 @@ Status OpRefresh(SoakContext& ctx, size_t step) {
 }
 
 Status OpSave(SoakContext& ctx, size_t step) {
-  Status st = ctx.tabula->Save(ctx.cube_path);
+  Status st = ctx.engine->Save(ctx.cube_path);
   std::string line = "step=" + std::to_string(step) + " save";
   if (st.ok()) {
     ++ctx.report.saves;
     ctx.file_valid = true;
-    ctx.file_generation = ctx.tabula->generation();
+    ctx.file_generation = ctx.engine->generation();
     line += " -> ok gen=" + std::to_string(ctx.file_generation);
   } else {
     ++ctx.report.injected_save_failures;
@@ -325,19 +333,36 @@ Status OpSave(SoakContext& ctx, size_t step) {
 
 Status OpLoad(SoakContext& ctx, size_t step) {
   ++ctx.report.loads;
-  TabulaOptions opts = ctx.tabula->options();
-  Result<std::unique_ptr<Tabula>> loaded =
-      Tabula::Load(*ctx.table, std::move(opts), ctx.cube_path);
+  std::unique_ptr<QueryEngine> loaded;
+  Status load_status = Status::OK();
+  if (ctx.sharded != nullptr) {
+    Result<std::unique_ptr<ShardedTabula>> r =
+        ShardedTabula::Load(*ctx.table, ctx.sharded->options(), ctx.cube_path);
+    if (r.ok()) {
+      loaded = std::move(r).value();
+    } else {
+      load_status = r.status();
+    }
+  } else {
+    TabulaOptions opts = ctx.tabula->options();
+    Result<std::unique_ptr<Tabula>> r =
+        Tabula::Load(*ctx.table, std::move(opts), ctx.cube_path);
+    if (r.ok()) {
+      loaded = std::move(r).value();
+    } else {
+      load_status = r.status();
+    }
+  }
   std::string line = "step=" + std::to_string(step) + " load";
   const bool fresh_file =
-      ctx.file_valid && ctx.file_generation == ctx.tabula->generation();
-  if (!loaded.ok()) {
-    line += " -> ERROR " + std::string(StatusCodeName(loaded.status().code()));
+      ctx.file_valid && ctx.file_generation == ctx.engine->generation();
+  if (loaded == nullptr) {
+    line += " -> ERROR " + std::string(StatusCodeName(load_status.code()));
     if (!ctx.file_valid) {
       // Expected: nothing was ever saved (or every save failed).
     } else if (fresh_file && !ctx.persistence_fault_armed) {
       ctx.Violation(step, "load of a current-generation file failed: " +
-                              loaded.status().ToString());
+                              load_status.ToString());
     }
     // A stale file (generation moved on → table grew → fingerprint
     // mismatch) or an armed read fault may fail; both are correct.
@@ -356,8 +381,8 @@ Status OpLoad(SoakContext& ctx, size_t step) {
     TABULA_ASSIGN_OR_RETURN(std::vector<WorkloadQuery> qs,
                             DrawQueries(ctx, 3));
     for (const auto& q : qs) {
-      Result<QueryResponse> a = loaded.value()->Query(QueryRequest(q.where));
-      Result<QueryResponse> b = ctx.tabula->Query(QueryRequest(q.where));
+      Result<QueryResponse> a = loaded->Query(QueryRequest(q.where));
+      Result<QueryResponse> b = ctx.engine->Query(QueryRequest(q.where));
       if (!a.ok() || !b.ok()) {
         ctx.Violation(step, "load probe query failed");
         continue;
@@ -398,8 +423,23 @@ void OpFaultToggle(SoakContext& ctx, size_t step) {
       {"refresh.sample", true},     {"threadpool.dispatch", false},
       {"serve.admit", false},       {"serve.refresh", false},
   };
+  // Sharded runs add the shard seams. shard.build / shard.merge sit on
+  // the externally-serialized Refresh path, so error faults stay
+  // deterministic; shard.query is hit from concurrent batch items, so
+  // it gets delays only — error injection on the scatter path (degraded
+  // answers) is covered single-threaded by tests/shard_fault_test.cc.
+  static constexpr MenuEntry kShardMenu[] = {
+      {"shard.build", true},
+      {"shard.merge", true},
+      {"shard.query", false},
+  };
+  const size_t base_n = std::size(kMenu);
+  const size_t menu_n =
+      base_n + (ctx.opt->shards > 1 ? std::size(kShardMenu) : 0);
+  const size_t pick = static_cast<size_t>(
+      ctx.rng.UniformInt(0, static_cast<int64_t>(menu_n) - 1));
   const MenuEntry& entry =
-      kMenu[static_cast<size_t>(ctx.rng.UniformInt(0, 7))];
+      pick < base_n ? kMenu[pick] : kShardMenu[pick - base_n];
   FaultSpec spec;
   spec.fail = entry.fail;
   if (entry.fail) {
@@ -415,7 +455,10 @@ void OpFaultToggle(SoakContext& ctx, size_t step) {
   FaultInjector::Global().Arm(entry.point, spec);
   ctx.armed.insert(entry.point);
   std::string p(entry.point);
-  if (p.rfind("refresh.", 0) == 0) ctx.refresh_fault_armed = true;
+  if (p.rfind("refresh.", 0) == 0 || p == "shard.build" ||
+      p == "shard.merge") {
+    ctx.refresh_fault_armed = true;
+  }
   if (p.rfind("persistence.", 0) == 0) ctx.persistence_fault_armed = true;
   ctx.Trace("step=" + std::to_string(step) + " fault arm " + p +
             (entry.fail ? " fail code=" + std::string(StatusCodeName(
@@ -525,14 +568,32 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
   ctx.tracer = std::make_unique<Tracer>(tracer_opt);
   topt.tracer = ctx.tracer.get();
 
-  TABULA_ASSIGN_OR_RETURN(ctx.tabula,
-                          Tabula::Initialize(*ctx.table, std::move(topt)));
+  // Engine selection. No extra rng draws on the sharded path — a
+  // shards = 1 run must replay the shards = 0 op sequence exactly (the
+  // pass-through makes the traces byte-identical).
+  if (options.shards >= 1) {
+    ShardedTabulaOptions shopt;
+    shopt.base = std::move(topt);
+    shopt.num_shards = options.shards;
+    shopt.partition = options.seed % 2 == 0 ? ShardPartition::kHash
+                                            : ShardPartition::kRange;
+    TABULA_ASSIGN_OR_RETURN(
+        ctx.sharded, ShardedTabula::Initialize(*ctx.table, std::move(shopt)));
+    ctx.engine = ctx.sharded.get();
+    ctx.loss = ctx.sharded->options().base.effective_loss();
+    ctx.theta = ctx.sharded->options().base.threshold;
+  } else {
+    TABULA_ASSIGN_OR_RETURN(ctx.tabula,
+                            Tabula::Initialize(*ctx.table, std::move(topt)));
+    ctx.engine = ctx.tabula.get();
+    ctx.loss = ctx.tabula->options().effective_loss();
+    ctx.theta = ctx.tabula->options().threshold;
+  }
 
   QueryServerOptions sopt;
   sopt.max_queue = 4096;
   sopt.tracer = ctx.tracer.get();
-  ctx.server =
-      std::make_unique<QueryServer>(ctx.tabula.get(), std::move(sopt));
+  ctx.server = std::make_unique<QueryServer>(ctx.engine, std::move(sopt));
 
   ctx.cube_path = options.scratch_path;
   if (ctx.cube_path.empty()) {
@@ -547,13 +608,20 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
   std::filesystem::remove(ctx.cube_path, ec);
   std::filesystem::remove(ctx.cube_path + ".tmp", ec);
 
+  // At K <= 1 the iceberg count comes out of the same single-instance
+  // build either way, keeping this line identical across shards=0/1.
+  const size_t init_ice = ctx.sharded != nullptr
+                              ? ctx.sharded->merged_iceberg_cells()
+                              : ctx.tabula->init_stats().iceberg_cells;
   ctx.Trace("init seed=" + std::to_string(options.seed) + " rows=" +
             std::to_string(options.base_rows) + " cols=" +
-            std::to_string(ncols) + " loss=" +
-            ctx.tabula->options().effective_loss()->name() + " theta=" +
-            std::to_string(ctx.tabula->options().threshold) +
-            " iceberg_cells=" +
-            std::to_string(ctx.tabula->init_stats().iceberg_cells));
+            std::to_string(ncols) + " loss=" + ctx.loss->name() +
+            " theta=" + std::to_string(ctx.theta) + " iceberg_cells=" +
+            std::to_string(init_ice) +
+            (options.shards > 1
+                 ? " shards=" + std::to_string(options.shards) + " part=" +
+                       ShardPartitionName(ctx.sharded->options().partition)
+                 : ""));
 
   // ---- The interleaved op loop. ----
   const std::vector<double> weights =
@@ -589,7 +657,7 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
   FaultInjector::Global().DisarmAll();
   ctx.armed.clear();
   CheckAccounting(ctx);
-  ctx.report.final_generation = ctx.tabula->generation();
+  ctx.report.final_generation = ctx.engine->generation();
 
   std::filesystem::remove(ctx.cube_path, ec);
   std::filesystem::remove(ctx.cube_path + ".tmp", ec);

@@ -35,6 +35,13 @@ struct SoakOptions {
   /// Raising it trades invariant coverage for speed on big runs; which
   /// answers get checked stays deterministic.
   size_t check_every = 1;
+  /// Engine under test: 0 (default) = the plain single-instance Tabula,
+  /// K >= 1 = a ShardedTabula with K shards behind the same QueryServer.
+  /// K = 1 is the strict pass-through, so its scenario trace is
+  /// byte-identical to shards = 0 with the same options. K > 1 runs add
+  /// the shard.build / shard.merge error seams and the shard.query
+  /// delay seam to the fault-toggle menu.
+  size_t shards = 0;
   /// Stream trace lines to stderr as they are produced.
   bool verbose = false;
 };

@@ -1,0 +1,268 @@
+/// Fault matrix for the sharded engine, at the three shard seams:
+///
+///  - shard.query: a shard failing during scatter-gather DEGRADES the
+///    answer (the global sample stands in for its slice, the shard id
+///    lands in `unavailable_shards`, `shard_error` carries the
+///    kUnavailable detail) — the request itself still succeeds.
+///  - shard.build: a shard failing during Initialize fails the whole
+///    init atomically; during Refresh it fails the refresh with the
+///    generation and every answer unchanged. Both the Status-returning
+///    and the exception-throwing flavors are covered.
+///  - shard.merge: same atomicity contract on the merge pass.
+///  - persistence.write during a sharded Save: the previous manifest
+///    survives byte-for-byte and no .tmp is left behind.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_gen.h"
+#include "data/workload.h"
+#include "loss/loss_registry.h"
+#include "shard/sharded_tabula.h"
+#include "testing/fault_injection.h"
+
+namespace tabula {
+namespace {
+
+struct FaultFixture {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Table> donor;
+  std::vector<std::string> attrs;
+  std::shared_ptr<const LossFunction> loss;
+  ShardedTabulaOptions options;
+};
+
+FaultFixture MakeFixture(uint64_t seed, size_t k) {
+  SyntheticGeneratorOptions gen;
+  gen.seed = seed * 7919 + 21;
+  gen.num_rows = 800;
+  gen.cell_spread = 1.1;
+  gen.noise = 0.1;
+  gen.columns.clear();
+  for (size_t c = 0; c < 2; ++c) {
+    SyntheticColumnSpec col;
+    col.name = "c" + std::to_string(c);
+    col.cardinality = 3;
+    gen.columns.push_back(col);
+  }
+  SyntheticGenerator generator(gen);
+  FaultFixture f;
+  f.table = generator.Generate();
+  f.attrs = generator.CategoricalColumns();
+
+  SyntheticGeneratorOptions donor_gen = gen;
+  donor_gen.seed = gen.seed + 1;
+  donor_gen.num_rows = 200;
+  f.donor = SyntheticGenerator(donor_gen).Generate();
+
+  LossParams params;
+  params.columns = {"value"};
+  auto loss = MakeLossFunction("mean_loss", params);
+  EXPECT_TRUE(loss.ok());
+  f.loss = std::shared_ptr<const LossFunction>(std::move(loss).value());
+
+  f.options.base.cubed_attributes = f.attrs;
+  f.options.base.owned_loss = f.loss;
+  f.options.base.threshold = 0.07;
+  f.options.base.seed = seed;
+  f.options.num_shards = k;
+  f.options.partition = ShardPartition::kHash;
+  return f;
+}
+
+std::vector<WorkloadQuery> Queries(const FaultFixture& f, size_t n,
+                                   uint64_t seed) {
+  WorkloadOptions wopt;
+  wopt.num_queries = n;
+  wopt.seed = seed;
+  auto qs = GenerateWorkload(*f.table, f.attrs, wopt);
+  EXPECT_TRUE(qs.ok());
+  return std::move(qs).value();
+}
+
+TEST(ShardFault, QueryShardFailureDegradesAnswerInsteadOfFailing) {
+  ScopedFaultClear guard;
+  FaultFixture f = MakeFixture(11, 4);
+  auto engine = ShardedTabula::Initialize(*f.table, f.options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<WorkloadQuery> qs = Queries(f, 40, 1117);
+
+  FaultSpec spec;
+  spec.fail = true;
+  spec.every_nth = 1;  // every shard of every fan-out fails
+  spec.code = StatusCode::kUnavailable;
+  FaultInjector::Global().Arm("shard.query", spec);
+
+  size_t degraded = 0;
+  for (const WorkloadQuery& q : qs) {
+    auto got = engine.value()->Query(QueryRequest(q.where));
+    // The request itself must succeed regardless of shard health.
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const TabulaQueryResult& r = got.value().result;
+    if (r.unavailable_shards.empty()) continue;  // override/global path
+    ++degraded;
+    EXPECT_EQ(r.unavailable_shards.size(), 4u)
+        << "every shard was armed to fail";
+    EXPECT_FALSE(r.shard_error.ok());
+    EXPECT_EQ(r.shard_error.code(), StatusCode::kUnavailable);
+    // The global sample stands in for the missing slices.
+    EXPECT_GT(r.sample.size(), 0u);
+    EXPECT_TRUE(r.from_local_sample);
+  }
+  ASSERT_GT(degraded, 0u)
+      << "the workload never hit a scatter-gathered iceberg cell";
+  EXPECT_GE(engine.value()->metrics().counter("shard_degraded_answers")
+                .value(),
+            degraded);
+  EXPECT_GE(engine.value()->metrics().counter("shard_unavailable_total")
+                .value(),
+            degraded * 4);
+
+  // Disarmed, the same queries answer cleanly again.
+  FaultInjector::Global().DisarmAll();
+  for (const WorkloadQuery& q : qs) {
+    auto got = engine.value()->Query(QueryRequest(q.where));
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got.value().result.unavailable_shards.empty());
+    EXPECT_TRUE(got.value().result.shard_error.ok());
+  }
+}
+
+TEST(ShardFault, BuildFaultFailsInitializeAtomically) {
+  ScopedFaultClear guard;
+  FaultFixture f = MakeFixture(12, 4);
+
+  FaultSpec spec;
+  spec.fail = true;
+  spec.every_nth = 1;
+  spec.max_triggers = 1;
+  spec.code = StatusCode::kIOError;
+  FaultInjector::Global().Arm("shard.build", spec);
+  auto broken = ShardedTabula::Initialize(*f.table, f.options);
+  EXPECT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kIOError);
+
+  // The exception flavor: a fault thrown out of a pool task must come
+  // back as a Status, not crash or deadlock the build.
+  FaultSpec throwing;
+  throwing.throw_exception = true;
+  throwing.every_nth = 1;
+  throwing.max_triggers = 1;
+  FaultInjector::Global().Arm("shard.build", throwing);
+  auto thrown = ShardedTabula::Initialize(*f.table, f.options);
+  EXPECT_FALSE(thrown.ok());
+
+  FaultInjector::Global().DisarmAll();
+  auto clean = ShardedTabula::Initialize(*f.table, f.options);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_GT(clean.value()->merged_iceberg_cells(), 0u);
+}
+
+void RunRefreshAtomicity(const char* point) {
+  ScopedFaultClear guard;
+  FaultFixture f = MakeFixture(13, 4);
+  auto engine = ShardedTabula::Initialize(*f.table, f.options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  const std::vector<WorkloadQuery> qs = Queries(f, 10, 1319);
+  std::vector<std::vector<RowId>> before;
+  for (const WorkloadQuery& q : qs) {
+    auto r = engine.value()->Query(QueryRequest(q.where));
+    ASSERT_TRUE(r.ok());
+    before.push_back(r.value().result.sample.ToRowIds());
+  }
+
+  for (size_t r = 0; r < 120; ++r) {
+    ASSERT_TRUE(
+        f.table->AppendRowFrom(*f.donor, static_cast<RowId>(r)).ok());
+  }
+
+  FaultSpec spec;
+  spec.fail = true;
+  spec.every_nth = 1;
+  spec.max_triggers = 2;
+  spec.code = StatusCode::kIOError;
+  FaultInjector::Global().Arm(point, spec);
+  Status st = engine.value()->Refresh();
+  EXPECT_FALSE(st.ok()) << point;
+  // Atomic: generation unchanged and every answer exactly as before.
+  EXPECT_EQ(engine.value()->generation(), 0u);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    auto r = engine.value()->Query(QueryRequest(qs[i].where));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().result.sample.ToRowIds(), before[i])
+        << point << ": failed refresh mutated an answer";
+  }
+
+  // Recovery after disarm.
+  FaultInjector::Global().DisarmAll();
+  st = engine.value()->Refresh();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(engine.value()->generation(), 1u);
+}
+
+TEST(ShardFault, BuildFaultFailsRefreshAtomically) {
+  RunRefreshAtomicity("shard.build");
+}
+
+TEST(ShardFault, MergeFaultFailsRefreshAtomically) {
+  RunRefreshAtomicity("shard.merge");
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(ShardFault, FailedSaveLeavesNoPartialManifest) {
+  ScopedFaultClear guard;
+  FaultFixture f = MakeFixture(14, 4);
+  auto engine = ShardedTabula::Initialize(*f.table, f.options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  std::error_code ec;
+  std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+  if (ec) tmp = ".";
+  const std::string path = (tmp / "tabula_shard_fault.manifest").string();
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".tmp", ec);
+
+  ASSERT_TRUE(engine.value()->Save(path).ok());
+  const std::string good = ReadAll(path);
+  ASSERT_FALSE(good.empty());
+
+  FaultSpec spec;
+  spec.fail = true;
+  spec.every_nth = 2;  // let the header through, then fail mid-write
+  spec.max_triggers = 1;
+  spec.code = StatusCode::kIOError;
+  FaultInjector::Global().Arm("persistence.write", spec);
+  Status st = engine.value()->Save(path);
+  EXPECT_FALSE(st.ok());
+  FaultInjector::Global().DisarmAll();
+
+  // The previous manifest survives byte-for-byte; no temp left behind.
+  EXPECT_EQ(ReadAll(path), good);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp", ec));
+
+  // And it still loads into an engine that answers like the live one.
+  auto loaded = ShardedTabula::Load(*f.table, f.options, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const WorkloadQuery& q : Queries(f, 8, 1423)) {
+    auto a = loaded.value()->Query(QueryRequest(q.where));
+    auto b = engine.value()->Query(QueryRequest(q.where));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().result.sample.ToRowIds(),
+              b.value().result.sample.ToRowIds());
+  }
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+}  // namespace tabula

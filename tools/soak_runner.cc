@@ -27,12 +27,15 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--steps N] [--no-faults] [--check-every N]\n"
-      "          [--rows N] [--trace] [--verbose]\n"
+      "          [--rows N] [--shards K] [--trace] [--verbose]\n"
       "  --seed N         scenario seed (default 1)\n"
       "  --steps N        ops to run (default 200)\n"
       "  --no-faults      same op mix without fault injection\n"
       "  --check-every N  theta-check every Nth answer (default 1)\n"
       "  --rows N         initial table rows (default 3000)\n"
+      "  --shards K       run a ShardedTabula with K shards (default:\n"
+      "                   plain single-instance engine; K>1 adds shard\n"
+      "                   fault seams to the toggle mix)\n"
       "  --trace          print the full scenario trace at the end\n"
       "  --verbose        stream trace lines as they happen\n",
       argv0);
@@ -61,6 +64,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--rows") {
       next_u64(&v);
       options.base_rows = static_cast<size_t>(v);
+    } else if (arg == "--shards") {
+      next_u64(&v);
+      options.shards = static_cast<size_t>(v);
     } else if (arg == "--check-every") {
       next_u64(&v);
       options.check_every = std::max<size_t>(1, static_cast<size_t>(v));
