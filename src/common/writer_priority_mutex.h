@@ -1,0 +1,81 @@
+#ifndef TABULA_COMMON_WRITER_PRIORITY_MUTEX_H_
+#define TABULA_COMMON_WRITER_PRIORITY_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace tabula {
+
+/// Shared mutex with writer priority: a pending exclusive lock blocks
+/// NEW shared acquisitions, so the writer gets in as soon as current
+/// readers drain. Satisfies the SharedLockable/Lockable interface, so
+/// std::shared_lock / std::unique_lock work unchanged.
+///
+/// Why not std::shared_mutex: on glibc it maps to a reader-preferring
+/// pthread rwlock, under which a saturating read stream (a dashboard
+/// hammering Query()) can delay an exclusive acquisition indefinitely.
+/// The serving path takes the exclusive side only for short pointer
+/// swaps (ingest begin/commit, refresh install), so bounding writer
+/// wait to one reader critical section keeps refresh lag — and with it
+/// answer staleness — bounded no matter the read load, at the price of
+/// a mutex/condvar handoff per reader that the microsecond-scale read
+/// sections don't notice.
+class WriterPrioritySharedMutex {
+ public:
+  void lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    reader_cv_.wait(lk,
+                    [&] { return writers_waiting_ == 0 && !writer_active_; });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (writers_waiting_ != 0 || writer_active_) return false;
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--readers_ == 0) writer_cv_.notify_one();
+  }
+
+  void lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++writers_waiting_;
+    writer_cv_.wait(lk, [&] { return readers_ == 0 && !writer_active_; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (readers_ != 0 || writer_active_) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::lock_guard<std::mutex> lk(mu_);
+    writer_active_ = false;
+    // Waiting writers go first (priority); otherwise release readers.
+    if (writers_waiting_ > 0) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  size_t readers_ = 0;
+  size_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_COMMON_WRITER_PRIORITY_MUTEX_H_

@@ -13,6 +13,13 @@ namespace tabula {
 /// manifest) embed it and refuse to load against a different table.
 uint64_t TableFingerprint(const Table& table);
 
+/// Fingerprint of the first `limit_rows` rows only. Appends never
+/// rewrite existing rows, so a cube saved when it had folded
+/// `limit_rows` rows can verify its prefix against a table that has
+/// since grown — the streaming-ingestion crash-recovery path.
+/// Identity: TableFingerprint(t) == TableFingerprint(t, t.num_rows()).
+uint64_t TableFingerprint(const Table& table, size_t limit_rows);
+
 /// FNV fold of a shard's row-id list (count + every id). The shard
 /// manifest stores one per shard so Load can verify the persisted
 /// partition matches what it reconstructs.

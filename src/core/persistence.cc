@@ -13,22 +13,25 @@ namespace tabula {
 namespace {
 
 constexpr uint32_t kMagic = 0x54424C43;  // "TBLC"
-constexpr uint32_t kVersion = 1;
+/// v1: fingerprint of the full table. v2 adds the covered row count and
+/// fingerprints only that prefix, so a cube saved mid-ingest (rows
+/// appended but not folded yet) stays loadable after a crash once the
+/// journal replays the tail. v1 files are still accepted.
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
-uint64_t TableFingerprint(const Table& table) {
+uint64_t TableFingerprint(const Table& table, size_t limit_rows) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
   auto mix = [&h](uint64_t v) {
     h ^= v;
     h *= 1099511628211ull;
   };
-  mix(table.num_rows());
+  mix(limit_rows);
   mix(table.num_columns());
-  if (table.num_rows() == 0) return h;
+  if (limit_rows == 0) return h;
   for (size_t probe = 0; probe < 16; ++probe) {
-    RowId row = static_cast<RowId>((probe * 2654435761ull) %
-                                   table.num_rows());
+    RowId row = static_cast<RowId>((probe * 2654435761ull) % limit_rows);
     for (size_t c = 0; c < table.num_columns(); ++c) {
       Value v = table.GetValue(c, row);
       if (v.is_string()) {
@@ -45,6 +48,10 @@ uint64_t TableFingerprint(const Table& table) {
     }
   }
   return h;
+}
+
+uint64_t TableFingerprint(const Table& table) {
+  return TableFingerprint(table, table.num_rows());
 }
 
 uint64_t RowListFingerprint(const std::vector<RowId>& rows) {
@@ -73,7 +80,11 @@ Status Tabula::Save(const std::string& path) const {
     BinaryWriter w(&out);
     w.WriteU32(kMagic);
     w.WriteU32(kVersion);
-    w.WriteU64(TableFingerprint(*table_));
+    // The cube describes exactly the rows it has folded in; fingerprint
+    // that prefix so pending (appended-but-unfolded) rows don't tie the
+    // file to a table state the cube never saw.
+    w.WriteU64(refreshed_rows_);
+    w.WriteU64(TableFingerprint(*table_, refreshed_rows_));
     w.WriteString(loss_fn()->name());
     w.WriteDouble(options_.threshold);
     w.WriteU64(options_.cubed_attributes.size());
@@ -127,7 +138,8 @@ Status Tabula::Save(const std::string& path) const {
 
 Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
                                              TabulaOptions options,
-                                             const std::string& path) {
+                                             const std::string& path,
+                                             bool resume_partial) {
   const LossFunction* loss = options.effective_loss();
   if (loss == nullptr) {
     return Status::InvalidArgument("TabulaOptions.loss must be set");
@@ -143,12 +155,33 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
   if (magic != kMagic) {
     return Status::ParseError("'" + path + "' is not a Tabula cube file");
   }
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return Status::ParseError("unsupported cube file version " +
                               std::to_string(version));
   }
+  // v1 files cover the whole table by construction; v2 files record the
+  // row count the cube had folded at save time.
+  uint64_t saved_rows = table.num_rows();
+  if (version >= 2) {
+    TABULA_ASSIGN_OR_RETURN(saved_rows, r.ReadU64());
+  }
+  if (saved_rows > table.num_rows()) {
+    return Status::InvalidArgument(
+        "cube file covers " + std::to_string(saved_rows) +
+        " rows but the table only has " + std::to_string(table.num_rows()));
+  }
+  if (saved_rows != table.num_rows() && !resume_partial) {
+    return Status::InvalidArgument(
+        "cube file covers only " + std::to_string(saved_rows) + " of " +
+        std::to_string(table.num_rows()) +
+        " rows (stale cube); pass resume_partial to load it and Refresh() "
+        "to catch up");
+  }
   TABULA_ASSIGN_OR_RETURN(uint64_t fingerprint, r.ReadU64());
-  if (fingerprint != TableFingerprint(table)) {
+  const uint64_t want_fingerprint =
+      version >= 2 ? TableFingerprint(table, saved_rows)
+                   : TableFingerprint(table);
+  if (fingerprint != want_fingerprint) {
     return Status::InvalidArgument(
         "cube file was built on a different table (fingerprint mismatch); "
         "re-run Initialize()");
@@ -187,7 +220,7 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
   TABULA_ASSIGN_OR_RETURN(tabula->global_sample_rows_,
                           r.ReadVector<RowId>());
   for (RowId row : tabula->global_sample_rows_) {
-    if (row >= table.num_rows()) {
+    if (row >= saved_rows) {
       return Status::DataLoss("cube file's global sample references row " +
                               std::to_string(row) + " beyond the table");
     }
@@ -206,9 +239,10 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
   TABULA_ASSIGN_OR_RETURN(uint64_t num_samples, r.ReadU64());
   for (uint64_t i = 0; i < num_samples; ++i) {
     TABULA_ASSIGN_OR_RETURN(std::vector<RowId> rows, r.ReadVector<RowId>());
-    // Validate row ids against the table before trusting the file.
+    // Validate row ids against the covered prefix before trusting the
+    // file (samples can only reference rows the cube had folded).
     for (RowId row : rows) {
-      if (row >= table.num_rows()) {
+      if (row >= saved_rows) {
         return Status::DataLoss("cube file references row " +
                                 std::to_string(row) + " beyond the table");
       }
@@ -237,6 +271,10 @@ Result<std::unique_ptr<Tabula>> Tabula::Load(const Table& table,
   stats.cube_table_bytes = tabula->cube_.MemoryBytes();
   stats.sample_table_bytes = tabula->samples_.MemoryBytes(tuple_bytes);
   stats.total_millis = timer.ElapsedMillis();  // load time, not build time
+  // The cube answers for exactly the rows the file covered; a resumed
+  // load leaves the tail pending for the next Refresh()/ingest cycle
+  // (and tags answers stale until it runs).
+  tabula->refreshed_rows_ = saved_rows;
   return tabula;
 }
 

@@ -1,8 +1,11 @@
 #ifndef TABULA_CORE_QUERY_ENGINE_H_
 #define TABULA_CORE_QUERY_ENGINE_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/query_request.h"
@@ -41,7 +44,60 @@ class QueryEngine {
     double millis = 0.0;
   };
 
+  /// \brief Opaque staged state of one in-flight ingest cycle.
+  ///
+  /// Produced by PlanIngest() and threaded through the four-phase
+  /// streaming-maintenance protocol below; the concrete layout is
+  /// engine-private. `dirty_keys` is the only cross-engine field the
+  /// ingestion layer reads: the packed cell keys whose answers the
+  /// cycle is going to change (empty on a full rebuild, where every
+  /// cell is considered dirty).
+  struct IngestPlan {
+    virtual ~IngestPlan() = default;
+    /// True when there is nothing to do (no pending rows); Begin /
+    /// Execute / Commit become no-ops.
+    bool no_op = false;
+    /// True when the appended rows changed the encoder layout (a new
+    /// attribute value widened a code) and the cycle degenerates to a
+    /// from-scratch rebuild.
+    bool full_rebuild = false;
+    /// Row count the cycle advances the cube to (num_rows at plan time).
+    size_t target_rows = 0;
+    /// Maintenance counters accumulated across the phases.
+    RefreshStats stats;
+    /// Packed keys of cells (across all cuboids) touched by the pending
+    /// rows; used for precise per-cell staleness tagging.
+    std::vector<uint64_t> dirty_keys;
+  };
+
   virtual ~QueryEngine() = default;
+
+  /// ---- Streaming ingestion protocol (src/ingest/) -------------------
+  ///
+  /// Refresh() = Plan → Begin → Execute → Commit run back-to-back under
+  /// one exclusive section. The split exists so a continuously-ingesting
+  /// deployment can keep serving queries during the expensive phases:
+  ///
+  ///   PlanIngest     shared lock   fallible, slow (classify pending rows)
+  ///   BeginIngest    exclusive     infallible, quick (publish dirty set,
+  ///                                fold appended rows into shard state)
+  ///   ExecuteIngest  shared lock   fallible, slow (re-sample / re-merge)
+  ///   CommitIngest   exclusive     quick (adopt staged state, ++generation)
+  ///
+  /// At most one cycle may be in flight per engine (the Ingestor
+  /// serializes them); Query() stays safe concurrently with the
+  /// shared-lock phases. A failure in Plan or Execute abandons the
+  /// cycle with the generation — and every served answer — unchanged;
+  /// re-planning from scratch converges once the cause clears.
+  virtual Result<std::unique_ptr<IngestPlan>> PlanIngest() = 0;
+  virtual void BeginIngest(IngestPlan* plan) = 0;
+  virtual Status ExecuteIngest(IngestPlan* plan) = 0;
+  virtual Status CommitIngest(std::unique_ptr<IngestPlan> plan,
+                              RefreshStats* stats = nullptr) = 0;
+
+  /// Appended base-table rows the cube has not folded in yet
+  /// (num_rows − refreshed rows). Non-zero ⇒ answers may be stale.
+  virtual size_t PendingIngestRows() const = 0;
 
   /// Answers a dashboard query (see Tabula::Query for the predicate
   /// contract). Const ⇒ safe for concurrent readers.

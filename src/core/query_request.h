@@ -17,6 +17,14 @@ enum class ConsistencyHint {
   /// Bypass the result cache and probe the cube; the answer is still
   /// cached for later kCacheOk requests.
   kBypassCache,
+  /// Progressive-answer mode for continuously-ingesting deployments:
+  /// if appended rows are still being folded into the cube, wait up to
+  /// the request deadline for the in-flight ingest cycle to commit
+  /// before answering. On timeout the freshest available answer is
+  /// served anyway, tagged `stale` (the BlinkDB-style bounded-time /
+  /// bounded-staleness trade). With no pending ingest this behaves
+  /// exactly like kCacheOk.
+  kFreshWithinDeadline,
 };
 
 /// \brief The one dashboard-query contract across the stack.

@@ -61,9 +61,9 @@ Result<std::unique_ptr<Tabula>> Tabula::Initialize(const Table& table,
                                   init_span.id());
     size_t global_size =
         SerflingSampleSize(opts.serfling_epsilon, opts.serfling_delta);
-    Rng rng(opts.seed);
     DatasetView all(&table);
-    tabula->global_sample_rows_ = RandomSample(all, global_size, &rng);
+    tabula->global_sample_rows_ =
+        ConsistentBottomKSample(all, global_size, opts.seed);
     tabula->global_sample_ = DatasetView(&table, tabula->global_sample_rows_);
     tabula->stats_.global_sample_tuples = tabula->global_sample_.size();
     span.SetAttribute("tuples", tabula->stats_.global_sample_tuples);
@@ -190,6 +190,13 @@ Result<QueryResponse> Tabula::Query(const QueryRequest& request) const {
   response.span_id = span.id();
   TabulaQueryResult& result = response.result;
   const std::vector<PredicateTerm>& where = request.where;
+  // Progressive-answer tagging: the generation this answer is computed
+  // at, and whether appended-but-unfolded rows are scheduled to change
+  // it. With a published dirty set the tag is per-cell precise;
+  // before classification (dirty set empty) every answer is
+  // conservatively stale while rows pend.
+  result.generation = generation_;
+  const bool has_pending = table_->num_rows() > refreshed_rows_;
 
   auto finish = [&]() {
     if (span.recording()) {
@@ -231,8 +238,12 @@ Result<QueryResponse> Tabula::Query(const QueryRequest& request) const {
     auto code = encoder_.CodeForValue(k, term.literal);
     if (!code.ok()) {
       // The filter value never occurs in the data: the cell is provably
-      // empty, so an empty sample is the exact answer (loss 0).
+      // empty, so an empty sample is the exact answer (loss 0). Pending
+      // rows may contain the value, so the emptiness claim itself is
+      // stale while an ingest is in flight (coarse: the value has no
+      // cell key to probe the dirty set with).
       result.empty_cell = true;
+      result.stale = has_pending;
       result.sample = DatasetView(table_, {});
       finish();
       return response;
@@ -241,6 +252,8 @@ Result<QueryResponse> Tabula::Query(const QueryRequest& request) const {
   }
 
   uint64_t key = packer_.PackCodes(codes);
+  result.stale =
+      has_pending && (pending_dirty_.empty() || pending_dirty_.Contains(key));
   const IcebergCell* cell = cube_.Find(key);
   if (cell != nullptr) {
     result.from_local_sample = true;

@@ -119,6 +119,17 @@ struct TabulaQueryResult {
   /// kUnavailable detail describing the first shard failure (OK when
   /// `unavailable_shards` is empty).
   Status shard_error = Status::OK();
+  /// Cube-content generation this answer was computed at (the engine's
+  /// generation() at lookup time). Dashboards use it to order
+  /// progressively refined answers for the same tile.
+  uint64_t generation = 0;
+  /// True when appended rows are still being folded into the cube AND
+  /// this cell's answer is scheduled to change (the cell is in the
+  /// in-flight dirty set, or the pending rows have not been classified
+  /// yet, so every cell is conservatively stale). A stale answer still
+  /// satisfies θ against the rows the cube has folded in — it just
+  /// predates the freshest appends.
+  bool stale = false;
 };
 
 /// Answer to a QueryRequest: the query result plus the id of the span
@@ -202,9 +213,17 @@ class Tabula : public QueryEngine {
 
   /// Restores a cube saved with Save(). `options` must name the same
   /// loss function, threshold, and cubed attributes used at build time.
+  /// By default the file must cover exactly `table.num_rows()` rows
+  /// (a cube saved before the table grew is rejected as stale). With
+  /// `resume_partial = true` a file saved at fewer rows is accepted as
+  /// long as it matches the table prefix it was built on — the
+  /// crash-recovery path for streaming ingestion, where the journal
+  /// replays rows the cube has not folded yet and a Refresh() (or the
+  /// ingest cycle) catches the cube up afterwards.
   static Result<std::unique_ptr<Tabula>> Load(const Table& table,
                                               TabulaOptions options,
-                                              const std::string& path);
+                                              const std::string& path,
+                                              bool resume_partial = false);
 
   // RefreshStats is inherited from QueryEngine; `Tabula::RefreshStats`
   // keeps naming it for existing callers.
@@ -225,6 +244,23 @@ class Tabula : public QueryEngine {
   /// re-optimized here — memory may drift above optimal until the next
   /// full initialization.
   Status Refresh(RefreshStats* stats = nullptr) override;
+
+  /// \brief Streaming-maintenance phases (see QueryEngine). Refresh()
+  /// is exactly Plan → Begin → Execute → Commit run back-to-back; the
+  /// split lets the ingestion layer run the fallible/slow phases under
+  /// a shared lock so queries keep serving. Plan/Execute mutate only
+  /// plan-staged state plus maintenance-only members no Query() path
+  /// reads (finest_states_, maintenance_bound_); Begin/Commit mutate
+  /// query-visible state and need the exclusive section. At most one
+  /// plan may be in flight at a time.
+  Result<std::unique_ptr<IngestPlan>> PlanIngest() override;
+  void BeginIngest(IngestPlan* plan) override;
+  Status ExecuteIngest(IngestPlan* plan) override;
+  Status CommitIngest(std::unique_ptr<IngestPlan> plan,
+                      RefreshStats* stats = nullptr) override;
+  size_t PendingIngestRows() const override {
+    return table_->num_rows() - refreshed_rows_;
+  }
 
   /// Monotone cube-content version, bumped by every successful
   /// Refresh() that saw appended rows (full rebuilds included). Caches
@@ -264,6 +300,22 @@ class Tabula : public QueryEngine {
   std::unique_ptr<BoundLoss> maintenance_bound_;
   FlatHashMap<LossState> finest_states_;
   size_t refreshed_rows_ = 0;
+  /// Row ids of every finest cell over rows [0, finest_rows_indexed_),
+  /// each list ascending. Lets ingest cycles gather any cell's raw rows
+  /// without a table scan — a coarser cell's rows are the union of its
+  /// finest descendants'. Maintenance-only and extended in place during
+  /// PlanIngest: a pure function of the (append-only) table prefix it
+  /// covers, so it stays valid across abandoned cycles; the watermark
+  /// makes re-indexing idempotent. Costs one RowId per indexed row —
+  /// the same trade keep_maintenance_state already opts into.
+  FlatHashMap<std::vector<RowId>> finest_rows_;
+  size_t finest_rows_indexed_ = 0;
+  /// Cells the in-flight ingest cycle will change (packed keys across
+  /// all cuboids), published by BeginIngest and cleared by CommitIngest.
+  /// Query() reads it for precise staleness tagging; empty while rows
+  /// are pending means "not classified yet" → every cell is
+  /// conservatively stale.
+  FlatHashSet pending_dirty_;
 
   /// Fires every registered refresh listener (after a cube mutation).
   void NotifyRefreshListeners();

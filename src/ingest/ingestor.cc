@@ -1,0 +1,297 @@
+#include "ingest/ingestor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/query_server.h"
+#include "testing/fault_injection.h"
+
+namespace tabula {
+
+namespace {
+
+/// Runs the named fault seam inside a lambda (where TABULA_FAULT_POINT's
+/// early return would only leave the lambda).
+Status HitSeam(std::string_view point) {
+  if (!FaultInjector::AnyArmed()) return Status::OK();
+  return FaultInjector::Global().Hit(point);
+}
+
+}  // namespace
+
+Ingestor::Ingestor(QueryEngine* engine, Table* table, IngestorOptions options)
+    : engine_(engine), table_(table), options_(std::move(options)) {}
+
+Result<std::unique_ptr<Ingestor>> Ingestor::Make(QueryEngine* engine,
+                                                 Table* table,
+                                                 IngestorOptions options) {
+  if (engine == nullptr || table == nullptr) {
+    return Status::InvalidArgument("Ingestor needs an engine and its table");
+  }
+  if (&engine->base_table() != table) {
+    return Status::InvalidArgument(
+        "Ingestor table must be the engine's base table");
+  }
+  auto ingestor =
+      std::unique_ptr<Ingestor>(new Ingestor(engine, table, options));
+  if (!ingestor->options_.journal_path.empty()) {
+    TABULA_ASSIGN_OR_RETURN(
+        ingestor->journal_,
+        IngestJournal::Open(ingestor->options_.journal_path, *table));
+  }
+  return ingestor;
+}
+
+Ingestor::~Ingestor() {
+  stopping_.store(true, std::memory_order_relaxed);
+  std::vector<std::future<void>> futures;
+  {
+    std::lock_guard<std::mutex> lock(futures_mu_);
+    futures.swap(worker_futures_);
+  }
+  for (auto& f : futures) {
+    if (f.valid()) f.wait();
+  }
+}
+
+void Ingestor::WithShared(const std::function<void()>& fn) const {
+  if (options_.server != nullptr) {
+    options_.server->ReadShared(fn);
+    return;
+  }
+  std::shared_lock<WriterPrioritySharedMutex> lock(mu_);
+  fn();
+}
+
+void Ingestor::WithExclusive(const std::function<void()>& fn) const {
+  if (options_.server != nullptr) {
+    options_.server->MutateExclusive(fn);
+    return;
+  }
+  std::unique_lock<WriterPrioritySharedMutex> lock(mu_);
+  fn();
+}
+
+Status Ingestor::ValidateBatch(
+    const std::vector<std::vector<Value>>& rows) const {
+  const Schema& schema = table_->schema();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "batch row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " values, schema has " +
+          std::to_string(schema.num_fields()) + " columns");
+    }
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      const Value& v = rows[r][c];
+      bool ok = false;
+      switch (schema.field(c).type) {
+        case DataType::kCategorical:
+          ok = v.is_string();
+          break;
+        case DataType::kInt64:
+          ok = v.is_int64();
+          break;
+        case DataType::kDouble:
+          ok = v.is_double() || v.is_int64();
+          break;
+      }
+      if (!ok) {
+        return Status::TypeMismatch(
+            "batch row " + std::to_string(r) + " column '" +
+            schema.field(c).name + "' (" +
+            DataTypeName(schema.field(c).type) +
+            ") cannot hold " + v.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Ingestor::Append(const std::vector<std::vector<Value>>& rows) {
+  if (rows.empty()) return Status::OK();
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+
+  Span span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->StartSpan("ingest.append");
+    span.SetAttribute("rows", rows.size());
+  }
+
+  // Whole-batch validation BEFORE any side effect: a batch either lands
+  // completely (journal + table) or not at all.
+  Status st = ValidateBatch(rows);
+  if (st.ok()) st = HitSeam("ingest.route");
+  if (st.ok() && journal_ != nullptr) st = journal_->AppendBatch(rows);
+  if (!st.ok()) {
+    metrics_.counter("ingest_failures_total").Increment();
+    if (span.recording()) span.SetAttribute("error", st.ToString());
+    return st;
+  }
+
+  uint64_t row_end = 0;
+  WithExclusive([&] {
+    // Cannot fail after ValidateBatch (it mirrors AppendValue's
+    // checks); a failure here would leave a partial batch, so surface
+    // loudly.
+    st = table_->AppendRows(rows);
+    row_end = table_->num_rows();
+  });
+  if (!st.ok()) {
+    metrics_.counter("ingest_failures_total").Increment();
+    return Status::Internal("base-table append failed mid-batch: " +
+                            st.ToString());
+  }
+
+  batches_accepted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.counter("ingest_batches_total").Increment();
+  metrics_.counter("ingest_rows_total").Increment(rows.size());
+  metrics_.gauge("ingest_pending_rows").Increment(
+      static_cast<int64_t>(rows.size()));
+  {
+    std::lock_guard<std::mutex> lag_lock(lag_mu_);
+    lag_entries_.push_back(LagEntry{row_end, Stopwatch()});
+  }
+
+  if (stopping_.load(std::memory_order_relaxed)) return Status::OK();
+  if (options_.async) {
+    ScheduleWorker();
+    return Status::OK();
+  }
+  return RunCycle();
+}
+
+Status Ingestor::RunCycle() {
+  std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
+
+  Span span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->StartSpan("ingest.apply");
+  }
+
+  Status st;
+  std::unique_ptr<QueryEngine::IngestPlan> plan;
+  // Plan under a shared lock: classification is the slow part and must
+  // not block readers.
+  WithShared([&] {
+    st = HitSeam("ingest.merge");
+    if (!st.ok()) return;
+    auto planned = engine_->PlanIngest();
+    if (!planned.ok()) {
+      st = planned.status();
+      return;
+    }
+    plan = std::move(planned).value();
+  });
+  if (!st.ok()) {
+    metrics_.counter("ingest_failures_total").Increment();
+    if (span.recording()) span.SetAttribute("error", st.ToString());
+    return st;
+  }
+  if (plan->no_op) return Status::OK();
+
+  // Publish the dirty set (quick, exclusive): from here until commit,
+  // answers for the touched cells carry `stale = true`.
+  WithExclusive([&] { engine_->BeginIngest(plan.get()); });
+
+  // Re-sample / re-merge under a shared lock — queries keep serving the
+  // previous generation while the staged state is built.
+  WithShared([&] {
+    st = HitSeam("ingest.resample");
+    if (!st.ok()) return;
+    st = engine_->ExecuteIngest(plan.get());
+  });
+  if (!st.ok()) {
+    // Abandoning the plan leaves the generation — and every served
+    // answer — unchanged; the dirty set stays published (conservative).
+    metrics_.counter("ingest_failures_total").Increment();
+    if (span.recording()) span.SetAttribute("error", st.ToString());
+    return st;
+  }
+
+  const uint64_t target_rows = plan->target_rows;
+  QueryEngine::RefreshStats stats;
+  WithExclusive([&] { st = engine_->CommitIngest(std::move(plan), &stats); });
+  if (!st.ok()) {
+    metrics_.counter("ingest_failures_total").Increment();
+    if (span.recording()) span.SetAttribute("error", st.ToString());
+    return st;
+  }
+
+  metrics_.counter("ingest_commits_total").Increment();
+  metrics_.gauge("ingest_pending_rows").Decrement(
+      static_cast<int64_t>(stats.new_rows));
+  SettleLag(target_rows);
+  if (span.recording()) {
+    span.SetAttribute("new_rows", stats.new_rows);
+    span.SetAttribute("full_rebuild", stats.full_rebuild);
+    span.SetAttribute("resampled_cells", stats.resampled_cells);
+  }
+  return Status::OK();
+}
+
+Status Ingestor::Drain() {
+  while (true) {
+    if (PendingRows() == 0) return Status::OK();
+    TABULA_RETURN_NOT_OK(RunCycle());
+  }
+}
+
+size_t Ingestor::PendingRows() const {
+  size_t pending = 0;
+  WithShared([&] { pending = engine_->PendingIngestRows(); });
+  return pending;
+}
+
+void Ingestor::ScheduleWorker() {
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  bool expected = false;
+  if (!worker_active_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard<std::mutex> lock(futures_mu_);
+  // Prune futures of workers that already finished.
+  worker_futures_.erase(
+      std::remove_if(worker_futures_.begin(), worker_futures_.end(),
+                     [](std::future<void>& f) {
+                       return !f.valid() ||
+                              f.wait_for(std::chrono::seconds(0)) ==
+                                  std::future_status::ready;
+                     }),
+      worker_futures_.end());
+  // A dedicated thread, NOT ThreadPool::Global(): the maintenance
+  // phases fan work out onto the global pool and wait for it — run from
+  // a pool worker that wait would deadlock a single-thread pool.
+  worker_futures_.push_back(
+      std::async(std::launch::async, [this] { WorkerLoop(); }));
+}
+
+void Ingestor::WorkerLoop() {
+  bool clean = true;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (PendingRows() == 0) break;
+    Status st = RunCycle();
+    if (!st.ok()) {
+      // Back off instead of spinning against a persistent failure; the
+      // next Append() schedules a fresh worker once the cause clears.
+      clean = false;
+      break;
+    }
+  }
+  worker_active_.store(false, std::memory_order_relaxed);
+  // Close the schedule race: rows appended after the loop's last check
+  // but before the flag flip would otherwise never get a worker.
+  if (clean && !stopping_.load(std::memory_order_relaxed) &&
+      PendingRows() > 0) {
+    ScheduleWorker();
+  }
+}
+
+void Ingestor::SettleLag(uint64_t target_rows) {
+  std::lock_guard<std::mutex> lock(lag_mu_);
+  while (!lag_entries_.empty() && lag_entries_.front().row_end <= target_rows) {
+    metrics_.histogram("ingest_refresh_lag")
+        .RecordMillis(lag_entries_.front().since.ElapsedMillis());
+    lag_entries_.pop_front();
+  }
+}
+
+}  // namespace tabula

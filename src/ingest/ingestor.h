@@ -1,0 +1,174 @@
+#ifndef TABULA_INGEST_INGESTOR_H_
+#define TABULA_INGEST_INGESTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/writer_priority_mutex.h"
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/query_engine.h"
+#include "ingest/ingest_journal.h"
+#include "obs/trace.h"
+#include "serve/metrics.h"
+#include "storage/table.h"
+
+namespace tabula {
+
+class QueryServer;
+
+/// Configuration of an Ingestor.
+struct IngestorOptions {
+  /// WAL path; each accepted batch is journaled here before it touches
+  /// the base table. Empty disables journaling (tests, benchmarks).
+  std::string journal_path;
+  /// When true, maintenance cycles run on ThreadPool::Global() in the
+  /// background and Append() returns as soon as the rows are durable
+  /// and appended; queries served meanwhile carry `stale = true` until
+  /// the cycle commits. When false, Append() runs the cycle inline —
+  /// fully deterministic, which the soak/diff harnesses rely on.
+  bool async = false;
+  /// Serving front-end whose engine lock must guard table mutation and
+  /// the exclusive ingest phases. When null the Ingestor uses a private
+  /// lock (engine-only deployments, tests).
+  QueryServer* server = nullptr;
+  /// Optional tracer for `ingest.append` / `ingest.apply` spans.
+  Tracer* tracer = nullptr;
+};
+
+/// \brief Streaming ingestion front-end for a sampling-cube engine.
+///
+/// Accepts row batches, makes them durable (IngestJournal), appends
+/// them to the base table, and drives the engine's four-phase
+/// incremental-maintenance protocol (PlanIngest → BeginIngest →
+/// ExecuteIngest → CommitIngest) so the cube catches up while queries
+/// keep being served. Between an append and the cycle's commit the
+/// engine answers from the freshest committed cube state with
+/// `QueryResponse.result.stale` tagging the cells the pending rows will
+/// change — the dashboard gets an immediate, honestly-labelled answer
+/// instead of blocking on maintenance (the paper's progressive-answer
+/// contract).
+///
+/// Failure atomicity: a batch rejected at validation, at the
+/// `ingest.route` seam, or by the journal leaves table, journal and
+/// cube exactly as before. A maintenance-cycle failure (seams
+/// `ingest.merge` / `ingest.resample`, or an engine error) abandons the
+/// staged cycle with the cube generation unchanged; the appended rows
+/// stay pending and a later cycle (or Drain()) converges once the cause
+/// clears.
+///
+/// Thread-safety: Append()/RunCycle()/Drain() may be called from any
+/// thread; cycles are serialized internally. Queries must go through
+/// the owning QueryServer (options.server) or, engine-only, through
+/// Query() under the caller's own discipline — the Ingestor takes the
+/// server's engine lock for every table mutation and exclusive phase.
+class Ingestor {
+ public:
+  /// Creates an Ingestor over `engine` and its base `table` (the caller
+  /// keeps ownership of both; `table` must be the engine's base table).
+  /// Opens/creates the journal when `options.journal_path` is set — an
+  /// existing journal must already be replayed into `table` (see
+  /// IngestJournal::Replay).
+  static Result<std::unique_ptr<Ingestor>> Make(QueryEngine* engine,
+                                                Table* table,
+                                                IngestorOptions options = {});
+
+  ~Ingestor();
+
+  Ingestor(const Ingestor&) = delete;
+  Ingestor& operator=(const Ingestor&) = delete;
+
+  /// Accepts one batch: validates every row against the table schema
+  /// (whole batch rejected on any mismatch), journals it, appends the
+  /// rows under the engine's exclusive lock, and schedules (async) or
+  /// runs (sync) a maintenance cycle. In sync mode the cycle's status
+  /// is returned — on a cycle error the rows are already appended and
+  /// durable, only the cube lags.
+  Status Append(const std::vector<std::vector<Value>>& rows);
+
+  /// Runs one maintenance cycle (Plan → Begin → Execute → Commit) if
+  /// rows are pending. No-op success when the cube is already caught up.
+  Status RunCycle();
+
+  /// Runs cycles until no rows are pending. Returns the first error.
+  Status Drain();
+
+  /// Rows appended to the table that the cube has not folded in yet.
+  size_t PendingRows() const;
+
+  /// Batches accepted so far (validated + journaled + appended).
+  uint64_t batches_accepted() const {
+    return batches_accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Ingestion metrics: counters `ingest_batches_total`,
+  /// `ingest_rows_total`, `ingest_commits_total`,
+  /// `ingest_failures_total`; gauge `ingest_pending_rows`; histogram
+  /// `ingest_refresh_lag` (append → covering commit, the freshness lag
+  /// a dashboard observes).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The write-ahead journal (nullptr when journaling is disabled).
+  IngestJournal* journal() { return journal_.get(); }
+
+ private:
+  Ingestor(QueryEngine* engine, Table* table, IngestorOptions options);
+
+  Status ValidateBatch(const std::vector<std::vector<Value>>& rows) const;
+
+  /// Runs `fn` under the engine's shared (read) lock.
+  void WithShared(const std::function<void()>& fn) const;
+  /// Runs `fn` under the engine's exclusive lock; when fronted by a
+  /// QueryServer this also fences its result cache and wakes freshness
+  /// waiters (see QueryServer::MutateExclusive).
+  void WithExclusive(const std::function<void()>& fn) const;
+
+  /// Schedules the background worker unless one is already running.
+  void ScheduleWorker();
+  void WorkerLoop();
+
+  /// Pops refresh-lag entries covered by a commit up to `target_rows`.
+  void SettleLag(uint64_t target_rows);
+
+  QueryEngine* engine_;
+  Table* table_;
+  IngestorOptions options_;
+  std::unique_ptr<IngestJournal> journal_;
+
+  /// Engine lock when no QueryServer fronts it (see WithShared).
+  mutable WriterPrioritySharedMutex mu_;
+  /// Serializes maintenance cycles (at most one plan in flight).
+  std::mutex cycle_mu_;
+  /// Serializes Append() batches (journal order = table order).
+  std::mutex append_mu_;
+
+  mutable MetricsRegistry metrics_;
+  std::atomic<uint64_t> batches_accepted_{0};
+
+  /// One entry per accepted batch, popped when a commit covers it.
+  struct LagEntry {
+    uint64_t row_end = 0;  ///< table row count right after the append
+    Stopwatch since;       ///< started at append time
+  };
+  std::mutex lag_mu_;
+  std::deque<LagEntry> lag_entries_;
+
+  /// Background-worker state (async mode).
+  std::atomic<bool> worker_active_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex futures_mu_;
+  std::vector<std::future<void>> worker_futures_;
+};
+
+}  // namespace tabula
+
+#endif  // TABULA_INGEST_INGESTOR_H_

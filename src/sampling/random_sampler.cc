@@ -1,6 +1,8 @@
 #include "sampling/random_sampler.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace tabula {
 
@@ -12,6 +14,38 @@ std::vector<RowId> RandomSample(const DatasetView& view, size_t k, Rng* rng) {
   std::vector<RowId> out;
   out.reserve(picks.size());
   for (uint32_t i : picks) out.push_back(view.row(i));
+  return out;
+}
+
+namespace {
+
+/// SplitMix64 finalizer — a stateless 64-bit mixer with good avalanche;
+/// the priority order it induces on row ids is the fixed "random
+/// permutation" consistent sampling selects from.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<RowId> ConsistentBottomKSample(const DatasetView& view, size_t k,
+                                           uint64_t seed) {
+  size_t n = view.size();
+  if (k >= n) return view.ToRowIds();
+  std::vector<std::pair<uint64_t, RowId>> prio;
+  prio.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RowId r = view.row(i);
+    prio.emplace_back(Mix64(seed ^ Mix64(r)), r);
+  }
+  std::nth_element(prio.begin(), prio.begin() + k, prio.end());
+  std::vector<RowId> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(prio[i].second);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -13,6 +13,23 @@ namespace tabula {
 /// base-table row ids. Returns all rows when k >= |view|.
 std::vector<RowId> RandomSample(const DatasetView& view, size_t k, Rng* rng);
 
+/// \brief Deterministic uniform sample that is *consistent under appends*.
+///
+/// Assigns every row the priority hash(seed, row-id) and keeps the k
+/// smallest (ties broken by row id), returned in ascending row-id order.
+/// A fixed hash of the row id is an exchangeable random order, so the
+/// result is a uniform k-subset just like RandomSample — Serfling's
+/// bound applies unchanged — but unlike a permutation draw the selection
+/// is stable as the table grows: appending rows only displaces members
+/// whose priority is beaten, so bottom-k(A ∪ B) shares almost all of
+/// bottom-k(A). Incremental cube maintenance (core/refresh.cc) redraws
+/// the global sample every cycle to converge on exactly the cube a
+/// from-scratch build over the grown table produces; with this sampler
+/// consecutive redraws barely differ, so borderline cells do not churn
+/// in and out of the iceberg set at every batch.
+std::vector<RowId> ConsistentBottomKSample(const DatasetView& view, size_t k,
+                                           uint64_t seed);
+
 /// \brief Global-sample size from Serfling's inequality (Section III-B1).
 ///
 /// Given relative error eps of the mean and confidence delta,

@@ -39,6 +39,9 @@ QueryServer::QueryServer(QueryEngine* engine, QueryServerOptions options,
   // through this server or not — fences every cached answer.
   refresh_listener_id_ = engine_->AddRefreshListener([this] {
     cache_->InvalidateAll();
+    // An ingest commit (or any refresh) may have caught the cube up;
+    // wake progressive-answer waiters so they re-check.
+    BumpFreshEpoch();
   });
   RebuildGlobalAnswer();
 }
@@ -144,7 +147,7 @@ Result<ServeAnswer> QueryServer::Execute(std::vector<PredicateTerm> canonical,
   inner.trace = trace;
   inner.parent_span = parent_span;
   Result<QueryResponse> raw = [&]() -> Result<QueryResponse> {
-    std::shared_lock<std::shared_mutex> lock(cube_mu_);
+    std::shared_lock<WriterPrioritySharedMutex> lock(cube_mu_);
     return engine_->Query(inner);
   }();
   if (!raw.ok()) {
@@ -204,6 +207,21 @@ Result<ServeAnswer> QueryServer::Query(const QueryRequest& request) {
     MaybeLogSlowQuery(key, *answer);
   };
 
+  // Progressive-answer hint: spend (up to) the deadline waiting for the
+  // in-flight ingest cycle to commit, then serve whatever is freshest.
+  // The hint's contract is "the freshest real answer, honestly
+  // stale-tagged on timeout" — never the global-sample degraded answer —
+  // so after the wait the request admits without a deadline instead of
+  // racing DegradedAnswer. With no deadline or no pending ingest this
+  // is a no-op and the request behaves exactly like kCacheOk.
+  double admit_deadline = deadline;
+  if (request.consistency == ConsistencyHint::kFreshWithinDeadline &&
+      deadline > 0.0) {
+    const bool fresh = WaitForFreshness(deadline);
+    if (span.recording()) span.SetAttribute("waited_fresh", fresh);
+    admit_deadline = 0.0;  // 0 → Admit waits for a slot indefinitely
+  }
+
   if (options_.enable_cache &&
       request.consistency != ConsistencyHint::kBypassCache) {
     if (auto hit = cache_->Get(key)) {
@@ -218,7 +236,7 @@ Result<ServeAnswer> QueryServer::Query(const QueryRequest& request) {
   }
 
   double waited_ms = 0.0;
-  switch (Admit(deadline, &waited_ms)) {
+  switch (Admit(admit_deadline, &waited_ms)) {
     case Admission::kRejected:
       metrics_.counter(kRejected).Increment();
       if (span.recording()) {
@@ -431,8 +449,68 @@ Result<std::vector<BatchItem>> QueryServer::BatchQuery(
   return items;
 }
 
+void QueryServer::MutateExclusive(const std::function<void()>& fn) {
+  {
+    std::unique_lock<WriterPrioritySharedMutex> lock(cube_mu_);
+    fn();
+    // Fence unconditionally: a table append falsifies the `stale` tag
+    // of every cached answer (they were computed when the appended rows
+    // did not exist), and an ingest commit changes the answers
+    // themselves. The cube generation the cache keys on cannot see the
+    // former, so the fence must not be conditional on it.
+    cache_->InvalidateAll();
+    RebuildGlobalAnswer();
+  }
+  BumpFreshEpoch();
+}
+
+void QueryServer::ReadShared(const std::function<void()>& fn) {
+  std::shared_lock<WriterPrioritySharedMutex> lock(cube_mu_);
+  fn();
+}
+
+void QueryServer::BumpFreshEpoch() {
+  {
+    std::lock_guard<std::mutex> lock(fresh_mu_);
+    ++fresh_epoch_;
+  }
+  fresh_cv_.notify_all();
+}
+
+bool QueryServer::WaitForFreshness(double timeout_ms) {
+  Stopwatch timer;
+  while (true) {
+    // Capture the epoch BEFORE the pending check: a commit landing
+    // between the check and the wait bumps the epoch, so the wait
+    // predicate observes it — no lost wakeup.
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(fresh_mu_);
+      epoch = fresh_epoch_;
+    }
+    {
+      std::shared_lock<WriterPrioritySharedMutex> lock(cube_mu_);
+      if (engine_->PendingIngestRows() == 0) return true;
+    }
+    std::unique_lock<std::mutex> lock(fresh_mu_);
+    auto epoch_changed = [&] { return fresh_epoch_ != epoch; };
+    if (timeout_ms > 0.0) {
+      double remaining_ms = timeout_ms - timer.ElapsedMillis();
+      if (remaining_ms <= 0.0) return false;
+      if (!fresh_cv_.wait_for(
+              lock,
+              std::chrono::duration<double, std::milli>(remaining_ms),
+              epoch_changed)) {
+        return false;  // timed out with the cube still behind
+      }
+    } else {
+      fresh_cv_.wait(lock, epoch_changed);
+    }
+  }
+}
+
 Status QueryServer::Refresh(QueryEngine::RefreshStats* stats) {
-  std::unique_lock<std::shared_mutex> lock(cube_mu_);
+  std::unique_lock<WriterPrioritySharedMutex> lock(cube_mu_);
   // Delay-only seam: widens the exclusive-lock window so refresh-vs-
   // query races (generation fencing, stale-cache checks) are reachable
   // deterministically instead of only under lucky scheduling.

@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+
+#include "common/writer_priority_mutex.h"
 #include <vector>
 
 #include "common/status.h"
@@ -144,6 +146,25 @@ class QueryServer {
   /// sample is served afterwards.
   Status Refresh(QueryEngine::RefreshStats* stats = nullptr);
 
+  /// Runs `fn` under the exclusive engine lock (readers drain first),
+  /// then fences the result cache, re-captures the degraded-answer
+  /// snapshot, and wakes freshness waiters. The Ingestor routes every
+  /// engine/table mutation — row appends, BeginIngest, CommitIngest —
+  /// through here so serving stays coherent: an append immediately
+  /// invalidates cached answers whose `stale` tag it falsified.
+  void MutateExclusive(const std::function<void()>& fn);
+
+  /// Runs `fn` under the shared engine lock (concurrent with queries);
+  /// the Ingestor's slow phases (PlanIngest, ExecuteIngest) use this so
+  /// maintenance never blocks the dashboard.
+  void ReadShared(const std::function<void()>& fn);
+
+  /// Blocks until the engine has no pending ingest rows, or `timeout_ms`
+  /// elapses (0 → wait forever). Returns true when the cube is fully
+  /// caught up. The wait is wakeup-driven (ingest commits and refreshes
+  /// bump an internal epoch), not a poll.
+  bool WaitForFreshness(double timeout_ms);
+
   const ResultCache& cache() const { return *cache_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -180,6 +201,11 @@ class QueryServer {
   /// Re-captures the global-sample snapshot used by DegradedAnswer.
   void RebuildGlobalAnswer();
 
+  /// Bumps the freshness epoch and wakes WaitForFreshness waiters. It
+  /// only takes fresh_mu_, so calling it while holding cube_mu_ is safe
+  /// (waiters never hold fresh_mu_ while acquiring cube_mu_).
+  void BumpFreshEpoch();
+
   /// Counts the request against the queue bound and blocks for an
   /// execution slot until `deadline_ms` passes (0 → wait forever).
   Admission Admit(double deadline_ms, double* waited_ms);
@@ -194,7 +220,10 @@ class QueryServer {
   uint64_t refresh_listener_id_ = 0;
 
   /// Readers (queries) take shared, Refresh() takes exclusive.
-  std::shared_mutex cube_mu_;
+  /// Writer-priority: a pending ingest commit blocks new readers for
+  /// the microseconds the pointer swap needs instead of being starved
+  /// by a saturating query stream (see writer_priority_mutex.h).
+  WriterPrioritySharedMutex cube_mu_;
 
   /// Degraded answers must not block on cube_mu_ (the overload they
   /// mitigate may be a Refresh holding it), so they serve this
@@ -207,6 +236,14 @@ class QueryServer {
   std::condition_variable slot_cv_;
   size_t running_ = 0;
   size_t admitted_ = 0;  // waiting + running, bounded by max_queue
+
+  /// Freshness epoch for WaitForFreshness: bumped on every refresh /
+  /// ingest commit (via the refresh listener) and on every
+  /// MutateExclusive. Guarded by its own mutex — never held while
+  /// acquiring cube_mu_, so bumping under cube_mu_ cannot deadlock.
+  std::mutex fresh_mu_;
+  std::condition_variable fresh_cv_;
+  uint64_t fresh_epoch_ = 0;
 };
 
 }  // namespace tabula

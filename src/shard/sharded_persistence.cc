@@ -19,7 +19,12 @@ namespace tabula {
 namespace {
 
 constexpr uint32_t kShardMagic = 0x54424C53;  // "TBLS"
-constexpr uint32_t kShardVersion = 1;
+/// v1: full-table fingerprint in the header, covered row count at the
+/// tail. v2 moves the covered row count into the header and
+/// fingerprints only that prefix, so a manifest saved mid-ingest (rows
+/// appended but not folded yet) stays loadable after a crash once the
+/// journal replays the tail. v1 files are still accepted.
+constexpr uint32_t kShardVersion = 2;
 
 }  // namespace
 
@@ -36,7 +41,12 @@ Status ShardedTabula::Save(const std::string& path) const {
     BinaryWriter w(&out);
     w.WriteU32(kShardMagic);
     w.WriteU32(kShardVersion);
-    w.WriteU64(TableFingerprint(*table_));
+    // The manifest describes exactly the rows the cube has folded in
+    // (shard row lists never reference pending rows); fingerprint that
+    // prefix so unfolded appends don't tie the file to a table state
+    // the cube never saw.
+    w.WriteU64(refreshed_rows_);
+    w.WriteU64(TableFingerprint(*table_, refreshed_rows_));
     w.WriteString(options_.base.effective_loss()->name());
     w.WriteDouble(options_.base.threshold);
     w.WriteU64(options_.base.cubed_attributes.size());
@@ -81,7 +91,6 @@ Status ShardedTabula::Save(const std::string& path) const {
     for (uint32_t id = 0; id < override_samples_.size(); ++id) {
       w.WriteVector(override_samples_.sample(id));
     }
-    w.WriteU64(refreshed_rows_);
     TABULA_FAULT_POINT("persistence.write");
 
     out.flush();
@@ -107,7 +116,7 @@ Status ShardedTabula::Save(const std::string& path) const {
 
 Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
     const Table& table, ShardedTabulaOptions options,
-    const std::string& path) {
+    const std::string& path, bool resume_partial) {
   if (options.num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -119,8 +128,9 @@ Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
     auto sharded = std::unique_ptr<ShardedTabula>(new ShardedTabula());
     sharded->table_ = &table;
     sharded->options_ = options;
-    TABULA_ASSIGN_OR_RETURN(sharded->single_,
-                            Tabula::Load(table, options.base, path));
+    TABULA_ASSIGN_OR_RETURN(
+        sharded->single_,
+        Tabula::Load(table, options.base, path, resume_partial));
     sharded->stats_.num_shards = 1;
     sharded->stats_.global_sample_tuples =
         sharded->single_->init_stats().global_sample_tuples;
@@ -142,12 +152,34 @@ Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
     return Status::ParseError("'" + path +
                               "' is not a Tabula shard manifest");
   }
-  if (version != kShardVersion) {
+  if (version != 1 && version != kShardVersion) {
     return Status::ParseError("unsupported shard manifest version " +
                               std::to_string(version));
   }
+  // v1 manifests carry the covered row count at the tail and a
+  // full-table fingerprint, which only matches when the table has not
+  // grown since the save — so assuming full coverage here is exact.
+  uint64_t saved_rows = table.num_rows();
+  if (version >= 2) {
+    TABULA_ASSIGN_OR_RETURN(saved_rows, r.ReadU64());
+  }
+  if (saved_rows > table.num_rows()) {
+    return Status::InvalidArgument(
+        "shard manifest covers " + std::to_string(saved_rows) +
+        " rows but the table only has " + std::to_string(table.num_rows()));
+  }
+  if (saved_rows != table.num_rows() && !resume_partial) {
+    return Status::InvalidArgument(
+        "shard manifest covers only " + std::to_string(saved_rows) + " of " +
+        std::to_string(table.num_rows()) +
+        " rows (stale cube); pass resume_partial to load it and Refresh() "
+        "to catch up");
+  }
   TABULA_ASSIGN_OR_RETURN(uint64_t fingerprint, r.ReadU64());
-  if (fingerprint != TableFingerprint(table)) {
+  const uint64_t want_fingerprint =
+      version >= 2 ? TableFingerprint(table, saved_rows)
+                   : TableFingerprint(table);
+  if (fingerprint != want_fingerprint) {
     return Status::InvalidArgument(
         "shard manifest was built on a different table (fingerprint "
         "mismatch); re-run Initialize()");
@@ -198,7 +230,7 @@ Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
   TABULA_ASSIGN_OR_RETURN(sharded->global_sample_rows_,
                           r.ReadVector<RowId>());
   for (RowId row : sharded->global_sample_rows_) {
-    if (row >= table.num_rows()) {
+    if (row >= saved_rows) {
       return Status::DataLoss("manifest's global sample references row " +
                               std::to_string(row) + " beyond the table");
     }
@@ -227,7 +259,7 @@ Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
       TABULA_ASSIGN_OR_RETURN(std::vector<RowId> rows,
                               r.ReadVector<RowId>());
       for (RowId row : rows) {
-        if (row >= table.num_rows()) {
+        if (row >= saved_rows) {
           return Status::DataLoss("manifest references row " +
                                   std::to_string(row) + " beyond the table");
         }
@@ -266,7 +298,7 @@ Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
   for (uint64_t i = 0; i < num_overrides; ++i) {
     TABULA_ASSIGN_OR_RETURN(std::vector<RowId> rows, r.ReadVector<RowId>());
     for (RowId row : rows) {
-      if (row >= table.num_rows()) {
+      if (row >= saved_rows) {
         return Status::DataLoss("manifest references row " +
                                 std::to_string(row) + " beyond the table");
       }
@@ -283,10 +315,23 @@ Result<std::unique_ptr<ShardedTabula>> ShardedTabula::Load(
   });
   TABULA_RETURN_NOT_OK(override_status);
 
-  TABULA_ASSIGN_OR_RETURN(sharded->refreshed_rows_, r.ReadU64());
-  if (sharded->refreshed_rows_ > table.num_rows()) {
-    return Status::DataLoss(
-        "manifest covers more rows than the table holds");
+  if (version >= 2) {
+    // v2 carries the covered row count in the header (`saved_rows`).
+    sharded->refreshed_rows_ = saved_rows;
+  } else {
+    TABULA_ASSIGN_OR_RETURN(sharded->refreshed_rows_, r.ReadU64());
+    if (sharded->refreshed_rows_ > table.num_rows()) {
+      return Status::DataLoss(
+          "manifest covers more rows than the table holds");
+    }
+    if (sharded->refreshed_rows_ != table.num_rows() && !resume_partial) {
+      return Status::InvalidArgument(
+          "shard manifest covers only " +
+          std::to_string(sharded->refreshed_rows_) + " of " +
+          std::to_string(table.num_rows()) +
+          " rows (stale cube); pass resume_partial to load it and "
+          "Refresh() to catch up");
+    }
   }
   // The persisted row lists must partition [0, refreshed_rows) exactly —
   // every row in one shard, no row in two.

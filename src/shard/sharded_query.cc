@@ -40,6 +40,12 @@ Result<QueryResponse> ShardedTabula::Query(const QueryRequest& request) const {
   response.span_id = span.id();
   TabulaQueryResult& result = response.result;
   const std::vector<PredicateTerm>& where = request.where;
+  // Progressive-answer tagging, identical to the plain engine: the
+  // generation the answer is computed at, plus whether pending rows are
+  // scheduled to change this cell (per-cell once BeginIngest published
+  // the dirty set, conservatively everywhere before that).
+  result.generation = generation_;
+  const bool has_pending = table_->num_rows() > refreshed_rows_;
 
   auto finish = [&]() {
     if (span.recording()) {
@@ -80,6 +86,7 @@ Result<QueryResponse> ShardedTabula::Query(const QueryRequest& request) const {
     auto code = encoder_.CodeForValue(k, term.literal);
     if (!code.ok()) {
       result.empty_cell = true;
+      result.stale = has_pending;
       result.sample = DatasetView(table_, {});
       finish();
       return response;
@@ -88,6 +95,8 @@ Result<QueryResponse> ShardedTabula::Query(const QueryRequest& request) const {
   }
 
   uint64_t key = packer_.PackCodes(codes);
+  result.stale =
+      has_pending && (pending_dirty_.empty() || pending_dirty_.Contains(key));
   const MergedCell* cell = merged_.Find(key);
   if (cell == nullptr) {
     result.sample = DatasetView(table_, global_sample_rows_);

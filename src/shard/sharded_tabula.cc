@@ -99,9 +99,8 @@ Status ShardedTabula::InitializeSharded(const Table& table) {
   {
     size_t global_size =
         SerflingSampleSize(base.serfling_epsilon, base.serfling_delta);
-    Rng rng(base.seed);
     DatasetView all(&table);
-    global_sample_rows_ = RandomSample(all, global_size, &rng);
+    global_sample_rows_ = ConsistentBottomKSample(all, global_size, base.seed);
     global_sample_ = DatasetView(&table, global_sample_rows_);
     stats_.global_sample_tuples = global_sample_.size();
   }
@@ -140,7 +139,8 @@ Status ShardedTabula::InitializeSharded(const Table& table) {
   for (size_t s = 0; s < k; ++s) {
     futures.push_back(ThreadPool::Global().Submit([this, s, tracer,
                                                    &build_span, &statuses] {
-      statuses[s] = BuildShard(tracer, build_span.id(), &shards_[s]);
+      statuses[s] = BuildShard(encoder_, global_sample_, tracer,
+                               build_span.id(), &shards_[s]);
     }));
   }
   Status first_error = Status::OK();
@@ -175,7 +175,8 @@ Status ShardedTabula::InitializeSharded(const Table& table) {
   for (const Shard& shard : shards_) shard_ptrs.push_back(&shard);
   TABULA_ASSIGN_OR_RETURN(
       MergeOutput merge,
-      MergeShardCubes(shard_ptrs, tracer, merge_span.id()));
+      MergeShardCubes(shard_ptrs, encoder_, global_sample_,
+                      global_sample_rows_, tracer, merge_span.id()));
   merged_ = std::move(merge.merged);
   override_samples_ = std::move(merge.overrides);
   stats_.merged_iceberg_cells = merged_.size();
@@ -203,8 +204,9 @@ Status ShardedTabula::InitializeSharded(const Table& table) {
   return Status::OK();
 }
 
-Status ShardedTabula::BuildShard(Tracer* tracer, uint64_t parent_span,
-                                 Shard* shard) const {
+Status ShardedTabula::BuildShard(const KeyEncoder& enc,
+                                 const DatasetView& ref, Tracer* tracer,
+                                 uint64_t parent_span, Shard* shard) const {
   Span span;
   if (tracer != nullptr) {
     span = tracer->StartSpan("shard.build", parent_span, /*opt_in=*/true);
@@ -215,14 +217,14 @@ Status ShardedTabula::BuildShard(Tracer* tracer, uint64_t parent_span,
   const TabulaOptions& base = options_.base;
   const LossFunction* loss = base.effective_loss();
   TABULA_ASSIGN_OR_RETURN(std::unique_ptr<BoundLoss> bound,
-                          loss->Bind(*table_, global_sample_));
+                          loss->Bind(*table_, ref));
 
   // Finest-cuboid states over this shard's rows (kept for refresh and
   // for the coordinator's exact cross-shard state merge).
   DatasetView view(table_, shard->rows);
   const BoundLoss* bound_ptr = bound.get();
   shard->finest = GroupAccumulate<LossState>(
-      encoder_, packer_, view,
+      enc, packer_, view,
       [bound_ptr](LossState* state, RowId row) {
         bound_ptr->Accumulate(state, row);
       });
@@ -257,7 +259,7 @@ Status ShardedTabula::BuildShard(Tracer* tracer, uint64_t parent_span,
   FlatHashMap<std::vector<RowId>> cell_rows(iceberg_cells.size());
   for (CuboidMask mask : affected) {
     for (RowId r : shard->rows) {
-      uint64_t key = packer_.PackRowMasked(encoder_, r, mask);
+      uint64_t key = packer_.PackRowMasked(enc, r, mask);
       const CuboidMask* cm = iceberg_cells.Find(key);
       if (cm != nullptr && *cm == mask) cell_rows[key].push_back(r);
     }
@@ -295,15 +297,16 @@ Status ShardedTabula::BuildShard(Tracer* tracer, uint64_t parent_span,
 }
 
 Result<ShardedTabula::MergeOutput> ShardedTabula::MergeShardCubes(
-    const std::vector<const Shard*>& shards, Tracer* tracer,
-    uint64_t parent_span) const {
+    const std::vector<const Shard*>& shards, const KeyEncoder& enc,
+    const DatasetView& ref, const std::vector<RowId>& ref_rows,
+    Tracer* tracer, uint64_t parent_span) const {
   (void)tracer;
   (void)parent_span;
   TABULA_FAULT_POINT("shard.merge");
   const TabulaOptions& base = options_.base;
   const LossFunction* loss = base.effective_loss();
   TABULA_ASSIGN_OR_RETURN(std::unique_ptr<BoundLoss> bound,
-                          loss->Bind(*table_, global_sample_));
+                          loss->Bind(*table_, ref));
 
   // 1. Exact cross-shard state merge: each shard contributes at most
   //    one finest state per key, folded in ascending shard order, so
@@ -356,8 +359,8 @@ Result<ShardedTabula::MergeOutput> ShardedTabula::MergeShardCubes(
     // union's statistic as often as they correct it.
     FlatHashMap<std::vector<RowId>> global_in_cell;
     if (!ref_free) {
-      for (RowId r : global_sample_rows_) {
-        global_in_cell[packer_.PackRowMasked(encoder_, r, mask)].push_back(r);
+      for (RowId r : ref_rows) {
+        global_in_cell[packer_.PackRowMasked(enc, r, mask)].push_back(r);
       }
     }
     Status status = Status::OK();
@@ -451,7 +454,7 @@ Result<ShardedTabula::MergeOutput> ShardedTabula::MergeShardCubes(
                      affected.end());
       for (CuboidMask mask : affected) {
         for (RowId r : shards[s]->rows) {
-          uint64_t key = packer_.PackRowMasked(encoder_, r, mask);
+          uint64_t key = packer_.PackRowMasked(enc, r, mask);
           const CuboidMask* cm = scan_keys[s].Find(key);
           if (cm != nullptr && *cm == mask) raw_rows[key].push_back(r);
         }

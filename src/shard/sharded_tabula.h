@@ -108,6 +108,26 @@ class ShardedTabula : public QueryEngine {
   Result<QueryResponse> Query(const QueryRequest& request) const override;
   Status Refresh(RefreshStats* stats = nullptr) override;
 
+  /// \brief Streaming-maintenance phases (see QueryEngine). Refresh()
+  /// composes them. PlanIngest routes the pending rows to their owning
+  /// shards and computes the dirty cell set; ExecuteIngest rebuilds the
+  /// touched shards into staged copies and re-runs the merge + θ
+  /// re-verification over the mix of staged and untouched shards;
+  /// CommitIngest adopts the staged shards and the merged directory.
+  /// Plan/Execute mutate only plan-staged state plus maintenance-only
+  /// members Query() never reads (shard finest states / present sets via
+  /// EnsureFinestStates), so they may run under a shared lock while
+  /// queries serve. K = 1 delegates every phase to the plain engine.
+  Result<std::unique_ptr<IngestPlan>> PlanIngest() override;
+  void BeginIngest(IngestPlan* plan) override;
+  Status ExecuteIngest(IngestPlan* plan) override;
+  Status CommitIngest(std::unique_ptr<IngestPlan> plan,
+                      RefreshStats* stats = nullptr) override;
+  size_t PendingIngestRows() const override {
+    return single_ != nullptr ? single_->PendingIngestRows()
+                              : table_->num_rows() - refreshed_rows_;
+  }
+
   /// Persists the shard manifest: partition + per-shard row lists with
   /// fingerprints, per-shard cubes and sample tables, and the merged
   /// directory with override samples — one file, written
@@ -118,10 +138,14 @@ class ShardedTabula : public QueryEngine {
   /// Restores a manifest saved with Save(). `options` must match the
   /// saved loss, threshold, attributes, shard count and partition; the
   /// base-table fingerprint and every per-shard row-list fingerprint
-  /// are verified before the manifest is trusted.
+  /// are verified before the manifest is trusted. Like Tabula::Load,
+  /// the default rejects a manifest covering fewer rows than the table
+  /// holds; `resume_partial = true` accepts it when the covered prefix
+  /// matches (crash recovery after a journal replay), leaving the tail
+  /// pending for the next Refresh()/ingest cycle.
   static Result<std::unique_ptr<ShardedTabula>> Load(
       const Table& table, ShardedTabulaOptions options,
-      const std::string& path);
+      const std::string& path, bool resume_partial = false);
 
   uint64_t generation() const override;
   uint64_t AddRefreshListener(std::function<void()> listener) override;
@@ -155,6 +179,10 @@ class ShardedTabula : public QueryEngine {
 
  private:
   ShardedTabula() = default;
+
+  /// Staged state of one in-flight ingest cycle (defined in
+  /// sharded_refresh.cc; the layout is an implementation detail).
+  struct IngestPlanState;
 
   /// One shard's slice of the cube.
   struct Shard {
@@ -202,15 +230,23 @@ class ShardedTabula : public QueryEngine {
   Status InitializeSharded(const Table& table);
 
   /// Builds one shard's cube over `shard->rows` (runs inside a pool
-  /// task; everything it calls parallelizes inline).
-  Status BuildShard(Tracer* tracer, uint64_t parent_span,
+  /// task; everything it calls parallelizes inline). `enc` is passed
+  /// explicitly because an in-flight ingest plan rebuilds shards with
+  /// its staged encoder (the member encoder cannot code appended rows
+  /// and must stay untouched until commit, queries read it); `ref` is
+  /// the global reference sample to classify against, passed for the
+  /// same reason (an ingest plan stages a redrawn sample).
+  Status BuildShard(const KeyEncoder& enc, const DatasetView& ref,
+                    Tracer* tracer, uint64_t parent_span,
                     Shard* shard) const;
 
   /// Merges the given shards' states into a fresh directory, running
-  /// the θ re-verification pass (see DESIGN.md "Sharding").
+  /// the θ re-verification pass (see DESIGN.md "Sharding"). `enc` and
+  /// `ref`/`ref_rows` as in BuildShard.
   Result<MergeOutput> MergeShardCubes(
-      const std::vector<const Shard*>& shards, Tracer* tracer,
-      uint64_t parent_span) const;
+      const std::vector<const Shard*>& shards, const KeyEncoder& enc,
+      const DatasetView& ref, const std::vector<RowId>& ref_rows,
+      Tracer* tracer, uint64_t parent_span) const;
 
   /// Rolls `finest` up the whole lattice, returning one state map per
   /// cuboid (index = CuboidMask). Shared by the shard build, the merge
@@ -246,6 +282,11 @@ class ShardedTabula : public QueryEngine {
   SampleTable override_samples_;
   ShardedInitStats stats_;
   size_t refreshed_rows_ = 0;
+  /// Cells the in-flight ingest cycle will change (packed keys across
+  /// all cuboids), published by BeginIngest, cleared by CommitIngest;
+  /// Query() probes it for per-cell staleness tagging (empty while rows
+  /// pend ⇒ conservatively stale everywhere).
+  FlatHashSet pending_dirty_;
 
   mutable MetricsRegistry metrics_;
 

@@ -27,6 +27,25 @@ Status Table::AppendRow(const std::vector<Value>& values) {
   return Status::OK();
 }
 
+Status Table::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  for (const auto& row : rows) {
+    if (row.size() != columns_.size()) {
+      return Status::InvalidArgument("row arity does not match schema");
+    }
+  }
+  // No up-front Reserve: repeated small batches would then reallocate
+  // to exact size every time, trading push_back's amortized-O(1)
+  // geometric growth for quadratic copying.
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column* col = columns_[c].get();
+    for (const auto& row : rows) {
+      TABULA_RETURN_NOT_OK(col->AppendValue(row[c]));
+    }
+  }
+  num_rows_ += rows.size();
+  return Status::OK();
+}
+
 Status Table::AppendRowFrom(const Table& other, RowId row) {
   if (other.num_columns() != num_columns()) {
     return Status::InvalidArgument("column count mismatch");

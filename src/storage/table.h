@@ -40,6 +40,14 @@ class Table {
   /// Appends one row of boxed values; must match the schema arity/types.
   Status AppendRow(const std::vector<Value>& values);
 
+  /// Appends a batch of boxed rows column-major (one column's values
+  /// land back to back, so its dictionary and tail stay hot) after an
+  /// up-front arity check over the whole batch. A type mismatch
+  /// mid-batch still fails with columns partially appended — callers
+  /// needing batch atomicity validate types first (see
+  /// Ingestor::ValidateBatch).
+  Status AppendRows(const std::vector<std::vector<Value>>& rows);
+
   /// Appends row `row` of `other`; schemas must be compatible.
   Status AppendRowFrom(const Table& other, RowId row);
 

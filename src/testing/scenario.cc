@@ -13,6 +13,7 @@
 #include "core/tabula.h"
 #include "data/synthetic_gen.h"
 #include "data/workload.h"
+#include "ingest/ingestor.h"
 #include "loss/loss_registry.h"
 #include "obs/trace.h"
 #include "serve/query_server.h"
@@ -43,6 +44,7 @@ struct SoakContext {
   const LossFunction* loss = nullptr;  ///< effective loss of the engine
   double theta = 0.0;
   std::unique_ptr<QueryServer> server;
+  std::unique_ptr<Ingestor> ingestor;  ///< --ingest mode only
 
   std::string cube_path;
   bool file_valid = false;      ///< a successful Save exists
@@ -304,6 +306,118 @@ Status OpRefresh(SoakContext& ctx, size_t step) {
   return Status::OK();
 }
 
+/// --ingest mode's counterpart of OpRefresh: the appended rows flow
+/// through the Ingestor (journal write → route → sync maintenance
+/// cycle). Invariants checked: a failed Append leaves the generation
+/// untouched with answers honestly tagged stale while rows pend, and a
+/// post-disarm Drain() converges; a successful Append advances the
+/// generation by exactly one and leaves nothing pending.
+Status OpIngest(SoakContext& ctx, size_t step) {
+  size_t m = 1 + static_cast<size_t>(ctx.rng.UniformInt(0, 199));
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    RowId row = static_cast<RowId>(ctx.donor_pos % ctx.donor->num_rows());
+    ++ctx.donor_pos;
+    std::vector<Value> boxed;
+    boxed.reserve(ctx.donor->num_columns());
+    for (size_t c = 0; c < ctx.donor->num_columns(); ++c) {
+      boxed.push_back(ctx.donor->column(c).GetValue(row));
+    }
+    rows.push_back(std::move(boxed));
+  }
+
+  const uint64_t gen_before = ctx.engine->generation();
+  Status st = ctx.ingestor->Append(rows);
+  ++ctx.report.ingests;
+  std::string line =
+      "step=" + std::to_string(step) + " ingest rows=" + std::to_string(m);
+  if (!st.ok()) {
+    ++ctx.report.injected_ingest_failures;
+    line += " -> ERROR " + std::string(StatusCodeName(st.code()));
+    if (!ctx.refresh_fault_armed) {
+      ctx.Violation(step, "ingest failed with no ingest fault armed: " +
+                              st.ToString());
+    }
+    // Failure atomicity: the cube stays at the previous generation.
+    if (ctx.engine->generation() != gen_before) {
+      ctx.Violation(step, "failed ingest advanced the generation");
+    }
+    // Honest staleness: while appended rows pend, an answer for a cell
+    // holding one of those rows must carry the stale tag. (Cells the
+    // pending rows do not touch may legitimately stay fresh once the
+    // cycle has published its dirty set, so probe the finest cell of
+    // the first appended row — that one is dirty by construction.)
+    if (ctx.ingestor->PendingRows() > 0) {
+      std::vector<PredicateTerm> where;
+      for (const std::string& attr : ctx.attrs) {
+        TABULA_ASSIGN_OR_RETURN(size_t col,
+                                ctx.table->schema().FieldIndex(attr));
+        where.push_back({attr, CompareOp::kEq, rows.front()[col]});
+      }
+      QueryRequest probe(where);
+      probe.consistency = ConsistencyHint::kBypassCache;
+      Result<ServeAnswer> a = ctx.server->Query(probe);
+      ++ctx.report.queries;
+      ++ctx.bypass_queries;
+      if (!a.ok()) {
+        ctx.Violation(step, "stale probe failed: " + a.status().ToString());
+      } else if (!a.value().result->stale) {
+        ctx.Violation(step, "pending ingest rows but answer not tagged "
+                            "stale");
+      }
+    }
+    // Clear the injected faults and drain; the cube must recover.
+    for (const char* p :
+         {"ingest.route", "ingest.merge", "ingest.resample",
+          "ingest.journal.write", "refresh.begin", "refresh.sample",
+          "shard.build", "shard.merge"}) {
+      if (ctx.armed.erase(p) > 0) FaultInjector::Global().Disarm(p);
+    }
+    ctx.refresh_fault_armed = false;
+    Status drained = ctx.ingestor->Drain();
+    if (!drained.ok()) {
+      ctx.Violation(step, "ingest drain failed after disarm: " +
+                              drained.ToString());
+      ctx.Trace(std::move(line));
+      return Status::OK();
+    }
+    line += " drained";
+  } else if (ctx.engine->generation() != gen_before + 1) {
+    ctx.Violation(step, "successful ingest did not advance generation by "
+                        "exactly one");
+  }
+  if (ctx.ingestor->PendingRows() != 0) {
+    ctx.Violation(step, "rows still pending after a drained ingest op");
+  }
+  line += " -> gen=" + std::to_string(ctx.engine->generation());
+  ctx.Trace(std::move(line));
+
+  // Post-commit probe: the cached path must agree with a bypassing one
+  // (the ingest commit fenced the cache), mirroring OpRefresh.
+  TABULA_ASSIGN_OR_RETURN(std::vector<WorkloadQuery> qs, DrawQueries(ctx, 1));
+  QueryRequest cached(qs[0].where);
+  QueryRequest bypass(qs[0].where);
+  bypass.consistency = ConsistencyHint::kBypassCache;
+  Result<ServeAnswer> a1 = ctx.server->Query(cached);
+  Result<ServeAnswer> a2 = ctx.server->Query(bypass);
+  ctx.report.queries += 2;
+  ++ctx.bypass_queries;
+  if (!a1.ok() || !a2.ok()) {
+    ctx.Violation(step, "post-ingest probe failed");
+    return Status::OK();
+  }
+  if (a1.value().result->sample.ToRowIds() !=
+      a2.value().result->sample.ToRowIds()) {
+    ctx.Violation(step, "post-ingest probe: cached path diverges from "
+                        "bypass path (stale cache after fence)");
+  }
+  if (a2.value().result->stale) {
+    ctx.Violation(step, "answer tagged stale with no pending ingest rows");
+  }
+  return Status::OK();
+}
+
 Status OpSave(SoakContext& ctx, size_t step) {
   Status st = ctx.engine->Save(ctx.cube_path);
   std::string line = "step=" + std::to_string(step) + " save";
@@ -433,13 +547,25 @@ void OpFaultToggle(SoakContext& ctx, size_t step) {
       {"shard.merge", true},
       {"shard.query", false},
   };
+  // --ingest runs swap OpRefresh for OpIngest, whose seams sit on the
+  // same externally-serialized maintenance path — error faults stay
+  // deterministic.
+  static constexpr MenuEntry kIngestMenu[] = {
+      {"ingest.route", true},
+      {"ingest.merge", true},
+      {"ingest.resample", true},
+      {"ingest.journal.write", true},
+  };
   const size_t base_n = std::size(kMenu);
-  const size_t menu_n =
-      base_n + (ctx.opt->shards > 1 ? std::size(kShardMenu) : 0);
+  const size_t shard_n = ctx.opt->shards > 1 ? std::size(kShardMenu) : 0;
+  const size_t ingest_n = ctx.opt->ingest ? std::size(kIngestMenu) : 0;
+  const size_t menu_n = base_n + shard_n + ingest_n;
   const size_t pick = static_cast<size_t>(
       ctx.rng.UniformInt(0, static_cast<int64_t>(menu_n) - 1));
-  const MenuEntry& entry =
-      pick < base_n ? kMenu[pick] : kShardMenu[pick - base_n];
+  const MenuEntry& entry = pick < base_n ? kMenu[pick]
+                           : pick < base_n + shard_n
+                               ? kShardMenu[pick - base_n]
+                               : kIngestMenu[pick - base_n - shard_n];
   FaultSpec spec;
   spec.fail = entry.fail;
   if (entry.fail) {
@@ -455,8 +581,8 @@ void OpFaultToggle(SoakContext& ctx, size_t step) {
   FaultInjector::Global().Arm(entry.point, spec);
   ctx.armed.insert(entry.point);
   std::string p(entry.point);
-  if (p.rfind("refresh.", 0) == 0 || p == "shard.build" ||
-      p == "shard.merge") {
+  if (p.rfind("refresh.", 0) == 0 || p.rfind("ingest.", 0) == 0 ||
+      p == "shard.build" || p == "shard.merge") {
     ctx.refresh_fault_armed = true;
   }
   if (p.rfind("persistence.", 0) == 0) ctx.persistence_fault_armed = true;
@@ -608,6 +734,18 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
   std::filesystem::remove(ctx.cube_path, ec);
   std::filesystem::remove(ctx.cube_path + ".tmp", ec);
 
+  // --ingest: appends flow through a synchronous (deterministic)
+  // Ingestor journaling into a WAL beside the scratch cube file, with
+  // every engine/table mutation routed through the server's locks.
+  if (options.ingest) {
+    IngestorOptions iopts;
+    iopts.journal_path = ctx.cube_path + ".wal";
+    iopts.server = ctx.server.get();
+    std::filesystem::remove(iopts.journal_path, ec);
+    TABULA_ASSIGN_OR_RETURN(
+        ctx.ingestor, Ingestor::Make(ctx.engine, ctx.table.get(), iopts));
+  }
+
   // At K <= 1 the iceberg count comes out of the same single-instance
   // build either way, keeping this line identical across shards=0/1.
   const size_t init_ice = ctx.sharded != nullptr
@@ -621,7 +759,8 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
             (options.shards > 1
                  ? " shards=" + std::to_string(options.shards) + " part=" +
                        ShardPartitionName(ctx.sharded->options().partition)
-                 : ""));
+                 : "") +
+            (options.ingest ? " ingest" : ""));
 
   // ---- The interleaved op loop. ----
   const std::vector<double> weights =
@@ -637,7 +776,11 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
         TABULA_RETURN_NOT_OK(OpBatch(ctx, step));
         break;
       case 2:
-        TABULA_RETURN_NOT_OK(OpRefresh(ctx, step));
+        if (options.ingest) {
+          TABULA_RETURN_NOT_OK(OpIngest(ctx, step));
+        } else {
+          TABULA_RETURN_NOT_OK(OpRefresh(ctx, step));
+        }
         break;
       case 3:
         TABULA_RETURN_NOT_OK(OpSave(ctx, step));
@@ -661,6 +804,7 @@ Result<SoakReport> RunSoak(const SoakOptions& options) {
 
   std::filesystem::remove(ctx.cube_path, ec);
   std::filesystem::remove(ctx.cube_path + ".tmp", ec);
+  std::filesystem::remove(ctx.cube_path + ".wal", ec);
   return std::move(ctx.report);
 }
 

@@ -42,6 +42,15 @@ struct SoakOptions {
   /// the shard.build / shard.merge error seams and the shard.query
   /// delay seam to the fault-toggle menu.
   size_t shards = 0;
+  /// Streaming-ingestion mode: appends flow through a synchronous
+  /// Ingestor (journaled into a WAL next to the scratch cube file)
+  /// instead of direct table appends + server Refresh. Adds the
+  /// ingest.route / ingest.merge / ingest.resample /
+  /// ingest.journal.write error seams to the fault-toggle menu, and
+  /// checks the progressive-answer invariants: a failed mid-batch
+  /// cycle leaves the generation untouched with answers honestly
+  /// tagged stale, and a post-disarm Drain() always converges.
+  bool ingest = false;
   /// Stream trace lines to stderr as they are produced.
   bool verbose = false;
 };
@@ -64,6 +73,8 @@ struct SoakReport {
   size_t batch_items = 0;    ///< items across all batches
   size_t refreshes = 0;      ///< successful Refresh ops
   size_t injected_refresh_failures = 0;
+  size_t ingests = 0;        ///< Ingestor Append ops (--ingest mode)
+  size_t injected_ingest_failures = 0;
   size_t saves = 0;          ///< successful Save ops
   size_t injected_save_failures = 0;
   size_t loads = 0;          ///< Load attempts

@@ -9,6 +9,7 @@
 #include "core/tabula.h"
 #include "data/taxi_gen.h"
 #include "data/workload.h"
+#include "ingest/ingestor.h"
 #include "loss/mean_loss.h"
 #include "serve/metrics.h"
 #include "serve/query_server.h"
@@ -488,6 +489,157 @@ TEST_F(QueryServerTest, DeprecatedOverloadMatchesQueryRequestPath) {
   ASSERT_TRUE(new_style.ok());
   EXPECT_TRUE(new_style->cache_hit);  // same canonical key, same cache slot
   EXPECT_EQ(new_style->result.get(), old_style->result.get());
+}
+
+// ---------- progressive answers under streaming ingestion ----------
+
+/// Serving-side contract of the ingest subsystem (DESIGN.md §8): every
+/// answer carries the cube generation it was computed at plus an honest
+/// `stale` tag while appended rows pend, the result cache is fenced on
+/// every ingest mutation, and kFreshWithinDeadline waits for the
+/// in-flight cycle instead of degrading to the global sample.
+class ServeIngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TaxiGeneratorOptions gen;
+    gen.num_rows = 21000;
+    gen.seed = 61;
+    full_ = TaxiGenerator(gen).Generate();
+    base_rows_ = 20000;
+    std::vector<RowId> base(base_rows_);
+    for (RowId r = 0; r < base_rows_; ++r) base[r] = r;
+    table_ = full_->TakeRows(base);
+    loss_ = std::make_unique<MeanLoss>("fare_amount");
+    options_.cubed_attributes = {"payment_type", "rate_code"};
+    options_.loss = loss_.get();
+    options_.threshold = 0.05;
+    options_.keep_maintenance_state = true;
+    auto tabula = Tabula::Initialize(*table_, options_);
+    ASSERT_TRUE(tabula.ok()) << tabula.status().ToString();
+    tabula_ = std::move(tabula).value();
+  }
+
+  std::vector<std::vector<Value>> BoxRows(RowId begin, RowId end) {
+    std::vector<std::vector<Value>> rows;
+    for (RowId r = begin; r < end; ++r) {
+      std::vector<Value> row;
+      row.reserve(full_->num_columns());
+      for (size_t c = 0; c < full_->num_columns(); ++c) {
+        row.push_back(full_->column(c).GetValue(r));
+      }
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
+  FaultSpec ErrorSpec() {
+    FaultSpec spec;
+    spec.every_nth = 1;
+    spec.code = StatusCode::kIOError;
+    spec.message = "injected ingest fault";
+    return spec;
+  }
+
+  std::unique_ptr<Table> full_;
+  std::unique_ptr<Table> table_;
+  size_t base_rows_ = 0;
+  std::unique_ptr<MeanLoss> loss_;
+  TabulaOptions options_;
+  std::unique_ptr<Tabula> tabula_;
+};
+
+TEST_F(ServeIngestTest, ServedAnswersCarryGenerationAndStaleTag) {
+  ScopedFaultClear clear;
+  QueryServer server(tabula_.get());
+  IngestorOptions iopts;
+  iopts.server = &server;
+  auto ingestor = Ingestor::Make(tabula_.get(), table_.get(), iopts);
+  ASSERT_TRUE(ingestor.ok());
+  const uint64_t gen0 = tabula_->generation();
+
+  const QueryRequest probe(
+      {{"payment_type", CompareOp::kEq, Value("Cash")}});
+  auto before = server.Query(probe);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before.value().result->stale);
+  EXPECT_EQ(before.value().result->generation, gen0);
+  EXPECT_TRUE(server.Query(probe).value().cache_hit);
+
+  // A failed mid-batch cycle leaves the rows pending: the cube keeps
+  // serving the previous generation, tagged stale — and the append
+  // itself fenced the cache, so the tag is recomputed, not replayed.
+  FaultInjector::Global().Arm("ingest.merge", ErrorSpec());
+  EXPECT_FALSE(
+      ingestor.value()->Append(BoxRows(base_rows_, base_rows_ + 500)).ok());
+  EXPECT_EQ(ingestor.value()->PendingRows(), 500u);
+  auto during = server.Query(probe);
+  ASSERT_TRUE(during.ok());
+  EXPECT_FALSE(during.value().cache_hit);
+  EXPECT_TRUE(during.value().result->stale);
+  EXPECT_EQ(during.value().result->generation, gen0);
+
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(ingestor.value()->Drain().ok());
+  auto after = server.Query(probe);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().cache_hit);  // the commit fenced the cache
+  EXPECT_FALSE(after.value().result->stale);
+  EXPECT_EQ(after.value().result->generation, gen0 + 1);
+}
+
+TEST_F(ServeIngestTest, FreshWithinDeadlineWaitsForIngestToCommit) {
+  QueryServer server(tabula_.get());
+  IngestorOptions iopts;
+  iopts.server = &server;
+  iopts.async = true;
+  auto ingestor = Ingestor::Make(tabula_.get(), table_.get(), iopts);
+  ASSERT_TRUE(ingestor.ok());
+  const uint64_t gen0 = tabula_->generation();
+  ASSERT_TRUE(
+      ingestor.value()->Append(BoxRows(base_rows_, base_rows_ + 1000)).ok());
+
+  QueryRequest req({{"payment_type", CompareOp::kEq, Value("Cash")}});
+  req.consistency = ConsistencyHint::kFreshWithinDeadline;
+  req.deadline_ms = 10000.0;
+  auto answer = server.Query(req);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer.value().degraded);
+  EXPECT_FALSE(answer.value().result->stale);
+  EXPECT_EQ(answer.value().result->generation, gen0 + 1);
+  ASSERT_TRUE(ingestor.value()->Drain().ok());
+}
+
+TEST_F(ServeIngestTest, FreshWithinDeadlineTimesOutToHonestStaleAnswer) {
+  ScopedFaultClear clear;
+  QueryServer server(tabula_.get());
+  IngestorOptions iopts;
+  iopts.server = &server;
+  auto ingestor = Ingestor::Make(tabula_.get(), table_.get(), iopts);
+  ASSERT_TRUE(ingestor.ok());
+  const uint64_t gen0 = tabula_->generation();
+  FaultInjector::Global().Arm("ingest.merge", ErrorSpec());
+  EXPECT_FALSE(
+      ingestor.value()->Append(BoxRows(base_rows_, base_rows_ + 400)).ok());
+  EXPECT_EQ(ingestor.value()->PendingRows(), 400u);
+
+  QueryRequest req({{"payment_type", CompareOp::kEq, Value("Cash")}});
+  req.consistency = ConsistencyHint::kFreshWithinDeadline;
+  req.deadline_ms = 50.0;
+  auto answer = server.Query(req);
+  ASSERT_TRUE(answer.ok());
+  // Deadline expired with the cycle still failing: the freshest REAL
+  // answer, honestly stale-tagged — never the degraded global-sample
+  // fallback.
+  EXPECT_FALSE(answer.value().degraded);
+  EXPECT_TRUE(answer.value().result->stale);
+  EXPECT_EQ(answer.value().result->generation, gen0);
+
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(ingestor.value()->Drain().ok());
+  auto fresh = server.Query(req);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().result->stale);
+  EXPECT_EQ(fresh.value().result->generation, gen0 + 1);
 }
 
 // ---------- metrics primitives ----------

@@ -27,7 +27,7 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--steps N] [--no-faults] [--check-every N]\n"
-      "          [--rows N] [--shards K] [--trace] [--verbose]\n"
+      "          [--rows N] [--shards K] [--ingest] [--trace] [--verbose]\n"
       "  --seed N         scenario seed (default 1)\n"
       "  --steps N        ops to run (default 200)\n"
       "  --no-faults      same op mix without fault injection\n"
@@ -36,6 +36,10 @@ void Usage(const char* argv0) {
       "  --shards K       run a ShardedTabula with K shards (default:\n"
       "                   plain single-instance engine; K>1 adds shard\n"
       "                   fault seams to the toggle mix)\n"
+      "  --ingest         route appends through the streaming Ingestor\n"
+      "                   (WAL + incremental maintenance) instead of\n"
+      "                   Refresh; adds the ingest.* fault seams and the\n"
+      "                   progressive-answer invariants to the run\n"
       "  --trace          print the full scenario trace at the end\n"
       "  --verbose        stream trace lines as they happen\n",
       argv0);
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--check-every") {
       next_u64(&v);
       options.check_every = std::max<size_t>(1, static_cast<size_t>(v));
+    } else if (arg == "--ingest") {
+      options.ingest = true;
     } else if (arg == "--no-faults") {
       options.faults = false;
     } else if (arg == "--trace") {
@@ -102,13 +108,15 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "soak seed=%llu steps=%zu faults=%s: %zu queries, %zu batches "
-      "(%zu items), %zu refreshes (%zu injected failures), %zu saves "
+      "(%zu items), %zu refreshes (%zu injected failures), "
+      "%zu ingests (%zu injected failures), %zu saves "
       "(%zu injected failures), %zu loads, %zu fault toggles, "
       "%zu theta checks, final generation %llu\n",
       static_cast<unsigned long long>(options.seed), report.steps_run,
       options.faults ? "on" : "off", report.queries, report.batches,
       report.batch_items, report.refreshes,
-      report.injected_refresh_failures, report.saves,
+      report.injected_refresh_failures, report.ingests,
+      report.injected_ingest_failures, report.saves,
       report.injected_save_failures, report.loads, report.fault_toggles,
       report.theta_checks,
       static_cast<unsigned long long>(report.final_generation));
